@@ -1,0 +1,94 @@
+// Ablations for the design choices DESIGN.md calls out (not in the paper,
+// but claims the paper makes in passing):
+//   A. initial bitwidth k0       — §IV-A claims results are insensitive to
+//                                  k0 ("an initial bitwidth other than 6
+//                                  leads to similar results")
+//   B. metric interval           — Alg. 2: "a few times per epoch suffice"
+//   C. update rounding mode      — Eq. 3 truncation vs nearest/stochastic
+//   D. Gavg moving-average decay — Alg. 2 line 8
+#include "common.hpp"
+
+using namespace apt;
+
+namespace {
+
+train::History run_variant(const bench::Experiment& exp, core::AptConfig ac) {
+  auto model = exp.make_model(/*seed=*/1);
+  data::DataLoader loader = exp.make_train_loader();
+  train::Trainer trainer(*model, loader, exp.dataset->test().images,
+                         exp.dataset->test().labels, exp.trainer_config());
+  core::AptController ctrl(trainer, ac);
+  trainer.add_hook(&ctrl);
+  return trainer.run();
+}
+
+}  // namespace
+
+int main() {
+  bench::Scale scale = bench::scale_from_env();
+  if (scale.name == "default") {  // ablations run many variants; trim
+    scale.epochs = std::max(12, scale.epochs * 2 / 3);
+  }
+  bench::print_banner("Ablations — APT design choices", scale);
+  bench::Experiment exp(scale);
+
+  io::Table t({"ablation", "setting", "test acc", "energy J", "mean bits"});
+  auto add = [&](const std::string& group, const std::string& setting,
+                 const train::History& h) {
+    double mean_bits = 0;
+    const auto& bits = h.epochs.back().unit_bits;
+    for (int b : bits) mean_bits += b;
+    mean_bits /= static_cast<double>(bits.size());
+    t.add_row({group, setting, io::Table::fmt(h.best_test_accuracy()),
+               io::Table::fmt(h.total_energy_j(), 4),
+               io::Table::fmt(mean_bits, 1)});
+  };
+
+  // A: initial bitwidth (paper claims insensitivity — the policy is a
+  // precision search that converges to similar layer-wise configs).
+  for (int k0 : {2, 4, 6, 8, 12}) {
+    std::printf("[A] k0=%d ...\n", k0);
+    std::fflush(stdout);
+    core::AptConfig ac = exp.apt_config();
+    ac.initial_bits = k0;
+    add("A: initial k0", std::to_string(k0), run_variant(exp, ac));
+  }
+
+  // B: Gavg evaluation interval.
+  for (int interval : {1, 2, 4, 8}) {
+    std::printf("[B] interval=%d ...\n", interval);
+    std::fflush(stdout);
+    core::AptConfig ac = exp.apt_config();
+    ac.eval_interval = interval;
+    add("B: eval INTERVAL", std::to_string(interval), run_variant(exp, ac));
+  }
+
+  // C: rounding mode of the Eq. 3 update.
+  {
+    const std::pair<quant::RoundMode, const char*> modes[] = {
+        {quant::RoundMode::kTrunc, "trunc (paper)"},
+        {quant::RoundMode::kNearest, "nearest"},
+        {quant::RoundMode::kStochastic, "stochastic"},
+    };
+    for (const auto& [mode, name] : modes) {
+      std::printf("[C] rounding=%s ...\n", name);
+      std::fflush(stdout);
+      core::AptConfig ac = exp.apt_config();
+      ac.update_rounding = mode;
+      add("C: update rounding", name, run_variant(exp, ac));
+    }
+  }
+
+  // D: moving-average momentum for Gavg.
+  for (double ema : {0.0, 0.8, 0.95}) {
+    std::printf("[D] ema=%.2f ...\n", ema);
+    std::fflush(stdout);
+    core::AptConfig ac = exp.apt_config();
+    ac.ema_momentum = ema;
+    add("D: Gavg EMA", io::Table::fmt(ema, 2), run_variant(exp, ac));
+  }
+
+  t.print();
+  t.write_csv(bench::results_dir() + "/ablation_apt.csv");
+  return 0;
+}

@@ -1,0 +1,175 @@
+// Shared experiment harness for the figure/table benches.
+//
+// Every bench reproduces one paper artefact at a CPU-sized scale:
+// ResNet-20's role is played by a width-reduced CIFAR ResNet on 16x16
+// SynthCIFAR (see DESIGN.md §2), with the paper's 200-epoch schedule
+// compressed proportionally (LR decay at 50% / 77% of the run, APT policy
+// paced to match). Set APT_BENCH_SCALE=quick|default|full to rescale;
+// `full` uses the paper-sized topology (slow on CPU).
+//
+// Each bench prints aligned tables to stdout and writes CSV next to the
+// binary under ./bench_results/.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "core/controller.hpp"
+#include "data/loader.hpp"
+#include "data/synth_images.hpp"
+#include "io/table.hpp"
+#include "models/zoo.hpp"
+#include "train/baselines.hpp"
+#include "train/trainer.hpp"
+
+namespace apt::bench {
+
+struct Scale {
+  std::string name = "default";
+  int64_t image_hw = 16;
+  int64_t n_train = 512;
+  int64_t n_test = 256;
+  int64_t batch = 64;
+  int epochs = 30;
+  int64_t resnet_n = 1;       // blocks per stage (1 -> ResNet-8)
+  int64_t resnet_width = 8;
+
+  int64_t iters_per_epoch() const { return (n_train + batch - 1) / batch; }
+};
+
+inline Scale scale_from_env() {
+  const char* env = std::getenv("APT_BENCH_SCALE");
+  const std::string mode = env ? env : "default";
+  Scale s;
+  s.name = mode;
+  if (mode == "quick") {
+    s.n_train = 320;
+    s.n_test = 160;
+    s.epochs = 16;
+  } else if (mode == "full") {
+    // Paper-sized topology: ResNet-20 on 32x32, 10k/2k samples. Slow.
+    s.image_hw = 32;
+    s.n_train = 10000;
+    s.n_test = 2000;
+    s.batch = 128;
+    s.epochs = 200;
+    s.resnet_n = 3;
+    s.resnet_width = 16;
+  }
+  return s;
+}
+
+/// The standard experiment fixture: SynthCIFAR + reduced ResNet + the
+/// paper's SGD recipe (momentum 0.9, wd 1e-4, lr 0.1 decayed /10 at 50%
+/// and 77% of the epoch budget — the 100/150-of-200 proportions).
+struct Experiment {
+  Scale scale;
+  std::unique_ptr<data::SynthImageDataset> dataset;
+
+  explicit Experiment(const Scale& s, int64_t classes = 10,
+                      uint64_t data_seed = 42)
+      : scale(s) {
+    data::SynthImageConfig dc;
+    dc.classes = classes;
+    dc.height = s.image_hw;
+    dc.width = s.image_hw;
+    dc.seed = data_seed;
+    dataset = std::make_unique<data::SynthImageDataset>(dc, s.n_train,
+                                                        s.n_test);
+  }
+
+  train::TrainerConfig trainer_config(int warmup_epochs = 0) const {
+    train::TrainerConfig cfg;
+    cfg.epochs = scale.epochs;
+    cfg.schedule = train::StepDecaySchedule(
+        0.1,
+        {static_cast<int>(scale.epochs * 0.50),
+         static_cast<int>(scale.epochs * 0.77)},
+        0.1, warmup_epochs, 0.01);
+    return cfg;
+  }
+
+  std::unique_ptr<nn::Sequential> make_model(uint64_t seed,
+                                             int64_t classes = 10) const {
+    Rng rng(seed);
+    return models::make_resnet(
+        {.n = scale.resnet_n,
+         .base_width = scale.resnet_width,
+         .num_classes = classes},
+        rng);
+  }
+
+  data::DataLoader make_train_loader(uint64_t seed = 5) const {
+    return data::DataLoader(dataset->train().images, dataset->train().labels,
+                            scale.batch, /*shuffle=*/true, seed,
+                            data::AugmentConfig{});
+  }
+
+  core::AptConfig apt_config(double t_min = 6.0) const {
+    core::AptConfig ac;
+    ac.initial_bits = 6;
+    ac.t_min = t_min;
+    ac.eval_interval = 2;
+    // Pace Algorithm 1 so bits-vs-progress matches the paper's 200-epoch
+    // proportions (once per epoch there == ~2x per compressed epoch here).
+    ac.adjust_every_iters = scale.name == "full"
+                                ? 0
+                                : static_cast<int>(
+                                      std::max<int64_t>(1, iters_half_epoch()));
+    return ac;
+  }
+
+  int64_t iters_half_epoch() const { return scale.iters_per_epoch() / 2; }
+
+  /// One training run. `mode`: "fp32", a fixed bitwidth ("8", "12", ...),
+  /// or "apt" (uses `t_min`). Returns the history; for APT also the final
+  /// bitwidths via `controller_out`.
+  train::History run(const std::string& mode, uint64_t model_seed = 1,
+                     double t_min = 6.0,
+                     std::vector<int>* final_bits = nullptr) const {
+    auto model = make_model(model_seed, dataset->config().classes);
+    data::DataLoader loader = make_train_loader();
+    train::Trainer trainer(*model, loader, dataset->test().images,
+                           dataset->test().labels, trainer_config());
+    std::unique_ptr<core::AptController> ctrl;
+    if (mode == "apt") {
+      ctrl = std::make_unique<core::AptController>(trainer, apt_config(t_min));
+      trainer.add_hook(ctrl.get());
+    } else if (mode != "fp32") {
+      core::GridOptions go;
+      go.bits = std::atoi(mode.c_str());
+      core::attach_grid(*model, go);
+    }
+    train::History h = trainer.run();
+    if (ctrl && final_bits) *final_bits = ctrl->bits();
+    return h;
+  }
+};
+
+/// Output directory for CSVs (created on demand).
+inline std::string results_dir() {
+  const std::string dir = "bench_results";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+inline void print_banner(const std::string& what, const Scale& s) {
+  std::printf(
+      "==============================================================\n"
+      "%s\n"
+      "scale=%s  image=%lldx%lld  train=%lld test=%lld  batch=%lld  "
+      "epochs=%d  resnet(n=%lld,w=%lld)\n"
+      "==============================================================\n",
+      what.c_str(), s.name.c_str(), static_cast<long long>(s.image_hw),
+      static_cast<long long>(s.image_hw), static_cast<long long>(s.n_train),
+      static_cast<long long>(s.n_test), static_cast<long long>(s.batch),
+      s.epochs, static_cast<long long>(s.resnet_n),
+      static_cast<long long>(s.resnet_width));
+  std::fflush(stdout);
+}
+
+}  // namespace apt::bench

@@ -1,0 +1,63 @@
+// Figure 4: Normalised training energy needed to reach accuracy targets —
+// fixed 12/14/16/32-bit models vs APT.
+//
+// Paper shape: among fixed-precision models 12-bit is cheapest but cannot
+// reach the top target inside the epoch budget ("absent from the 91.75%
+// and 92% group"); higher-precision models pay steeply for the last
+// fraction of accuracy; APT reaches every target with the least energy.
+// Targets are expressed relative to the fp32 run's best accuracy because
+// absolute numbers depend on the (synthetic) dataset.
+#include "common.hpp"
+
+using namespace apt;
+
+int main() {
+  const bench::Scale scale = bench::scale_from_env();
+  bench::print_banner(
+      "Figure 4 — Training Energy v.s. Bitwidth at fixed accuracy targets",
+      scale);
+
+  bench::Experiment exp(scale);
+  const std::vector<std::string> modes = {"12", "14", "16", "fp32", "apt"};
+  std::vector<train::History> runs;
+  for (const auto& m : modes) {
+    std::printf("training %s ...\n", m.c_str());
+    std::fflush(stdout);
+    runs.push_back(exp.run(m));
+  }
+
+  const train::History& fp32 = runs[3];
+  const double e32 = fp32.total_energy_j();
+  const double a32 = fp32.best_test_accuracy();
+  // The paper's 91%..92% band corresponds to the top sliver of what fp32
+  // achieves; sweep the analogous relative band.
+  const std::vector<double> fractions = {0.90, 0.94, 0.97, 0.99};
+
+  std::vector<std::string> header = {"target acc"};
+  for (const auto& m : modes) header.push_back(m + "-bit E/E32");
+  header.back() = "APT E/E32";
+  header[4] = "32-bit E/E32";
+  io::Table t(header);
+
+  for (double f : fractions) {
+    const double target = a32 * f;
+    std::vector<std::string> row = {io::Table::fmt(target, 3)};
+    for (const auto& h : runs) {
+      const double e = h.energy_to_reach(target);
+      row.push_back(e < 0 ? "unreached" : io::Table::fmt(e / e32, 3));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print();
+  t.write_csv(bench::results_dir() + "/fig4_energy_to_accuracy.csv");
+
+  std::printf(
+      "\nshape check: 12-bit should be the cheapest fixed width on low "
+      "targets but miss (or barely reach) the top one; APT should reach "
+      "every target with the smallest normalised energy.\n");
+  std::printf("best accuracies: ");
+  for (size_t i = 0; i < modes.size(); ++i)
+    std::printf("%s=%.4f  ", modes[i].c_str(), runs[i].best_test_accuracy());
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Kernel microbenchmarks (google-benchmark): GEMM, conv forward/backward,
+// quantise / dequantise / Eq. 3 grid update, and the Gavg metric itself —
+// the per-iteration primitives whose cost the energy model abstracts.
+#include <benchmark/benchmark.h>
+
+#include "base/rng.hpp"
+#include "core/gavg.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/gemm.hpp"
+#include "quant/qtensor.hpp"
+
+using namespace apt;
+
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<float> a(static_cast<size_t>(n * n)),
+      b(static_cast<size_t>(n * n)), c(static_cast<size_t>(n * n));
+  Rng rng(1);
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    nn::gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTransposed(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<float> a(static_cast<size_t>(n * n)),
+      b(static_cast<size_t>(n * n)), c(static_cast<size_t>(n * n));
+  for (auto _ : state) {
+    nn::gemm(true, true, n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmTransposed)->Arg(128);
+
+void BM_ConvForward(benchmark::State& state) {
+  const int64_t ch = state.range(0);
+  Rng rng(1);
+  nn::Conv2dOptions opts;
+  opts.in_channels = ch;
+  opts.out_channels = ch;
+  nn::Conv2d conv("bench", opts, rng);
+  Tensor x(Shape{8, ch, 16, 16});
+  rng.fill_normal(x, 0, 1);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * conv.macs_per_sample() * 8);
+}
+BENCHMARK(BM_ConvForward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ConvBackward(benchmark::State& state) {
+  const int64_t ch = state.range(0);
+  Rng rng(1);
+  nn::Conv2dOptions opts;
+  opts.in_channels = ch;
+  opts.out_channels = ch;
+  nn::Conv2d conv("bench", opts, rng);
+  Tensor x(Shape{8, ch, 16, 16});
+  rng.fill_normal(x, 0, 1);
+  Tensor y = conv.forward(x, true);
+  Tensor dy(y.shape());
+  rng.fill_normal(dy, 0, 1);
+  for (auto _ : state) {
+    Tensor dx = conv.backward(dy);
+    benchmark::DoNotOptimize(dx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * conv.macs_per_sample() * 16);
+}
+BENCHMARK(BM_ConvBackward)->Arg(8)->Arg(16);
+
+void BM_Quantize(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor t(Shape{n});
+  rng.fill_normal(t, 0, 1);
+  for (auto _ : state) {
+    quant::QuantizedTensor q(t, 8);
+    benchmark::DoNotOptimize(q.codes().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Quantize)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_Dequantize(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor t(Shape{n});
+  rng.fill_normal(t, 0, 1);
+  quant::QuantizedTensor q(t, 8);
+  Tensor out(t.shape());
+  for (auto _ : state) {
+    q.dequantize_into(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Dequantize)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_GridUpdate(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor t(Shape{n}), delta(Shape{n});
+  rng.fill_normal(t, 0, 1);
+  rng.fill_normal(delta, 0, 1e-3f);
+  quant::QuantizedTensor q(t, 8);
+  for (auto _ : state) {
+    auto stats = q.apply_update(delta, quant::RoundMode::kTrunc);
+    benchmark::DoNotOptimize(stats.moved);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GridUpdate)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_GavgMetric(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  nn::Parameter p("w", Shape{n});
+  rng.fill_normal(p.value, 0, 1);
+  rng.fill_normal(p.grad, 0, 1e-2f);
+  for (auto _ : state) {
+    const double g = core::tensor_gavg(p);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GavgMetric)->Arg(1 << 12)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

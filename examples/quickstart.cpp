@@ -1,0 +1,88 @@
+// Quickstart: train a small MLP on the spiral task with Adaptive Precision
+// Training, next to an fp32 run, and print the energy/memory/accuracy
+// trade the paper is about.
+//
+//   $ ./examples/quickstart
+//
+// Walkthrough of the public API:
+//   1. build data + loaders            (apt::data)
+//   2. build a model                   (apt::models / apt::nn)
+//   3. build a Trainer                 (apt::train)
+//   4. attach an AptController         (apt::core)  <- the paper
+//   5. run, read History               (energy, memory, accuracy, bits)
+#include <cstdio>
+
+#include "core/controller.hpp"
+#include "data/loader.hpp"
+#include "data/spiral.hpp"
+#include "models/zoo.hpp"
+#include "train/trainer.hpp"
+
+using namespace apt;
+
+namespace {
+
+struct RunResult {
+  train::History history;
+  std::vector<int> final_bits;
+};
+
+RunResult run(bool use_apt, const data::TabularSet& trainset,
+              const data::TabularSet& testset) {
+  Rng rng(123);
+  auto model = models::make_mlp(2, {48, 48}, 3, rng);
+
+  data::DataLoader loader(trainset.features, trainset.labels,
+                          /*batch=*/64, /*shuffle=*/true, /*seed=*/99);
+
+  train::TrainerConfig cfg;
+  cfg.epochs = 40;
+  cfg.schedule = train::StepDecaySchedule(0.1, {25, 35});
+  train::Trainer trainer(*model, loader, testset.features, testset.labels,
+                         cfg);
+
+  std::unique_ptr<core::AptController> controller;
+  if (use_apt) {
+    core::AptConfig apt_cfg;
+    apt_cfg.initial_bits = 6;       // Alg. 2: start low
+    apt_cfg.t_min = 6.0;            // the application-specific knob
+    apt_cfg.eval_interval = 2;      // Alg. 2's INTERVAL
+    apt_cfg.adjust_every_iters = 6; // compressed-run pacing (see AptConfig)
+    controller = std::make_unique<core::AptController>(trainer, apt_cfg);
+    trainer.add_hook(controller.get());
+  }
+
+  RunResult r{trainer.run(), {}};
+  if (controller) r.final_bits = controller->bits();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const data::TabularSet trainset =
+      data::make_spiral({.points_per_class = 256, .noise = 0.1f, .seed = 7});
+  const data::TabularSet testset =
+      data::make_spiral({.points_per_class = 128, .noise = 0.1f, .seed = 8});
+
+  std::printf("== fp32 baseline ==\n");
+  const RunResult fp32 = run(/*use_apt=*/false, trainset, testset);
+  std::printf("== APT (k0=6, Tmin=6.0) ==\n");
+  const RunResult apt = run(/*use_apt=*/true, trainset, testset);
+
+  const double e32 = fp32.history.total_energy_j();
+  const double m32 = fp32.history.peak_memory_bits();
+  std::printf("\n%-22s %10s %12s %12s\n", "run", "test acc", "energy(norm)",
+              "memory(norm)");
+  std::printf("%-22s %10.4f %12.3f %12.3f\n", "fp32",
+              fp32.history.final_test_accuracy(), 1.0, 1.0);
+  std::printf("%-22s %10.4f %12.3f %12.3f\n", "APT",
+              apt.history.final_test_accuracy(),
+              apt.history.total_energy_j() / e32,
+              apt.history.peak_memory_bits() / m32);
+
+  std::printf("\nfinal per-layer bitwidths under APT:");
+  for (int b : apt.final_bits) std::printf(" %d", b);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Choosing the application-specific threshold T_min (paper §IV-B, Fig. 5).
+//
+// T_min is APT's single user-facing knob: it sets how much "learning
+// headroom" every layer must keep relative to its grid resolution. This
+// example sweeps T_min on a small task and prints the accuracy / energy /
+// memory frontier so an application can pick its operating point — e.g.
+// "cheapest configuration within 1% of fp32 accuracy".
+//
+//   $ ./examples/tmin_tradeoff
+#include <cstdio>
+
+#include "core/auto_tmin.hpp"
+#include "core/controller.hpp"
+#include "data/loader.hpp"
+#include "data/spiral.hpp"
+#include "models/zoo.hpp"
+#include "train/trainer.hpp"
+
+using namespace apt;
+
+namespace {
+
+train::History run(double t_min, bool use_apt,
+                   const data::TabularSet& trainset,
+                   const data::TabularSet& testset,
+                   std::vector<int>* bits_out = nullptr) {
+  Rng rng(123);
+  auto model = models::make_mlp(2, {48, 48}, 3, rng);
+  data::DataLoader loader(trainset.features, trainset.labels, 64, true, 99);
+  train::TrainerConfig cfg;
+  cfg.epochs = 30;
+  cfg.schedule = train::StepDecaySchedule(0.1, {20, 26});
+  train::Trainer trainer(*model, loader, testset.features, testset.labels,
+                         cfg);
+  std::unique_ptr<core::AptController> ctrl;
+  if (use_apt) {
+    core::AptConfig ac;
+    ac.initial_bits = 6;
+    ac.t_min = t_min;
+    ac.eval_interval = 2;
+    ac.adjust_every_iters = 6;
+    ctrl = std::make_unique<core::AptController>(trainer, ac);
+    trainer.add_hook(ctrl.get());
+  }
+  train::History h = trainer.run();
+  if (ctrl && bits_out) *bits_out = ctrl->bits();
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  const data::TabularSet trainset =
+      data::make_spiral({.points_per_class = 256, .noise = 0.1f, .seed = 7});
+  const data::TabularSet testset =
+      data::make_spiral({.points_per_class = 128, .noise = 0.1f, .seed = 8});
+
+  std::printf("training fp32 reference...\n");
+  const train::History fp32 = run(0, false, trainset, testset);
+  const double e32 = fp32.total_energy_j();
+  const double m32 = fp32.peak_memory_bits();
+
+  std::printf("\n%-8s %10s %13s %13s %18s\n", "T_min", "test acc",
+              "energy/fp32", "memory/fp32", "final bits");
+  std::printf("%-8s %10.4f %13.3f %13.3f %18s\n", "fp32",
+              fp32.best_test_accuracy(), 1.0, 1.0, "32 everywhere");
+
+  double best_cheap_acc = 0.0;
+  double best_cheap_energy = 1.0;
+  for (double t_min : {0.1, 1.0, 6.0, 25.0, 100.0}) {
+    std::vector<int> bits;
+    const train::History h = run(t_min, true, trainset, testset, &bits);
+    std::string bit_str;
+    for (int b : bits) bit_str += std::to_string(b) + " ";
+    std::printf("%-8.1f %10.4f %13.3f %13.3f %18s\n", t_min,
+                h.best_test_accuracy(), h.total_energy_j() / e32,
+                h.peak_memory_bits() / m32, bit_str.c_str());
+    if (h.best_test_accuracy() >= fp32.best_test_accuracy() - 0.01 &&
+        h.total_energy_j() / e32 < best_cheap_energy) {
+      best_cheap_energy = h.total_energy_j() / e32;
+      best_cheap_acc = h.best_test_accuracy();
+    }
+  }
+
+  if (best_cheap_acc > 0.0) {
+    std::printf(
+        "\ncheapest configuration within 1%% of fp32: %.4f accuracy at "
+        "%.0f%% of fp32 training energy.\n",
+        best_cheap_acc, 100.0 * best_cheap_energy);
+  } else {
+    std::printf(
+        "\nno sweep point matched fp32 within 1%%; raise T_min further for "
+        "more accuracy (at more energy).\n");
+  }
+
+  // ---- no sweep at all: the automatic tuner (the paper's future work) ---
+  std::printf("\nauto-tuned T_min (no sweep, plateau-driven):\n");
+  {
+    Rng rng(123);
+    auto model = models::make_mlp(2, {48, 48}, 3, rng);
+    data::DataLoader loader(trainset.features, trainset.labels, 64, true, 99);
+    train::TrainerConfig cfg;
+    cfg.epochs = 30;
+    cfg.schedule = train::StepDecaySchedule(0.1, {20, 26});
+    train::Trainer trainer(*model, loader, testset.features, testset.labels,
+                           cfg);
+    core::AptConfig ac;
+    ac.initial_bits = 6;
+    ac.t_min = 0.5;  // deliberately low: the tuner must find its way up
+    ac.eval_interval = 2;
+    ac.adjust_every_iters = 6;
+    core::AptController ctrl(trainer, ac);
+    core::TminAutoTuner tuner(ctrl, {});
+    trainer.add_hook(&tuner);  // before the controller
+    trainer.add_hook(&ctrl);
+    const train::History h = trainer.run();
+    std::printf(
+        "  started at T_min=0.5, ended at T_min=%.2f after %zu adjustments; "
+        "accuracy %.4f at %.0f%% of fp32 energy\n",
+        tuner.t_min(), tuner.adjustments().size(), h.best_test_accuracy(),
+        100.0 * h.total_energy_j() / e32);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Error-checking and logging helpers used across the APT libraries.
+//
+// Following the C++ Core Guidelines (I.6/I.8, E.12) we express
+// preconditions with a macro that throws `apt::CheckError` (tests need to
+// observe violations, so we do not abort) and never use raw `assert` in
+// library code.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace apt {
+
+/// Exception thrown when an APT_CHECK precondition fails.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw CheckError(oss.str());
+}
+
+// Builds the optional message lazily so the happy path costs one branch.
+class MessageBuilder {
+ public:
+  template <typename T>
+  MessageBuilder& operator<<(const T& value) {
+    oss_ << value;
+    return *this;
+  }
+  std::string str() const { return oss_.str(); }
+
+ private:
+  std::ostringstream oss_;
+};
+
+}  // namespace detail
+}  // namespace apt
+
+/// Precondition check: throws apt::CheckError when `cond` is false.
+/// Usage: APT_CHECK(k >= 2) << "bitwidth too small: " << k;
+#define APT_CHECK(cond)                                                      \
+  if (cond) {                                                                \
+  } else                                                                     \
+    apt::detail::CheckHelper{#cond, __FILE__, __LINE__} =                    \
+        apt::detail::MessageBuilder{}
+
+namespace apt::detail {
+
+/// Receives the streamed message and throws; enables the `<<` syntax above.
+struct CheckHelper {
+  const char* expr;
+  const char* file;
+  int line;
+  [[noreturn]] void operator=(const MessageBuilder& mb) {
+    check_failed(expr, file, line, mb.str());
+  }
+};
+
+}  // namespace apt::detail

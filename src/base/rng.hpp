@@ -1,0 +1,77 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library (init, data generation,
+// augmentation, stochastic rounding, shuffling) draws from an explicitly
+// seeded `Rng`, so experiments are reproducible bit-for-bit.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "base/tensor.hpp"
+
+namespace apt {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+  /// Derives an independent child stream; used to give each subsystem its
+  /// own generator so call-order changes in one do not perturb another.
+  Rng fork() { return Rng(engine_()); }
+
+  uint64_t next_u64() { return engine_(); }
+
+  float uniform(float lo = 0.0f, float hi = 1.0f) {
+    std::uniform_real_distribution<float> d(lo, hi);
+    return d(engine_);
+  }
+
+  float normal(float mean = 0.0f, float stddev = 1.0f) {
+    std::normal_distribution<float> d(mean, stddev);
+    return d(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t randint(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  bool bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  void fill_normal(Tensor& t, float mean, float stddev) {
+    std::normal_distribution<float> d(mean, stddev);
+    for (float& v : t.span()) v = d(engine_);
+  }
+
+  void fill_uniform(Tensor& t, float lo, float hi) {
+    std::uniform_real_distribution<float> d(lo, hi);
+    for (float& v : t.span()) v = d(engine_);
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// Random permutation of [0, n).
+  std::vector<int64_t> permutation(int64_t n) {
+    std::vector<int64_t> p(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) p[static_cast<size_t>(i)] = i;
+    shuffle(p);
+    return p;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace apt

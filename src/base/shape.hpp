@@ -1,0 +1,59 @@
+// Dense row-major shapes for tensors.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace apt {
+
+/// Shape of a dense, row-major tensor. Immutable value type.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+    validate();
+  }
+
+  int64_t rank() const { return static_cast<int64_t>(dims_.size()); }
+
+  int64_t operator[](int64_t axis) const {
+    APT_CHECK(axis >= 0 && axis < rank())
+        << "axis " << axis << " out of range for rank " << rank();
+    return dims_[static_cast<size_t>(axis)];
+  }
+
+  /// Total number of elements (1 for a rank-0 scalar shape).
+  int64_t numel() const {
+    return std::accumulate(dims_.begin(), dims_.end(), int64_t{1},
+                           std::multiplies<int64_t>());
+  }
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  std::string str() const {
+    std::string s = "[";
+    for (size_t i = 0; i < dims_.size(); ++i) {
+      if (i) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    return s + "]";
+  }
+
+ private:
+  void validate() const {
+    for (int64_t d : dims_) APT_CHECK(d >= 0) << "negative dim in " << str();
+  }
+
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace apt

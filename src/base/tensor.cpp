@@ -1,0 +1,40 @@
+#include "base/tensor.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace apt {
+
+float Tensor::min() const {
+  APT_CHECK(numel() > 0) << "min() on empty tensor";
+  float m = std::numeric_limits<float>::infinity();
+  for (float v : span()) m = std::min(m, v);
+  return m;
+}
+
+float Tensor::max() const {
+  APT_CHECK(numel() > 0) << "max() on empty tensor";
+  float m = -std::numeric_limits<float>::infinity();
+  for (float v : span()) m = std::max(m, v);
+  return m;
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (float v : span()) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float Tensor::norm() const {
+  double acc = 0.0;
+  for (float v : span()) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+bool Tensor::all_finite() const {
+  for (float v : span())
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+}  // namespace apt

@@ -1,0 +1,90 @@
+#include "base/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace apt {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 1 ? hw - 1 : 1;
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::try_run_one() {
+  Task task;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.back());
+    queue_.pop_back();
+  }
+  (*task.fn)(task.begin, task.end);
+  task.state->remaining.fetch_sub(1, std::memory_order_acq_rel);
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+    }
+    try_run_one();
+  }
+}
+
+void ThreadPool::parallel_for(int64_t begin, int64_t end,
+                              const std::function<void(int64_t, int64_t)>& fn,
+                              int64_t grain) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  grain = std::max<int64_t>(grain, 1);
+  const int64_t nthreads = static_cast<int64_t>(size()) + 1;
+  const int64_t chunks = std::min<int64_t>(nthreads, (n + grain - 1) / grain);
+  if (chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const int64_t step = (n + chunks - 1) / chunks;
+
+  auto state = std::make_shared<CallState>();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (int64_t c = 1; c < chunks; ++c) {
+      const int64_t b = begin + c * step;
+      const int64_t e = std::min(end, b + step);
+      if (b >= e) continue;
+      queue_.push_back(Task{&fn, b, e, state});
+      state->remaining.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  cv_.notify_all();
+
+  // Run the first chunk on the calling thread, then help drain the queue
+  // until our own chunks have all completed (makes nesting deadlock-free).
+  fn(begin, std::min(end, begin + step));
+  while (state->remaining.load(std::memory_order_acquire) != 0) {
+    if (!try_run_one()) std::this_thread::yield();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace apt

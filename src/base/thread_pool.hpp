@@ -1,0 +1,65 @@
+// A small persistent thread pool with a nestable parallel_for helper.
+//
+// Compute kernels (GEMM, conv, quantise) split their outer loop across the
+// pool. parallel_for may be called from inside a pool task (e.g. a
+// per-sample conv task calling a parallel GEMM): while waiting for its own
+// chunks, the caller helps drain the shared queue, so nesting cannot
+// deadlock. Orchestration (training loop, APT controller) stays
+// single-threaded; tasks only touch disjoint output ranges.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace apt {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects hardware_concurrency() - 1 workers (the caller
+  /// participates in every parallel_for).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs fn(begin, end) over [begin, end) split into roughly equal chunks.
+  /// Blocks until all chunks complete. Falls back to a direct call when the
+  /// range is smaller than `grain`.
+  void parallel_for(int64_t begin, int64_t end,
+                    const std::function<void(int64_t, int64_t)>& fn,
+                    int64_t grain = 1);
+
+  /// Process-wide pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  struct CallState {
+    std::atomic<int> remaining{0};
+  };
+  struct Task {
+    const std::function<void(int64_t, int64_t)>* fn = nullptr;
+    int64_t begin = 0;
+    int64_t end = 0;
+    std::shared_ptr<CallState> state;
+  };
+
+  void worker_loop();
+  bool try_run_one();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Task> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace apt

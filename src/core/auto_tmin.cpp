@@ -1,0 +1,60 @@
+#include "core/auto_tmin.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apt::core {
+
+TminAutoTuner::TminAutoTuner(AptController& controller,
+                             const AutoTminConfig& cfg)
+    : controller_(controller), cfg_(cfg) {
+  APT_CHECK(cfg.t_min_floor > 0 && cfg.t_min_floor <= cfg.t_min_ceil)
+      << "bad T_min bounds";
+  APT_CHECK(cfg.raise_factor > 1.0 && cfg.lower_factor < 1.0)
+      << "factors must move T_min";
+  APT_CHECK(cfg.patience >= 1) << "patience must be positive";
+}
+
+void TminAutoTuner::on_epoch_end(train::Trainer& trainer, int epoch) {
+  const auto& stats = trainer.current_epoch_stats();
+
+  // Budget guard first: projected total energy at the current burn rate.
+  if (std::isfinite(cfg_.energy_budget_j)) {
+    const double per_epoch = stats.cumulative_energy_j / (epoch + 1);
+    const double projected = per_epoch * trainer.config().epochs;
+    if (projected > cfg_.energy_budget_j) {
+      const double old = controller_.t_min();
+      const double next =
+          std::max(cfg_.t_min_floor, old * cfg_.lower_factor);
+      if (next != old) {
+        controller_.set_t_min(next);
+        adjustments_.push_back({epoch, old, next, "budget"});
+      }
+      stall_count_ = 0;
+      prev_loss_ = stats.train_loss;
+      return;
+    }
+  }
+
+  // Plateau detection on training loss.
+  if (!std::isnan(prev_loss_)) {
+    const double improvement = prev_loss_ - stats.train_loss;
+    best_improvement_ = std::max(best_improvement_, improvement);
+    const bool stalled =
+        best_improvement_ > 0.0 &&
+        improvement < cfg_.stall_ratio * best_improvement_;
+    stall_count_ = stalled ? stall_count_ + 1 : 0;
+    if (stall_count_ >= cfg_.patience) {
+      const double old = controller_.t_min();
+      const double next = std::min(cfg_.t_min_ceil, old * cfg_.raise_factor);
+      if (next != old) {
+        controller_.set_t_min(next);
+        adjustments_.push_back({epoch, old, next, "stall"});
+      }
+      stall_count_ = 0;
+    }
+  }
+  prev_loss_ = stats.train_loss;
+}
+
+}  // namespace apt::core

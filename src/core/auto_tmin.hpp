@@ -1,0 +1,63 @@
+// Automatic T_min selection — the paper's stated future work.
+//
+// "Tuning parameter Tmin requires application specific knowledge. In
+//  future, we are going to find automatic ways for choosing a proper Tmin
+//  in order to ease the use of APT."  (paper §V)
+//
+// This tuner closes that loop with the paper's own narrative: a training
+// plateau while precision-starved means T_min is too low (underflow is
+// eating progress), so raise it; a projected energy overrun means T_min is
+// buying accuracy the budget cannot afford, so lower it. T_min moves
+// multiplicatively inside the Fig.-5 sweep range [0.1, 100].
+//
+// Register BEFORE the AptController so each epoch's policy run sees the
+// freshly tuned threshold.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "core/controller.hpp"
+
+namespace apt::core {
+
+struct AutoTminConfig {
+  /// An epoch counts as stalled when its train-loss improvement falls
+  /// below this fraction of the best improvement seen so far.
+  double stall_ratio = 0.15;
+  /// Consecutive stalled epochs before raising T_min.
+  int patience = 2;
+  double raise_factor = 2.0;
+  double lower_factor = 0.5;
+  double t_min_floor = 0.1;   ///< Fig. 5's sweep bounds
+  double t_min_ceil = 100.0;
+  /// Total-training energy budget in joules; infinity disables the
+  /// budget-driven lowering.
+  double energy_budget_j = std::numeric_limits<double>::infinity();
+};
+
+class TminAutoTuner : public train::TrainHook {
+ public:
+  TminAutoTuner(AptController& controller, const AutoTminConfig& cfg);
+
+  void on_epoch_end(train::Trainer& trainer, int epoch) override;
+
+  double t_min() const { return controller_.t_min(); }
+
+  struct Adjustment {
+    int epoch;
+    double old_t_min, new_t_min;
+    const char* reason;  // "stall" or "budget"
+  };
+  const std::vector<Adjustment>& adjustments() const { return adjustments_; }
+
+ private:
+  AptController& controller_;
+  AutoTminConfig cfg_;
+  double prev_loss_ = std::numeric_limits<double>::quiet_NaN();
+  double best_improvement_ = 0.0;
+  int stall_count_ = 0;
+  std::vector<Adjustment> adjustments_;
+};
+
+}  // namespace apt::core

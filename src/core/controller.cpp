@@ -1,0 +1,87 @@
+#include "core/controller.hpp"
+
+#include "core/gavg.hpp"
+
+namespace apt::core {
+
+AptController::AptController(train::Trainer& trainer, const AptConfig& cfg)
+    : cfg_(cfg) {
+  APT_CHECK(cfg.initial_bits >= cfg.k_min && cfg.initial_bits <= cfg.k_max)
+      << "initial bitwidth outside policy clamps";
+  APT_CHECK(cfg.eval_interval > 0) << "eval interval must be positive";
+
+  GridOptions gopts;
+  gopts.bits = cfg.initial_bits;
+  gopts.update_rounding = cfg.update_rounding;
+  gopts.seed = cfg.seed;
+  // Attach per unit (not via attach_grid) so unit order and bits_ align.
+  uint64_t salt = 0;
+  for (auto& unit : trainer.units()) {
+    for (nn::Parameter* p : unit.params) {
+      GridOptions o = gopts;
+      o.seed = gopts.seed + (salt++);
+      p->rep = std::make_shared<GridRepresentation>(*p, o);
+    }
+    bits_.push_back(cfg.initial_bits);
+    gavg_.emplace_back(cfg.ema_momentum);
+  }
+}
+
+void AptController::on_gradients(train::Trainer& trainer, int64_t iter) {
+  ++grad_calls_;
+  if (iter % cfg_.eval_interval == 0) {  // Alg. 2 line 6
+    auto& units = trainer.units();
+    for (size_t i = 0; i < units.size(); ++i)
+      gavg_[i].observe(unit_gavg(units[i]));  // Eq. 4 + moving average
+  }
+  if (cfg_.adjust_every_iters > 0 &&
+      grad_calls_ % cfg_.adjust_every_iters == 0)
+    run_policy(trainer, trainer.epoch());
+}
+
+std::vector<double> AptController::smoothed_gavg() const {
+  std::vector<double> out;
+  out.reserve(gavg_.size());
+  for (const auto& ma : gavg_)
+    out.push_back(ma.initialized() ? ma.value() : 0.0);
+  return out;
+}
+
+void AptController::on_epoch_end(train::Trainer& trainer, int epoch) {
+  trainer.current_epoch_stats().unit_gavg = smoothed_gavg();
+  if (cfg_.adjust_every_iters == 0) run_policy(trainer, epoch);
+}
+
+void AptController::run_policy(train::Trainer& trainer, int epoch) {
+  const std::vector<double> gavg = smoothed_gavg();
+
+  PolicyConfig pc;
+  pc.t_min = cfg_.t_min;
+  pc.t_max = cfg_.t_max;
+  pc.k_min = cfg_.k_min;
+  pc.k_max = cfg_.k_max;
+  const std::vector<PolicyDecision> changes =
+      adjust_precision(gavg, bits_, pc);  // Algorithm 1
+
+  auto& units = trainer.units();
+  for (const PolicyDecision& d : changes) {
+    decisions_.push_back({epoch, d});
+    for (nn::Parameter* p : units[static_cast<size_t>(d.unit)].params)
+      p->rep->set_bits(*p, d.new_bits);
+  }
+
+  // Range maintenance for unchanged units whose codes drifted to the edge.
+  for (size_t i = 0; i < units.size(); ++i) {
+    bool changed = false;
+    for (const PolicyDecision& d : changes)
+      if (d.unit == static_cast<int>(i)) changed = true;
+    if (changed) continue;
+    for (nn::Parameter* p : units[i].params) {
+      auto* grid = dynamic_cast<GridRepresentation*>(p->rep.get());
+      if (grid && grid->saturation() > cfg_.refit_saturation)
+        grid->refit_range(*p);
+    }
+  }
+}
+
+}  // namespace apt::core

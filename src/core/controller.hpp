@@ -1,0 +1,84 @@
+// AptController: the workflow of paper Algorithm 2.
+//
+//   1  initialise all layers at low precision (k = 6)
+//   2  each epoch:
+//   3    each iteration: FPROP, BPROP
+//   4      every INTERVAL iterations: evaluate Gavg (Eq. 4), moving-average
+//   5    between epochs: adjust per-layer precision (Algorithm 1)
+//
+// The controller is a TrainHook: construct it with a Trainer (this attaches
+// GridRepresentations at the initial bitwidth to every unit), register it
+// with trainer.add_hook, run. It also writes per-unit telemetry (smoothed
+// Gavg, bitwidths) into the History and keeps its own decision log.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "core/grid_representation.hpp"
+#include "core/policy.hpp"
+#include "train/metrics.hpp"
+#include "train/trainer.hpp"
+
+namespace apt::core {
+
+struct AptConfig {
+  int initial_bits = 6;                      ///< Alg. 2 line 1
+  double t_min = 6.0;                        ///< the application knob
+  double t_max = std::numeric_limits<double>::infinity();
+  int k_min = 2, k_max = 32;                 ///< Alg. 1 clamps
+  int eval_interval = 10;                    ///< Alg. 2's INTERVAL
+  double ema_momentum = 0.8;                 ///< Gavg moving average
+  /// Iterations between policy runs; 0 = between epochs only (Alg. 2's
+  /// faithful pacing). Compressed CPU runs (tens of epochs standing in for
+  /// the paper's 200) set this so the bits-vs-progress trajectory matches
+  /// the paper's proportions — a simulation-time compression device
+  /// documented in DESIGN.md, not a change to Algorithm 1 itself.
+  int adjust_every_iters = 0;
+  quant::RoundMode update_rounding = quant::RoundMode::kTrunc;
+  /// Refit a unit's quantisation range when more than this fraction of its
+  /// codes sit pinned at the grid edge (weight drift).
+  double refit_saturation = 1e-3;
+  uint64_t seed = 0x9042;
+};
+
+class AptController : public train::TrainHook {
+ public:
+  /// Attaches grid representations (k = initial_bits) to every unit of the
+  /// trainer's model immediately.
+  AptController(train::Trainer& trainer, const AptConfig& cfg);
+
+  void on_gradients(train::Trainer& trainer, int64_t iter) override;
+  void on_epoch_end(train::Trainer& trainer, int epoch) override;
+
+  const std::vector<int>& bits() const { return bits_; }
+
+  /// The application knob, adjustable mid-training (used by the automatic
+  /// T_min tuner implementing the paper's future work; see auto_tmin.hpp).
+  double t_min() const { return cfg_.t_min; }
+  void set_t_min(double t_min) {
+    APT_CHECK(t_min > 0 && t_min <= cfg_.t_max) << "bad T_min " << t_min;
+    cfg_.t_min = t_min;
+  }
+  /// Smoothed per-unit Gavg (NaN-free; units start uninitialised until the
+  /// first evaluation).
+  std::vector<double> smoothed_gavg() const;
+
+  /// Every Algorithm-1 decision taken so far: (epoch, unit, old, new).
+  struct Decision {
+    int epoch;
+    PolicyDecision change;
+  };
+  const std::vector<Decision>& decisions() const { return decisions_; }
+
+ private:
+  void run_policy(train::Trainer& trainer, int epoch);
+
+  AptConfig cfg_;
+  std::vector<int> bits_;
+  std::vector<train::MovingAverage> gavg_;
+  std::vector<Decision> decisions_;
+  int64_t grad_calls_ = 0;
+};
+
+}  // namespace apt::core

@@ -1,0 +1,59 @@
+#include "core/grid_representation.hpp"
+
+#include <algorithm>
+
+namespace apt::core {
+
+GridRepresentation::GridRepresentation(nn::Parameter& p,
+                                       const GridOptions& opts)
+    : opts_(opts), rng_(opts.seed) {
+  APT_CHECK(p.numel() > 0) << p.name << ": empty parameter";
+  fit(p, opts.bits);
+}
+
+void GridRepresentation::fit(nn::Parameter& p, int bits) {
+  // Rebuild storage from the parameter's current float values (they are
+  // authoritative: checkpoint loading mutates them under the
+  // representation), fitting the padded range around them.
+  float lo = p.value.min(), hi = p.value.max();
+  float width = hi - lo;
+  if (width < opts_.min_range_width) {
+    const float mid = 0.5f * (lo + hi);
+    lo = mid - 0.5f * opts_.min_range_width;
+    hi = mid + 0.5f * opts_.min_range_width;
+    width = opts_.min_range_width;
+  }
+  lo -= opts_.range_pad * width;
+  hi += opts_.range_pad * width;
+  codes_ = quant::QuantizedTensor(p.value, bits, lo, hi);
+  codes_.dequantize_into(p.value);
+}
+
+quant::UpdateStats GridRepresentation::apply_step(nn::Parameter& p,
+                                                  const Tensor& step) {
+  const quant::UpdateStats stats =
+      codes_.apply_update(step, opts_.update_rounding, &rng_);
+  codes_.dequantize_into(p.value);
+  return stats;
+}
+
+void GridRepresentation::set_bits(nn::Parameter& p, int k) {
+  APT_CHECK(k >= 2 && k <= 32) << p.name << ": bad bitwidth " << k;
+  fit(p, k);
+}
+
+void GridRepresentation::refit_range(nn::Parameter& p) {
+  fit(p, codes_.bits());
+}
+
+void attach_grid(nn::Layer& model, const GridOptions& opts) {
+  uint64_t salt = 0;
+  for (nn::Layer* leaf : nn::leaves_of(model))
+    for (nn::Parameter* param : leaf->parameters()) {
+      GridOptions o = opts;
+      o.seed = opts.seed + (salt++);  // decorrelate stochastic rounding
+      param->rep = std::make_shared<GridRepresentation>(*param, o);
+    }
+}
+
+}  // namespace apt::core

@@ -1,0 +1,62 @@
+// The paper's parameter storage: quantised codes in BOTH passes, no fp32
+// master copy. Updates land on the grid via Eq. 3 (⌊δ/ε⌋·ε with truncation
+// toward zero), which is where quantisation underflow physically happens.
+//
+// Range management (DESIGN.md §6): the k-bit grid covers the observed
+// value range padded by 12.5% per side with a floor width of 1e-3, so
+// all-zero tensors (fresh biases) still get a usable grid, and ranges can
+// grow across refits when weights drift to the grid edge.
+#pragma once
+
+#include <memory>
+
+#include "base/rng.hpp"
+#include "nn/layer.hpp"
+#include "nn/parameter.hpp"
+#include "quant/qtensor.hpp"
+
+namespace apt::core {
+
+struct GridOptions {
+  int bits = 6;
+  quant::RoundMode update_rounding = quant::RoundMode::kTrunc;
+  float range_pad = 0.125f;       ///< padding per side, relative to width
+  float min_range_width = 1e-3f;  ///< floor for degenerate (all-equal) tensors
+  uint64_t seed = 0x9042;         ///< only used by stochastic rounding
+};
+
+class GridRepresentation : public nn::Representation {
+ public:
+  GridRepresentation(nn::Parameter& p, const GridOptions& opts);
+
+  quant::UpdateStats apply_step(nn::Parameter& p, const Tensor& step) override;
+  double epsilon() const override { return codes_.epsilon(); }
+  int bits() const override { return codes_.bits(); }
+  void set_bits(nn::Parameter& p, int k) override;
+  void refit_range(nn::Parameter& p) override;
+  int64_t memory_bits(const nn::Parameter& p) const override {
+    // codes + per-tensor scale/zero-point metadata
+    return p.numel() * codes_.bits() + 64;
+  }
+  std::string describe() const override {
+    return "grid-" + std::to_string(codes_.bits()) + "bit";
+  }
+
+  /// Fraction of codes pinned at the grid edges (drift indicator).
+  double saturation() const { return codes_.saturation_fraction(); }
+  const quant::QuantizedTensor& codes() const { return codes_; }
+
+ private:
+  void fit(nn::Parameter& p, int bits);
+
+  GridOptions opts_;
+  quant::QuantizedTensor codes_;
+  Rng rng_;
+};
+
+/// Attaches a GridRepresentation with `opts` to every learnable parameter
+/// under `model` (fixed-bitwidth quantised training when used without the
+/// controller; the APT starting state when used with it).
+void attach_grid(nn::Layer& model, const GridOptions& opts);
+
+}  // namespace apt::core

@@ -1,0 +1,26 @@
+#include "core/policy.hpp"
+
+#include "base/check.hpp"
+
+namespace apt::core {
+
+std::vector<PolicyDecision> adjust_precision(const std::vector<double>& gavg,
+                                             std::vector<int>& bits,
+                                             const PolicyConfig& cfg) {
+  APT_CHECK(gavg.size() == bits.size()) << "gavg/bits length mismatch";
+  APT_CHECK(cfg.k_min >= 2 && cfg.k_max <= 32 && cfg.k_min <= cfg.k_max)
+      << "bad clamp range [" << cfg.k_min << ", " << cfg.k_max << "]";
+  APT_CHECK(cfg.t_min <= cfg.t_max) << "T_min must not exceed T_max";
+
+  std::vector<PolicyDecision> changes;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    const int old_bits = bits[i];
+    if (gavg[i] < cfg.t_min && bits[i] < cfg.k_max) bits[i] += 1;
+    if (gavg[i] > cfg.t_max && bits[i] > cfg.k_min) bits[i] -= 1;
+    if (bits[i] != old_bits)
+      changes.push_back({static_cast<int>(i), old_bits, bits[i]});
+  }
+  return changes;
+}
+
+}  // namespace apt::core

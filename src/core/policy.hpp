@@ -1,0 +1,36 @@
+// Precision adjustment policy (paper Algorithm 1):
+//
+//   for each layer i:
+//     if (Gavg_i < T_min && k_i < k_max)  k_i += 1;   // lift underflow
+//     if (Gavg_i > T_max && k_i > k_min)  k_i -= 1;   // reclaim easy bits
+//
+// T_min guarantees every layer keeps learning; T_max reclaims precision
+// from layers whose parameters move freely. (T_min, T_max) is the paper's
+// application-specific trade-off knob.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+namespace apt::core {
+
+struct PolicyConfig {
+  double t_min = 6.0;
+  double t_max = std::numeric_limits<double>::infinity();
+  int k_min = 2;   ///< Algorithm 1's lower clamp
+  int k_max = 32;  ///< Algorithm 1's upper clamp
+};
+
+struct PolicyDecision {
+  int unit = 0;
+  int old_bits = 0;
+  int new_bits = 0;
+};
+
+/// Applies Algorithm 1 in place on `bits`; returns the changes made.
+/// `gavg` and `bits` are indexed by unit and must be the same length.
+std::vector<PolicyDecision> adjust_precision(const std::vector<double>& gavg,
+                                             std::vector<int>& bits,
+                                             const PolicyConfig& cfg);
+
+}  // namespace apt::core

@@ -1,0 +1,36 @@
+#include "cost/energy.hpp"
+
+namespace apt::cost {
+
+IterationCost layer_iteration_cost(const EnergyModel& em,
+                                   const LayerProfile& profile, int bits,
+                                   int64_t batch, bool fp32_master) {
+  IterationCost c;
+  const double mem = em.mem_per_bit_pj();
+  const double macs = static_cast<double>(profile.macs_per_sample) *
+                      static_cast<double>(batch);
+  const double params = static_cast<double>(profile.params);
+  const double acts = static_cast<double>(profile.act_elems_per_sample) *
+                      static_cast<double>(batch);
+
+  c.compute_pj = 3.0 * macs * em.mac_pj(bits);
+  c.weight_traffic_pj = 2.0 * params * bits * mem;
+  c.update_pj = params * (em.add_pj(bits) + 2.0 * bits * mem);
+  c.activation_traffic_pj = 2.0 * acts * 32.0 * mem;
+  if (fp32_master) {
+    // fp32 read-modify-write on the master plus re-quantising the compute
+    // copy (one multiply per weight for the scale).
+    c.master_overhead_pj =
+        params * (em.add_pj(32) + 2.0 * 32.0 * mem + em.mult_pj(bits));
+  }
+  return c;
+}
+
+int64_t layer_memory_bits(const LayerProfile& profile, int bits,
+                          bool fp32_master) {
+  int64_t total = profile.params * bits;
+  if (fp32_master) total += profile.params * 32;
+  return total;
+}
+
+}  // namespace apt::cost

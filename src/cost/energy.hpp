@@ -1,0 +1,84 @@
+// Analytical training energy & memory model.
+//
+// Substitute for the paper's measured GPU energy (see DESIGN.md §2). The
+// per-operation energies follow widely used 45 nm numbers (Horowitz,
+// ISSCC'14): integer multiplier energy scales ~quadratically with
+// bitwidth, adders ~linearly, memory traffic ~linearly in bits moved.
+// Every figure reports energy *normalised to the fp32 run*, exactly like
+// the paper, so only the relative shape of this model matters.
+#pragma once
+
+#include <cstdint>
+
+namespace apt::cost {
+
+struct EnergyModel {
+  // 45 nm reference energies in picojoules.
+  double fp32_mult_pj = 3.7;
+  double fp32_add_pj = 0.9;
+  double int8_mult_pj = 0.2;
+  double int8_add_pj = 0.03;
+  /// 32-bit SRAM access (8 KB array); scaled linearly per bit.
+  double sram_32b_pj = 5.0;
+
+  /// Energy of one multiply at `bits` precision. bits >= 32 selects the
+  /// fp32 unit (the paper treats k = 32 as float training).
+  double mult_pj(int bits) const {
+    if (bits >= 32) return fp32_mult_pj;
+    const double r = static_cast<double>(bits) / 8.0;
+    return int8_mult_pj * r * r;
+  }
+
+  double add_pj(int bits) const {
+    if (bits >= 32) return fp32_add_pj;
+    return int8_add_pj * (static_cast<double>(bits) / 8.0);
+  }
+
+  /// One multiply-accumulate at `bits`.
+  double mac_pj(int bits) const { return mult_pj(bits) + add_pj(bits); }
+
+  /// Moving one bit between SRAM and the datapath.
+  double mem_per_bit_pj() const { return sram_32b_pj / 32.0; }
+};
+
+/// Static per-layer quantities the energy model combines with the
+/// (possibly changing) bitwidth.
+struct LayerProfile {
+  int64_t macs_per_sample = 0;
+  int64_t params = 0;
+  int64_t act_elems_per_sample = 0;
+};
+
+/// Per-iteration training cost of one layer.
+///
+/// Terms (batch B, weight bitwidth k):
+///   compute:  3 * macs * B * mac(k)        — FPROP + the two BPROP GEMMs
+///   weights:  2 * params * k * mem         — weight reads in FPROP/BPROP
+///   update:   params * (add(k) + 2k * mem) — read-modify-write on the grid
+///   acts:     2 * acts * B * 32 * mem      — activations stay fp32
+/// With an fp32 master copy (baselines) the update runs at 32 bits against
+/// the master plus a re-quantisation pass: + params*(add(32) + 2*32*mem +
+/// mult(k)).
+struct IterationCost {
+  double compute_pj = 0;
+  double weight_traffic_pj = 0;
+  double update_pj = 0;
+  double activation_traffic_pj = 0;
+  double master_overhead_pj = 0;
+
+  double total_pj() const {
+    return compute_pj + weight_traffic_pj + update_pj +
+           activation_traffic_pj + master_overhead_pj;
+  }
+};
+
+IterationCost layer_iteration_cost(const EnergyModel& em,
+                                   const LayerProfile& profile, int bits,
+                                   int64_t batch, bool fp32_master);
+
+/// Training-time memory of one layer's parameters in bits: params * k,
+/// plus params * 32 when a fp32 master copy is kept (Table I's point).
+int64_t layer_memory_bits(const LayerProfile& profile, int bits,
+                          bool fp32_master);
+
+}  // namespace apt::cost

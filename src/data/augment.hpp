@@ -1,0 +1,25 @@
+// The paper's training augmentation (§IV): pad 4 pixels on each side,
+// random-crop back to the original size, random horizontal flip. Testing
+// uses the single original view (i.e. no augmentation).
+#pragma once
+
+#include "base/rng.hpp"
+#include "base/tensor.hpp"
+
+namespace apt::data {
+
+struct AugmentConfig {
+  int64_t pad = 4;
+  bool random_crop = true;
+  bool horizontal_flip = true;
+};
+
+/// Augments one image (rank-3 view of batch index `n` within `src`) into
+/// `dst` at index `m`. Both tensors are [*, C, H, W] with equal C/H/W.
+void augment_into(const Tensor& src, int64_t n, Tensor& dst, int64_t m,
+                  const AugmentConfig& cfg, Rng& rng);
+
+/// Augments a whole batch: returns a fresh tensor of the same shape.
+Tensor augment_batch(const Tensor& batch, const AugmentConfig& cfg, Rng& rng);
+
+}  // namespace apt::data

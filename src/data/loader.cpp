@@ -1,0 +1,63 @@
+#include "data/loader.hpp"
+
+#include <cstring>
+
+namespace apt::data {
+
+DataLoader::DataLoader(Tensor inputs, std::vector<int32_t> labels,
+                       int64_t batch_size, bool shuffle, uint64_t seed,
+                       std::optional<AugmentConfig> augment)
+    : inputs_(std::move(inputs)),
+      labels_(std::move(labels)),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      rng_(seed),
+      augment_(std::move(augment)) {
+  APT_CHECK(inputs_.dim(0) == static_cast<int64_t>(labels_.size()))
+      << "inputs/labels size mismatch";
+  APT_CHECK(batch_size_ > 0) << "batch size must be positive";
+  APT_CHECK(!augment_ || inputs_.shape().rank() == 4)
+      << "augmentation requires NCHW inputs";
+}
+
+int64_t DataLoader::batches_per_epoch() const {
+  return (size() + batch_size_ - 1) / batch_size_;
+}
+
+Batch DataLoader::gather(const std::vector<int64_t>& order, int64_t begin,
+                         int64_t end) {
+  const int64_t b = end - begin;
+  std::vector<int64_t> dims = inputs_.shape().dims();
+  dims[0] = b;
+  Batch batch;
+  batch.inputs = Tensor(Shape(dims));
+  batch.labels.resize(static_cast<size_t>(b));
+  const int64_t row = inputs_.numel() / inputs_.dim(0);
+
+  for (int64_t i = 0; i < b; ++i) {
+    const int64_t src = order[static_cast<size_t>(begin + i)];
+    batch.labels[static_cast<size_t>(i)] = labels_[static_cast<size_t>(src)];
+    if (augment_) {
+      augment_into(inputs_, src, batch.inputs, i, *augment_, rng_);
+    } else {
+      std::memcpy(batch.inputs.data() + i * row, inputs_.data() + src * row,
+                  sizeof(float) * static_cast<size_t>(row));
+    }
+  }
+  return batch;
+}
+
+void DataLoader::for_each_batch(
+    const std::function<void(int64_t, const Batch&)>& fn) {
+  std::vector<int64_t> order = rng_.permutation(size());
+  if (!shuffle_) {
+    for (int64_t i = 0; i < size(); ++i) order[static_cast<size_t>(i)] = i;
+  }
+  int64_t index = 0;
+  for (int64_t begin = 0; begin < size(); begin += batch_size_, ++index) {
+    const int64_t end = std::min<int64_t>(size(), begin + batch_size_);
+    fn(index, gather(order, begin, end));
+  }
+}
+
+}  // namespace apt::data

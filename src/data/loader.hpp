@@ -1,0 +1,47 @@
+// Mini-batch iteration with shuffling and optional augmentation.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "base/rng.hpp"
+#include "base/tensor.hpp"
+#include "data/augment.hpp"
+
+namespace apt::data {
+
+struct Batch {
+  Tensor inputs;
+  std::vector<int32_t> labels;
+  int64_t size() const { return static_cast<int64_t>(labels.size()); }
+};
+
+/// Iterates (inputs, labels) in shuffled mini-batches. Works for both
+/// image ([N,C,H,W]) and tabular ([N,F]) inputs; augmentation applies only
+/// to rank-4 inputs.
+class DataLoader {
+ public:
+  DataLoader(Tensor inputs, std::vector<int32_t> labels, int64_t batch_size,
+             bool shuffle, uint64_t seed,
+             std::optional<AugmentConfig> augment = std::nullopt);
+
+  /// Number of batches per epoch (last partial batch included).
+  int64_t batches_per_epoch() const;
+  int64_t size() const { return static_cast<int64_t>(labels_.size()); }
+
+  /// Calls fn(batch_index, batch) for every batch of one epoch.
+  void for_each_batch(const std::function<void(int64_t, const Batch&)>& fn);
+
+ private:
+  Batch gather(const std::vector<int64_t>& order, int64_t begin,
+               int64_t end);
+
+  Tensor inputs_;
+  std::vector<int32_t> labels_;
+  int64_t batch_size_;
+  bool shuffle_;
+  Rng rng_;
+  std::optional<AugmentConfig> augment_;
+};
+
+}  // namespace apt::data

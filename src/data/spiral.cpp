@@ -1,0 +1,33 @@
+#include "data/spiral.hpp"
+
+#include <cmath>
+
+namespace apt::data {
+
+TabularSet make_spiral(const SpiralConfig& cfg) {
+  const int64_t n = cfg.classes * cfg.points_per_class;
+  TabularSet set;
+  set.features = Tensor(Shape{n, 2});
+  set.labels.resize(static_cast<size_t>(n));
+  Rng rng(cfg.seed);
+
+  int64_t i = 0;
+  for (int64_t k = 0; k < cfg.classes; ++k) {
+    for (int64_t p = 0; p < cfg.points_per_class; ++p, ++i) {
+      const float t =
+          static_cast<float>(p) / static_cast<float>(cfg.points_per_class);
+      const float radius = 0.1f + 0.9f * t;
+      const float angle = 2.0f * 3.14159265f *
+                          (cfg.turns * t + static_cast<float>(k) /
+                                               static_cast<float>(cfg.classes));
+      set.features.at(i, 0) =
+          radius * std::cos(angle) + rng.normal(0.0f, cfg.noise);
+      set.features.at(i, 1) =
+          radius * std::sin(angle) + rng.normal(0.0f, cfg.noise);
+      set.labels[static_cast<size_t>(i)] = static_cast<int32_t>(k);
+    }
+  }
+  return set;
+}
+
+}  // namespace apt::data

@@ -1,0 +1,29 @@
+// K-arm spiral: a small tabular classification task for examples/tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "base/tensor.hpp"
+
+namespace apt::data {
+
+struct SpiralConfig {
+  int64_t classes = 3;
+  int64_t points_per_class = 200;
+  float noise = 0.15f;
+  float turns = 1.25f;  ///< how far each arm wraps around the origin
+  uint64_t seed = 7;
+};
+
+struct TabularSet {
+  Tensor features;  ///< [N, 2]
+  std::vector<int32_t> labels;
+  int64_t size() const { return static_cast<int64_t>(labels.size()); }
+};
+
+/// Generates interleaved spiral arms; each class is one arm.
+TabularSet make_spiral(const SpiralConfig& cfg);
+
+}  // namespace apt::data

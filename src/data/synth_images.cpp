@@ -1,0 +1,99 @@
+#include "data/synth_images.hpp"
+
+#include <cmath>
+
+namespace apt::data {
+
+namespace {
+constexpr float kTwoPi = 6.28318530717958647692f;
+}
+
+SynthImageDataset::SynthImageDataset(const SynthImageConfig& cfg,
+                                     int64_t n_train, int64_t n_test)
+    : cfg_(cfg) {
+  APT_CHECK(cfg.classes >= 2 && cfg.channels >= 1 && cfg.pool_size >= 2)
+      << "bad config";
+  Rng master(cfg.seed);
+
+  // Shared grating pool: frequencies away from zero so textures are
+  // visible; orientations span the half-circle.
+  Rng bank_rng = master.fork();
+  pool_.resize(static_cast<size_t>(cfg.pool_size));
+  for (auto& g : pool_) {
+    const float freq = bank_rng.uniform(1.0f, 4.5f);  // cycles per image
+    const float theta = bank_rng.uniform(0.0f, 3.14159265f);
+    g.fx = freq * std::cos(theta) / static_cast<float>(cfg.width);
+    g.fy = freq * std::sin(theta) / static_cast<float>(cfg.height);
+    g.phase = bank_rng.uniform(0.0f, kTwoPi);
+  }
+
+  // Amplitude signatures: shared base mixture + class-specific delta.
+  // The base dominates, so discriminative signal is the (small) delta —
+  // classifiers must resolve fine differences in per-grating energy.
+  const size_t pc = static_cast<size_t>(cfg.pool_size * cfg.channels);
+  std::vector<float> base(pc);
+  for (auto& b : base) b = bank_rng.uniform(-1.0f, 1.0f);
+  amplitudes_.resize(static_cast<size_t>(cfg.classes) * pc);
+  for (int64_t k = 0; k < cfg.classes; ++k)
+    for (size_t j = 0; j < pc; ++j)
+      amplitudes_[static_cast<size_t>(k) * pc + j] =
+          base[j] + cfg.class_separation * bank_rng.uniform(-1.0f, 1.0f);
+
+  Rng train_rng = master.fork();
+  Rng test_rng = master.fork();
+  train_ = generate(n_train, train_rng);
+  test_ = generate(n_test, test_rng);
+}
+
+void SynthImageDataset::render(Tensor& out, int64_t image_index, int32_t label,
+                               Rng& rng) const {
+  const int64_t C = cfg_.channels, H = cfg_.height, W = cfg_.width;
+  const int P = cfg_.pool_size;
+
+  // Per-sample randomness: phase shift and amplitude jitter per grating.
+  // Random phases erase absolute spatial layout; only the energy profile
+  // over the pool identifies the class.
+  std::vector<float> phase(static_cast<size_t>(P));
+  std::vector<float> amp_scale(static_cast<size_t>(P));
+  for (int g = 0; g < P; ++g) {
+    phase[static_cast<size_t>(g)] = rng.uniform(0.0f, kTwoPi);
+    amp_scale[static_cast<size_t>(g)] =
+        1.0f + rng.uniform(-cfg_.jitter, cfg_.jitter);
+  }
+
+  for (int64_t c = 0; c < C; ++c)
+    for (int64_t y = 0; y < H; ++y)
+      for (int64_t x = 0; x < W; ++x) {
+        float v = 0.0f;
+        for (int g = 0; g < P; ++g) {
+          const auto& gr = pool_[static_cast<size_t>(g)];
+          v += amplitude(label, g, c) * amp_scale[static_cast<size_t>(g)] *
+               std::sin(kTwoPi * (gr.fx * static_cast<float>(x) +
+                                  gr.fy * static_cast<float>(y)) +
+                        gr.phase + phase[static_cast<size_t>(g)]);
+        }
+        v += rng.normal(0.0f, cfg_.noise);
+        out.at(image_index, c, y, x) = v;
+      }
+}
+
+ImageSet SynthImageDataset::generate(int64_t n, Rng& rng) const {
+  ImageSet set;
+  set.images = Tensor(Shape{n, cfg_.channels, cfg_.height, cfg_.width});
+  set.labels.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t label = static_cast<int32_t>(i % cfg_.classes);
+    set.labels[static_cast<size_t>(i)] = label;
+    render(set.images, i, label, rng);
+  }
+  return set;
+}
+
+Tensor SynthImageDataset::sample(int32_t label, Rng& rng) const {
+  APT_CHECK(label >= 0 && label < cfg_.classes) << "bad label " << label;
+  Tensor img(Shape{1, cfg_.channels, cfg_.height, cfg_.width});
+  render(img, 0, label, rng);
+  return img;
+}
+
+}  // namespace apt::data

@@ -1,0 +1,119 @@
+#include "io/checkpoint.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+
+#include "nn/batchnorm.hpp"
+
+namespace apt::io {
+namespace {
+
+constexpr uint32_t kMagic = 0x41505443;  // "APTC"
+constexpr uint32_t kVersion = 1;
+
+void write_string(std::ofstream& f, const std::string& s) {
+  const uint64_t n = s.size();
+  f.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  f.write(s.data(), static_cast<std::streamsize>(n));
+}
+
+std::string read_string(std::ifstream& f) {
+  uint64_t n = 0;
+  f.read(reinterpret_cast<char*>(&n), sizeof(n));
+  std::string s(n, '\0');
+  f.read(s.data(), static_cast<std::streamsize>(n));
+  return s;
+}
+
+void write_tensor(std::ofstream& f, const std::string& name,
+                  const apt::Tensor& t) {
+  write_string(f, name);
+  const uint64_t rank = static_cast<uint64_t>(t.shape().rank());
+  f.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  for (int64_t d : t.shape().dims())
+    f.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  f.write(reinterpret_cast<const char*>(t.data()),
+          static_cast<std::streamsize>(sizeof(float) * t.numel()));
+}
+
+struct Record {
+  apt::Shape shape;
+  std::vector<float> data;
+};
+
+std::map<std::string, Record> read_all(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  APT_CHECK(f.good()) << "cannot open checkpoint " << path;
+  uint32_t magic = 0, version = 0;
+  f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  f.read(reinterpret_cast<char*>(&version), sizeof(version));
+  APT_CHECK(magic == kMagic) << path << ": not an APT checkpoint";
+  APT_CHECK(version == kVersion) << path << ": unsupported version " << version;
+
+  std::map<std::string, Record> records;
+  while (true) {
+    uint64_t n = 0;
+    f.read(reinterpret_cast<char*>(&n), sizeof(n));
+    if (!f.good()) break;
+    std::string name(n, '\0');
+    f.read(name.data(), static_cast<std::streamsize>(n));
+    uint64_t rank = 0;
+    f.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+    std::vector<int64_t> dims(rank);
+    for (auto& d : dims) f.read(reinterpret_cast<char*>(&d), sizeof(d));
+    Record rec{apt::Shape(dims), {}};
+    rec.data.resize(static_cast<size_t>(rec.shape.numel()));
+    f.read(reinterpret_cast<char*>(rec.data.data()),
+           static_cast<std::streamsize>(sizeof(float) * rec.data.size()));
+    APT_CHECK(f.good()) << path << ": truncated record " << name;
+    records.emplace(std::move(name), std::move(rec));
+  }
+  return records;
+}
+
+}  // namespace
+
+void save_checkpoint(nn::Layer& model, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  APT_CHECK(f.good()) << "cannot open " << path;
+  f.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  f.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  for (nn::Layer* leaf : nn::leaves_of(model)) {
+    for (nn::Parameter* p : leaf->parameters())
+      write_tensor(f, p->name, p->value);
+    if (auto* bn = dynamic_cast<nn::BatchNorm*>(leaf)) {
+      write_tensor(f, bn->name() + ".running_mean", bn->running_mean());
+      write_tensor(f, bn->name() + ".running_var", bn->running_var());
+    }
+  }
+}
+
+void load_checkpoint(nn::Layer& model, const std::string& path) {
+  const auto records = read_all(path);
+  auto fetch = [&](const std::string& name, const apt::Shape& shape,
+                   apt::Tensor& dst) {
+    const auto it = records.find(name);
+    APT_CHECK(it != records.end()) << "checkpoint missing " << name;
+    APT_CHECK(it->second.shape == shape)
+        << name << ": shape " << it->second.shape.str() << " != "
+        << shape.str();
+    std::copy(it->second.data.begin(), it->second.data.end(), dst.data());
+  };
+
+  for (nn::Layer* leaf : nn::leaves_of(model)) {
+    for (nn::Parameter* p : leaf->parameters()) {
+      fetch(p->name, p->value.shape(), p->value);
+      if (p->rep) p->rep->refit_range(*p);  // storage must re-track values
+    }
+    if (auto* bn = dynamic_cast<nn::BatchNorm*>(leaf)) {
+      Tensor mean(Shape{bn->running_mean().numel()});
+      Tensor var(Shape{bn->running_var().numel()});
+      fetch(bn->name() + ".running_mean", mean.shape(), mean);
+      fetch(bn->name() + ".running_var", var.shape(), var);
+      bn->set_running_stats(mean, var);
+    }
+  }
+}
+
+}  // namespace apt::io

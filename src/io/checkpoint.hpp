@@ -1,0 +1,24 @@
+// Binary checkpointing of model parameters (and BatchNorm running stats).
+//
+// Format: magic, version, then (name, shape, float data) records keyed by
+// parameter name. Loading matches by name and shape, so a checkpoint can be
+// restored into a freshly constructed model of the same architecture —
+// including restoring an fp32-pretrained model before quantised
+// fine-tuning (the edge-personalisation workflow).
+#pragma once
+
+#include <string>
+
+#include "nn/layer.hpp"
+
+namespace apt::io {
+
+/// Saves every parameter (by name) and every BatchNorm's running stats.
+void save_checkpoint(nn::Layer& model, const std::string& path);
+
+/// Restores parameters and running stats by name; throws CheckError when a
+/// stored record has no same-shaped destination. Representations attached
+/// to parameters are refit after loading (value changed under them).
+void load_checkpoint(nn::Layer& model, const std::string& path);
+
+}  // namespace apt::io

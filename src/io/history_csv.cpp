@@ -1,0 +1,41 @@
+#include "io/history_csv.hpp"
+
+#include "io/table.hpp"
+
+namespace apt::io {
+
+void write_history_csv(const train::History& history,
+                       const std::string& path) {
+  std::vector<std::string> header = {
+      "epoch",        "lr",           "train_loss",        "train_accuracy",
+      "test_accuracy", "energy_j",    "model_memory_bits", "underflow_fraction"};
+  const bool has_units =
+      !history.epochs.empty() && !history.epochs.front().unit_bits.empty();
+  if (has_units) {
+    for (const auto& name : history.unit_names) header.push_back("bits." + name);
+    for (const auto& name : history.unit_names) header.push_back("gavg." + name);
+  }
+
+  Table t(std::move(header));
+  for (const auto& e : history.epochs) {
+    std::vector<std::string> row = {
+        std::to_string(e.epoch),
+        Table::fmt(e.lr, 6),
+        Table::fmt(e.train_loss, 6),
+        Table::fmt(e.train_accuracy, 6),
+        Table::fmt(e.test_accuracy, 6),
+        Table::fmt(e.cumulative_energy_j, 9),
+        Table::fmt(e.model_memory_bits, 0),
+        Table::fmt(e.underflow_fraction, 6)};
+    if (has_units) {
+      for (int b : e.unit_bits) row.push_back(std::to_string(b));
+      for (size_t i = 0; i < history.unit_names.size(); ++i)
+        row.push_back(i < e.unit_gavg.size() ? Table::fmt(e.unit_gavg[i], 6)
+                                             : "");
+    }
+    t.add_row(std::move(row));
+  }
+  t.write_csv(path);
+}
+
+}  // namespace apt::io

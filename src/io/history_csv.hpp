@@ -1,0 +1,15 @@
+// Export a training History to CSV for offline analysis/plotting:
+// one row per epoch with scalar metrics followed by per-unit bitwidth and
+// Gavg columns (named bits.<unit> / gavg.<unit>).
+#pragma once
+
+#include <string>
+
+#include "train/metrics.hpp"
+
+namespace apt::io {
+
+void write_history_csv(const train::History& history,
+                       const std::string& path);
+
+}  // namespace apt::io

@@ -1,0 +1,75 @@
+// Aligned console tables + CSV output for bench results.
+#pragma once
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace apt::io {
+
+/// Collects rows of stringly-typed cells; prints a padded console table
+/// and/or writes CSV. Used by every bench to emit the paper's rows/series.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  Table& add_row(std::vector<std::string> cells) {
+    APT_CHECK(cells.size() == header_.size())
+        << "row width " << cells.size() << " != header " << header_.size();
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  static std::string fmt(double v, int precision = 4) {
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<size_t> width(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_)
+      for (size_t c = 0; c < row.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < row.size(); ++c)
+        os << std::left << std::setw(static_cast<int>(width[c]) + 2) << row[c];
+      os << '\n';
+    };
+    emit(header_);
+    std::string rule;
+    for (size_t c = 0; c < header_.size(); ++c)
+      rule += std::string(width[c], '-') + "  ";
+    os << rule << '\n';
+    for (const auto& row : rows_) emit(row);
+    os.flush();
+  }
+
+  void write_csv(const std::string& path) const {
+    std::ofstream f(path);
+    APT_CHECK(f.good()) << "cannot open " << path;
+    auto emit = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < row.size(); ++c)
+        f << (c ? "," : "") << row[c];
+      f << '\n';
+    };
+    emit(header_);
+    for (const auto& row : rows_) emit(row);
+  }
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace apt::io

@@ -1,0 +1,65 @@
+// Model factories for the paper's backbones.
+//
+// All factories return a `Sequential`; width/resolution knobs let benches
+// run reduced variants on CPU while keeping the exact paper topology
+// available (ResNet-20 = resnet(n=3, width=16), ResNet-110 = n=18).
+#pragma once
+
+#include <memory>
+
+#include "base/rng.hpp"
+#include "nn/sequential.hpp"
+
+namespace apt::models {
+
+struct ResNetConfig {
+  int64_t n = 3;           ///< blocks per stage; depth = 6n + 2 (3 -> ResNet-20)
+  int64_t base_width = 16; ///< stage widths are {w, 2w, 4w}
+  int64_t num_classes = 10;
+  int64_t in_channels = 3;
+};
+
+/// CIFAR-style ResNet (He et al. [6], option-B shortcuts).
+std::unique_ptr<nn::Sequential> make_resnet(const ResNetConfig& cfg, Rng& rng);
+
+inline std::unique_ptr<nn::Sequential> make_resnet20(int64_t classes, Rng& rng,
+                                                     int64_t width = 16) {
+  return make_resnet({.n = 3, .base_width = width, .num_classes = classes},
+                     rng);
+}
+inline std::unique_ptr<nn::Sequential> make_resnet110(int64_t classes, Rng& rng,
+                                                      int64_t width = 16) {
+  return make_resnet({.n = 18, .base_width = width, .num_classes = classes},
+                     rng);
+}
+
+struct MobileNetV2Config {
+  double width_mult = 1.0;
+  int64_t num_classes = 10;
+  int64_t in_channels = 3;
+  /// Blocks-per-stage scale (1.0 = paper's CIFAR-adapted stack); benches
+  /// use smaller stacks for CPU budgets.
+  double depth_mult = 1.0;
+};
+
+/// MobileNetV2 (Sandler et al. [17]) adapted to 32x32 inputs: first conv
+/// has stride 1 and the stride-2 stages are reduced to match CIFAR scale.
+std::unique_ptr<nn::Sequential> make_mobilenet_v2(const MobileNetV2Config& cfg,
+                                                  Rng& rng);
+
+struct CifarNetConfig {
+  int64_t num_classes = 10;
+  int64_t in_channels = 3;
+};
+
+/// The small conv net used by TernGrad's CIFAR experiments
+/// (2x[conv-BN-ReLU-pool] + 2 fully connected layers).
+std::unique_ptr<nn::Sequential> make_cifarnet(const CifarNetConfig& cfg,
+                                              Rng& rng);
+
+/// Plain MLP with BatchNorm + ReLU hidden layers, for tabular examples.
+std::unique_ptr<nn::Sequential> make_mlp(int64_t in_features,
+                                         const std::vector<int64_t>& hidden,
+                                         int64_t num_classes, Rng& rng);
+
+}  // namespace apt::models

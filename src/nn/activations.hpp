@@ -1,0 +1,86 @@
+// Elementwise activation layers.
+#pragma once
+
+#include <limits>
+
+#include "base/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace apt::nn {
+
+/// ReLU with an optional ceiling (cap = 6 gives MobileNetV2's ReLU6;
+/// cap = +inf gives plain ReLU).
+class ReLU : public Layer {
+ public:
+  explicit ReLU(std::string name, float cap = std::numeric_limits<float>::infinity())
+      : name_(std::move(name)), cap_(cap) {}
+
+  Tensor forward(const Tensor& x, bool training) override {
+    Tensor y(x.shape());
+    const float* in = x.data();
+    float* out = y.data();
+    const int64_t n = x.numel();
+    for (int64_t i = 0; i < n; ++i)
+      out[i] = in[i] < 0.0f ? 0.0f : (in[i] > cap_ ? cap_ : in[i]);
+    if (training) input_ = x;
+    return y;
+  }
+
+  Tensor backward(const Tensor& grad_out) override {
+    APT_CHECK(input_.defined() && input_.numel() > 0)
+        << name_ << ": backward before forward";
+    Tensor dx(grad_out.shape());
+    const float* in = input_.data();
+    const float* dy = grad_out.data();
+    float* out = dx.data();
+    const int64_t n = grad_out.numel();
+    for (int64_t i = 0; i < n; ++i)
+      out[i] = (in[i] > 0.0f && in[i] < cap_) ? dy[i] : 0.0f;
+    return dx;
+  }
+
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  float cap_;
+  Tensor input_;
+};
+
+/// Inverted dropout (provided for library completeness; the paper's
+/// experiments train with BN and no dropout).
+class Dropout : public Layer {
+ public:
+  Dropout(std::string name, double p, Rng& rng)
+      : name_(std::move(name)), p_(p), rng_(rng.fork()) {
+    APT_CHECK(p >= 0.0 && p < 1.0) << name_ << ": bad dropout rate " << p;
+  }
+
+  Tensor forward(const Tensor& x, bool training) override {
+    if (!training || p_ == 0.0) return x;
+    mask_ = Tensor(x.shape());
+    Tensor y(x.shape());
+    const float keep = static_cast<float>(1.0 - p_);
+    for (int64_t i = 0; i < x.numel(); ++i) {
+      mask_[i] = rng_.bernoulli(1.0 - p_) ? 1.0f / keep : 0.0f;
+      y[i] = x[i] * mask_[i];
+    }
+    return y;
+  }
+
+  Tensor backward(const Tensor& grad_out) override {
+    APT_CHECK(mask_.defined() && mask_.numel() == grad_out.numel())
+        << name_ << ": backward before forward";
+    return grad_out * mask_;
+  }
+
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  double p_;
+  Rng rng_;
+  Tensor mask_;
+};
+
+}  // namespace apt::nn

@@ -1,0 +1,146 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+
+namespace apt::nn {
+namespace {
+
+// Dimensions of an NC or NCHW input as seen by per-channel normalisation.
+struct Dims {
+  int64_t n, c, spatial;  // spatial = H*W (1 for rank-2 inputs)
+};
+
+Dims dims_of(const Tensor& x, int64_t channels, const std::string& name) {
+  APT_CHECK(x.shape().rank() == 2 || x.shape().rank() == 4)
+      << name << ": BatchNorm expects NC or NCHW, got " << x.shape().str();
+  APT_CHECK(x.dim(1) == channels)
+      << name << ": expected " << channels << " channels, got "
+      << x.shape().str();
+  const int64_t spatial = x.shape().rank() == 4 ? x.dim(2) * x.dim(3) : 1;
+  return {x.dim(0), x.dim(1), spatial};
+}
+
+}  // namespace
+
+BatchNorm::BatchNorm(std::string name, int64_t channels, double momentum,
+                     double eps)
+    : name_(std::move(name)),
+      channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(name_ + ".gamma", Shape{channels}, /*decay=*/false),
+      beta_(name_ + ".beta", Shape{channels}, /*decay=*/false),
+      running_mean_(Shape{channels}),
+      running_var_(Shape{channels}) {
+  gamma_.value.fill(1.0f);
+  running_var_.fill(1.0f);
+}
+
+Tensor BatchNorm::forward(const Tensor& x, bool training) {
+  const Dims d = dims_of(x, channels_, name_);
+  const int64_t m = d.n * d.spatial;  // elements per channel
+  APT_CHECK(!training || m > 1) << name_ << ": batch too small for BN stats";
+
+  Tensor mean(Shape{channels_}), inv_std(Shape{channels_});
+  if (training) {
+    for (int64_t c = 0; c < channels_; ++c) {
+      double sum = 0.0, sq = 0.0;
+      for (int64_t n = 0; n < d.n; ++n) {
+        const float* p = x.data() + (n * channels_ + c) * d.spatial;
+        for (int64_t i = 0; i < d.spatial; ++i) {
+          sum += p[i];
+          sq += static_cast<double>(p[i]) * p[i];
+        }
+      }
+      const double mu = sum / m;
+      const double var = std::max(0.0, sq / m - mu * mu);
+      mean[c] = static_cast<float>(mu);
+      inv_std[c] = static_cast<float>(1.0 / std::sqrt(var + eps_));
+      running_mean_[c] = static_cast<float>(momentum_ * running_mean_[c] +
+                                            (1.0 - momentum_) * mu);
+      running_var_[c] = static_cast<float>(momentum_ * running_var_[c] +
+                                           (1.0 - momentum_) * var);
+    }
+  } else {
+    for (int64_t c = 0; c < channels_; ++c) {
+      mean[c] = running_mean_[c];
+      inv_std[c] =
+          static_cast<float>(1.0 / std::sqrt(running_var_[c] + eps_));
+    }
+  }
+
+  Tensor y(x.shape());
+  Tensor x_hat(x.shape());
+  for (int64_t c = 0; c < channels_; ++c) {
+    const float mu = mean[c], is = inv_std[c];
+    const float g = gamma_.value[c], b = beta_.value[c];
+    for (int64_t n = 0; n < d.n; ++n) {
+      const int64_t base = (n * channels_ + c) * d.spatial;
+      const float* px = x.data() + base;
+      float* ph = x_hat.data() + base;
+      float* py = y.data() + base;
+      for (int64_t i = 0; i < d.spatial; ++i) {
+        ph[i] = (px[i] - mu) * is;
+        py[i] = g * ph[i] + b;
+      }
+    }
+  }
+
+  if (training) {
+    input_ = x;
+    batch_mean_ = mean;
+    batch_inv_std_ = inv_std;
+    x_hat_ = x_hat;
+  }
+  return y;
+}
+
+Tensor BatchNorm::backward(const Tensor& grad_out) {
+  APT_CHECK(x_hat_.defined() && x_hat_.numel() > 0)
+      << name_ << ": backward before forward(training=true)";
+  const Dims d = dims_of(grad_out, channels_, name_);
+  const int64_t m = d.n * d.spatial;
+
+  Tensor dx(grad_out.shape());
+  for (int64_t c = 0; c < channels_; ++c) {
+    double dgamma = 0.0, dbeta = 0.0;
+    for (int64_t n = 0; n < d.n; ++n) {
+      const int64_t base = (n * channels_ + c) * d.spatial;
+      const float* pdy = grad_out.data() + base;
+      const float* ph = x_hat_.data() + base;
+      for (int64_t i = 0; i < d.spatial; ++i) {
+        dgamma += static_cast<double>(pdy[i]) * ph[i];
+        dbeta += pdy[i];
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(dgamma);
+    beta_.grad[c] += static_cast<float>(dbeta);
+
+    // dx = γ·inv_std/m · (m·dY − Σ dY − x̂ · Σ(dY·x̂))
+    const float scale =
+        gamma_.value[c] * batch_inv_std_[c] / static_cast<float>(m);
+    for (int64_t n = 0; n < d.n; ++n) {
+      const int64_t base = (n * channels_ + c) * d.spatial;
+      const float* pdy = grad_out.data() + base;
+      const float* ph = x_hat_.data() + base;
+      float* pdx = dx.data() + base;
+      for (int64_t i = 0; i < d.spatial; ++i) {
+        pdx[i] = scale * (static_cast<float>(m) * pdy[i] -
+                          static_cast<float>(dbeta) -
+                          ph[i] * static_cast<float>(dgamma));
+      }
+    }
+  }
+  return dx;
+}
+
+std::vector<Parameter*> BatchNorm::parameters() { return {&gamma_, &beta_}; }
+
+void BatchNorm::set_running_stats(const Tensor& mean, const Tensor& var) {
+  APT_CHECK(mean.numel() == channels_ && var.numel() == channels_)
+      << name_ << ": bad running stats size";
+  running_mean_ = mean.clone();
+  running_var_ = var.clone();
+}
+
+}  // namespace apt::nn

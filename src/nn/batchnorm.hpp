@@ -1,0 +1,42 @@
+// Batch normalisation (Ioffe & Szegedy [10]) over NCHW or NC inputs.
+//
+// Training uses batch statistics and maintains running estimates for
+// evaluation. γ/β are learnable Parameters (and therefore participate in
+// APT's per-layer precision adaptation like any other learnable tensor).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace apt::nn {
+
+class BatchNorm : public Layer {
+ public:
+  BatchNorm(std::string name, int64_t channels, double momentum = 0.9,
+            double eps = 1e-5);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return name_; }
+
+  Parameter& gamma() { return gamma_; }
+  Parameter& beta() { return beta_; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+  /// Test hook: overwrite running statistics.
+  void set_running_stats(const Tensor& mean, const Tensor& var);
+
+ private:
+  std::string name_;
+  int64_t channels_;
+  double momentum_, eps_;
+  Parameter gamma_, beta_;
+  Tensor running_mean_, running_var_;
+
+  // Saved by forward(training=true) for backward.
+  Tensor input_;
+  Tensor batch_mean_, batch_inv_std_;
+  Tensor x_hat_;
+};
+
+}  // namespace apt::nn

@@ -1,0 +1,173 @@
+#include "nn/conv2d.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "base/thread_pool.hpp"
+#include "nn/gemm.hpp"
+#include "nn/init.hpp"
+
+namespace apt::nn {
+
+void im2col(const Tensor& x, int64_t n, int64_t c_begin, int64_t c_count,
+            int64_t kernel, int64_t stride, int64_t padding, int64_t oh,
+            int64_t ow, float* cols) {
+  const int64_t H = x.dim(2), W = x.dim(3);
+  int64_t row = 0;
+  for (int64_t c = c_begin; c < c_begin + c_count; ++c)
+    for (int64_t kh = 0; kh < kernel; ++kh)
+      for (int64_t kw = 0; kw < kernel; ++kw, ++row) {
+        float* out = cols + row * (oh * ow);
+        for (int64_t y = 0; y < oh; ++y) {
+          const int64_t in_y = y * stride - padding + kh;
+          if (in_y < 0 || in_y >= H) {
+            for (int64_t xo = 0; xo < ow; ++xo) out[y * ow + xo] = 0.0f;
+            continue;
+          }
+          for (int64_t xo = 0; xo < ow; ++xo) {
+            const int64_t in_x = xo * stride - padding + kw;
+            out[y * ow + xo] =
+                (in_x >= 0 && in_x < W) ? x.at(n, c, in_y, in_x) : 0.0f;
+          }
+        }
+      }
+}
+
+void col2im(const float* cols, int64_t n, int64_t c_begin, int64_t c_count,
+            int64_t kernel, int64_t stride, int64_t padding, int64_t oh,
+            int64_t ow, Tensor& dx) {
+  const int64_t H = dx.dim(2), W = dx.dim(3);
+  int64_t row = 0;
+  for (int64_t c = c_begin; c < c_begin + c_count; ++c)
+    for (int64_t kh = 0; kh < kernel; ++kh)
+      for (int64_t kw = 0; kw < kernel; ++kw, ++row) {
+        const float* in = cols + row * (oh * ow);
+        for (int64_t y = 0; y < oh; ++y) {
+          const int64_t in_y = y * stride - padding + kh;
+          if (in_y < 0 || in_y >= H) continue;
+          for (int64_t xo = 0; xo < ow; ++xo) {
+            const int64_t in_x = xo * stride - padding + kw;
+            if (in_x >= 0 && in_x < W) dx.at(n, c, in_y, in_x) += in[y * ow + xo];
+          }
+        }
+      }
+}
+
+Conv2d::Conv2d(std::string name, const Conv2dOptions& opts, Rng& rng)
+    : name_(std::move(name)),
+      opts_(opts),
+      weight_(name_ + ".weight",
+              Shape{opts.out_channels, opts.in_channels / opts.groups,
+                    opts.kernel, opts.kernel}),
+      bias_(name_ + ".bias", Shape{opts.out_channels}, /*decay=*/false) {
+  APT_CHECK(opts.in_channels % opts.groups == 0 &&
+            opts.out_channels % opts.groups == 0)
+      << name_ << ": channels not divisible by groups";
+  const int64_t fan_in =
+      (opts.in_channels / opts.groups) * opts.kernel * opts.kernel;
+  he_normal(weight_.value, fan_in, rng);
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool training) {
+  APT_CHECK(x.shape().rank() == 4 && x.dim(1) == opts_.in_channels)
+      << name_ << ": bad input " << x.shape().str();
+  if (training) input_ = x;
+
+  const int64_t N = x.dim(0), OH = out_size(x.dim(2)), OW = out_size(x.dim(3));
+  const int64_t G = opts_.groups;
+  const int64_t icg = opts_.in_channels / G, ocg = opts_.out_channels / G;
+  const int64_t krows = icg * opts_.kernel * opts_.kernel;
+  macs_per_sample_ = opts_.out_channels * OH * OW * krows;
+  out_elems_ = opts_.out_channels * OH * OW;
+
+  Tensor y(Shape{N, opts_.out_channels, OH, OW});
+  // One task per sample; each task owns its scratch column buffer and the
+  // GEMMs inside run single-chunk (work below the pool's implicit grain).
+  ThreadPool::global().parallel_for(0, N, [&](int64_t n0, int64_t n1) {
+    std::vector<float> cols(static_cast<size_t>(krows * OH * OW));
+    for (int64_t n = n0; n < n1; ++n)
+      for (int64_t g = 0; g < G; ++g) {
+        im2col(x, n, g * icg, icg, opts_.kernel, opts_.stride, opts_.padding,
+               OH, OW, cols.data());
+        // Y_g [ocg, OH*OW] = W_g [ocg, krows] * cols [krows, OH*OW]
+        float* yg = y.data() + ((n * opts_.out_channels + g * ocg) * OH * OW);
+        gemm(false, false, ocg, OH * OW, krows, 1.0f,
+             weight_.value.data() + g * ocg * krows, cols.data(), 0.0f, yg);
+      }
+  });
+
+  if (opts_.bias) {
+    const float* b = bias_.value.data();
+    for (int64_t n = 0; n < N; ++n)
+      for (int64_t c = 0; c < opts_.out_channels; ++c) {
+        float* plane = y.data() + ((n * opts_.out_channels + c) * OH * OW);
+        for (int64_t i = 0; i < OH * OW; ++i) plane[i] += b[c];
+      }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  APT_CHECK(input_.defined() && input_.numel() > 0)
+      << name_ << ": backward before forward";
+  const Tensor& x = input_;
+  const int64_t N = x.dim(0), OH = grad_out.dim(2), OW = grad_out.dim(3);
+  const int64_t G = opts_.groups;
+  const int64_t icg = opts_.in_channels / G, ocg = opts_.out_channels / G;
+  const int64_t krows = icg * opts_.kernel * opts_.kernel;
+
+  Tensor dx(x.shape());
+
+  // Parameter-gradient accumulation must not race: accumulate per-task
+  // into thread-local buffers, then reduce under a mutex-free scheme by
+  // summing after the parallel section.
+  const unsigned slots = ThreadPool::global().size() + 1;
+  std::vector<std::vector<float>> dw_local(
+      slots, std::vector<float>(static_cast<size_t>(weight_.numel()), 0.0f));
+  std::atomic<unsigned> slot_counter{0};
+
+  ThreadPool::global().parallel_for(0, N, [&](int64_t n0, int64_t n1) {
+    const unsigned slot = slot_counter.fetch_add(1) % slots;
+    std::vector<float>& dw = dw_local[slot];
+    std::vector<float> cols(static_cast<size_t>(krows * OH * OW));
+    std::vector<float> dcols(static_cast<size_t>(krows * OH * OW));
+    for (int64_t n = n0; n < n1; ++n)
+      for (int64_t g = 0; g < G; ++g) {
+        im2col(x, n, g * icg, icg, opts_.kernel, opts_.stride, opts_.padding,
+               OH, OW, cols.data());
+        const float* dyg =
+            grad_out.data() + ((n * opts_.out_channels + g * ocg) * OH * OW);
+        // dW_g [ocg, krows] += dY_g [ocg, OH*OW] * cols^T [OH*OW, krows]
+        gemm(false, true, ocg, krows, OH * OW, 1.0f, dyg, cols.data(), 1.0f,
+             dw.data() + g * ocg * krows);
+        // dcols [krows, OH*OW] = W_g^T [krows, ocg] * dY_g [ocg, OH*OW]
+        gemm(true, false, krows, OH * OW, ocg, 1.0f,
+             weight_.value.data() + g * ocg * krows, dyg, 0.0f, dcols.data());
+        col2im(dcols.data(), n, g * icg, icg, opts_.kernel, opts_.stride,
+               opts_.padding, OH, OW, dx);
+      }
+  });
+
+  float* dw_out = weight_.grad.data();
+  for (const auto& dw : dw_local)
+    for (int64_t i = 0; i < weight_.numel(); ++i) dw_out[i] += dw[i];
+
+  if (opts_.bias) {
+    float* db = bias_.grad.data();
+    for (int64_t n = 0; n < N; ++n)
+      for (int64_t c = 0; c < opts_.out_channels; ++c) {
+        const float* plane =
+            grad_out.data() + ((n * opts_.out_channels + c) * OH * OW);
+        for (int64_t i = 0; i < OH * OW; ++i) db[c] += plane[i];
+      }
+  }
+  return dx;
+}
+
+std::vector<Parameter*> Conv2d::parameters() {
+  std::vector<Parameter*> ps{&weight_};
+  if (opts_.bias) ps.push_back(&bias_);
+  return ps;
+}
+
+}  // namespace apt::nn

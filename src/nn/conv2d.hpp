@@ -1,0 +1,64 @@
+// 2-D convolution (NCHW) via im2col + GEMM, with group support.
+//
+// groups == in_channels == out_channels gives a depthwise convolution
+// (MobileNetV2). Backward recomputes im2col per sample instead of caching
+// column buffers, trading a little compute for training-memory — the
+// resource this paper is about.
+#pragma once
+
+#include "base/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace apt::nn {
+
+struct Conv2dOptions {
+  int64_t in_channels = 0;
+  int64_t out_channels = 0;
+  int64_t kernel = 3;
+  int64_t stride = 1;
+  int64_t padding = 1;
+  int64_t groups = 1;
+  bool bias = false;  // paper's backbones put BatchNorm after every conv
+};
+
+class Conv2d : public Layer {
+ public:
+  Conv2d(std::string name, const Conv2dOptions& opts, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return name_; }
+  int64_t macs_per_sample() const override { return macs_per_sample_; }
+  int64_t out_elems_per_sample() const override { return out_elems_; }
+
+  Parameter& weight() { return weight_; }
+  const Conv2dOptions& options() const { return opts_; }
+
+ private:
+  int64_t out_size(int64_t in) const {
+    return (in + 2 * opts_.padding - opts_.kernel) / opts_.stride + 1;
+  }
+
+  std::string name_;
+  Conv2dOptions opts_;
+  Parameter weight_;  // [OC, IC/G, KH, KW]
+  Parameter bias_;    // [OC]
+  Tensor input_;      // cached for backward
+  int64_t macs_per_sample_ = 0;
+  int64_t out_elems_ = 0;
+};
+
+/// Extracts convolution patches of `x[n]` (group `g`) into `cols`, a
+/// row-major [icg*k*k, oh*ow] matrix. Exposed for tests.
+void im2col(const Tensor& x, int64_t n, int64_t c_begin, int64_t c_count,
+            int64_t kernel, int64_t stride, int64_t padding, int64_t oh,
+            int64_t ow, float* cols);
+
+/// Scatter-adds a [icg*k*k, oh*ow] column matrix back into dx[n] (group
+/// channel range [c_begin, c_begin+c_count)). Inverse of im2col.
+void col2im(const float* cols, int64_t n, int64_t c_begin, int64_t c_count,
+            int64_t kernel, int64_t stride, int64_t padding, int64_t oh,
+            int64_t ow, Tensor& dx);
+
+}  // namespace apt::nn

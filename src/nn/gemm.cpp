@@ -1,0 +1,93 @@
+#include "nn/gemm.hpp"
+
+#include <vector>
+
+#include "base/thread_pool.hpp"
+
+namespace apt::nn {
+namespace {
+
+// Transpose src (rows x cols, row-major) into dst (cols x rows, row-major).
+void transpose(const float* src, int64_t rows, int64_t cols, float* dst) {
+  constexpr int64_t kBlock = 32;
+  for (int64_t rb = 0; rb < rows; rb += kBlock)
+    for (int64_t cb = 0; cb < cols; cb += kBlock) {
+      const int64_t rmax = std::min(rows, rb + kBlock);
+      const int64_t cmax = std::min(cols, cb + kBlock);
+      for (int64_t r = rb; r < rmax; ++r)
+        for (int64_t c = cb; c < cmax; ++c) dst[c * rows + r] = src[r * cols + c];
+    }
+}
+
+// Row-major kernel: C[m,n] = alpha * sum_k A[m,k] B[k,n] + beta * C[m,n].
+// "ikj" ordering so the inner loop is a vectorisable axpy over N.
+void kernel(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+            const float* b, float beta, float* c) {
+  auto run_rows = [&](int64_t row_begin, int64_t row_end) {
+    constexpr int64_t kKBlock = 256;
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      float* ci = c + i * n;
+      if (beta == 0.0f) {
+        for (int64_t j = 0; j < n; ++j) ci[j] = 0.0f;
+      } else if (beta != 1.0f) {
+        for (int64_t j = 0; j < n; ++j) ci[j] *= beta;
+      }
+      for (int64_t kb = 0; kb < k; kb += kKBlock) {
+        const int64_t kmax = std::min(k, kb + kKBlock);
+        for (int64_t p = kb; p < kmax; ++p) {
+          const float av = alpha * a[i * k + p];
+          if (av == 0.0f) continue;
+          const float* bp = b + p * n;
+          for (int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+        }
+      }
+    }
+  };
+  // Parallelise across C's rows; each task writes a disjoint row range.
+  const int64_t work = m * n * k;
+  if (work > (1 << 16)) {
+    ThreadPool::global().parallel_for(0, m, run_rows,
+                                      std::max<int64_t>(1, (1 << 16) / (n * k)));
+  } else {
+    run_rows(0, m);
+  }
+}
+
+}  // namespace
+
+void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+          float alpha, const float* a, const float* b, float beta, float* c) {
+  // Materialise transposed operands; the copy is O(MK + KN), negligible
+  // next to the O(MNK) multiply for the shapes this library uses.
+  std::vector<float> a_buf, b_buf;
+  const float* ap = a;
+  const float* bp = b;
+  if (trans_a) {
+    a_buf.resize(static_cast<size_t>(m * k));
+    transpose(a, k, m, a_buf.data());  // stored as k x m; want m x k
+    ap = a_buf.data();
+  }
+  if (trans_b) {
+    b_buf.resize(static_cast<size_t>(k * n));
+    transpose(b, n, k, b_buf.data());  // stored as n x k; want k x n
+    bp = b_buf.data();
+  }
+  kernel(m, n, k, alpha, ap, bp, beta, c);
+}
+
+void gemm_naive(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                float alpha, const float* a, const float* b, float beta,
+                float* c) {
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = trans_a ? a[p * m + i] : a[i * k + p];
+        const float bv = trans_b ? b[j * k + p] : b[p * n + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * n + j] = alpha * static_cast<float>(acc) + beta * c[i * n + j];
+    }
+}
+
+}  // namespace apt::nn

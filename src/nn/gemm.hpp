@@ -1,0 +1,22 @@
+// Blocked single-precision matrix multiply used by Linear and Conv2d.
+//
+// C[M,N] (+)= op_a(A) * op_b(B), where op transposes when the flag is set.
+// The kernel parallelises over row blocks of C via the global thread pool
+// and relies on the compiler to vectorise the inner loops.
+#pragma once
+
+#include <cstdint>
+
+namespace apt::nn {
+
+/// C = alpha * op_a(A) * op_b(B) + beta * C.
+/// A is M x K after op_a; B is K x N after op_b; C is M x N, row-major.
+void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+          float alpha, const float* a, const float* b, float beta, float* c);
+
+/// Reference implementation (triple loop, no blocking) for tests.
+void gemm_naive(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                float alpha, const float* a, const float* b, float beta,
+                float* c);
+
+}  // namespace apt::nn

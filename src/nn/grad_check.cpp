@@ -1,0 +1,93 @@
+#include "nn/grad_check.hpp"
+
+#include <cmath>
+
+namespace apt::nn {
+namespace {
+
+double dot(const Tensor& a, const Tensor& b) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i)
+    acc += static_cast<double>(a[i]) * b[i];
+  return acc;
+}
+
+// Evaluates L = sum(layer(x) * probe) without touching gradients.
+double loss_of(Layer& layer, const Tensor& x, const Tensor& probe) {
+  Tensor y = layer.forward(x, /*training=*/true);
+  return dot(y, probe);
+}
+
+// Checks one tensor's gradients on a strided subset of elements.
+// `element` must expose element i of the tensor being perturbed.
+//
+// Elements whose second difference is comparable to the first difference
+// are skipped: the probe straddled a non-smooth point (a ReLU kink flipped
+// state inside the composition), where central differences do not estimate
+// the one-sided analytic gradient. Smooth layers have h²·f'' ≪ 2h·f'.
+template <typename GetRef>
+void check_tensor(Layer& layer, const Tensor& x, const Tensor& probe,
+                  double l0, const Tensor& analytic, GetRef&& element,
+                  int64_t numel, double h, int64_t max_probes,
+                  double grad_scale, const std::string& where,
+                  GradCheckResult& result) {
+  const int64_t stride = std::max<int64_t>(1, numel / max_probes);
+  for (int64_t i = 0; i < numel; i += stride) {
+    float& ref = element(i);
+    const float orig = ref;
+    ref = orig + static_cast<float>(h);
+    const double lp = loss_of(layer, x, probe);
+    ref = orig - static_cast<float>(h);
+    const double lm = loss_of(layer, x, probe);
+    ref = orig;
+    const double first = lp - lm;
+    const double second = lp + lm - 2.0 * l0;
+    if (std::fabs(second) > 0.25 * std::fabs(first) + 1e-7) continue;
+    const double numeric = first / (2.0 * h);
+    const double abs_err = std::fabs(analytic[i] - numeric);
+    const double rel_err = abs_err / grad_scale;
+    result.max_abs_err = std::max(result.max_abs_err, abs_err);
+    if (rel_err > result.max_rel_err) {
+      result.max_rel_err = rel_err;
+      result.worst = where;
+    }
+  }
+}
+
+double scale_of(const Tensor& grads) {
+  // Normalisation floor: the largest gradient in the tensor, but never
+  // below 1 so that all-zero tensors compare against absolute error.
+  return std::max<double>(grads.abs_max(), 1.0);
+}
+
+}  // namespace
+
+GradCheckResult grad_check(Layer& layer, const Tensor& x, const Tensor& probe,
+                           double h, int64_t max_probes) {
+  GradCheckResult result;
+
+  // Analytic pass.
+  for (auto* p : layer.parameters()) p->zero_grad();
+  Tensor y = layer.forward(x, true);
+  APT_CHECK(y.shape() == probe.shape())
+      << "probe shape " << probe.shape().str() << " != output "
+      << y.shape().str();
+  const Tensor dx = layer.backward(probe);
+  const double l0 = loss_of(layer, x, probe);
+
+  Tensor xm = x.clone();
+  check_tensor(
+      layer, xm, probe, l0, dx, [&](int64_t i) -> float& { return xm[i]; },
+      x.numel(), h, max_probes, scale_of(dx), "input", result);
+
+  for (auto* p : layer.parameters()) {
+    const Tensor analytic = p->grad.clone();
+    check_tensor(
+        layer, x, probe, l0, analytic,
+        [&](int64_t i) -> float& { return p->value[i]; }, p->numel(), h,
+        max_probes, scale_of(analytic), p->name, result);
+  }
+  return result;
+}
+
+}  // namespace apt::nn

@@ -1,0 +1,34 @@
+// Finite-difference gradient checking for Layer implementations.
+//
+// Used by tests to validate every hand-written backward pass: central
+// differences on a scalar loss L(y) = sum(y * probe) for both the layer
+// input and each parameter.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace apt::nn {
+
+struct GradCheckResult {
+  double max_abs_err = 0.0;
+  /// Largest |analytic - numeric| normalised by the largest analytic
+  /// gradient magnitude in the same tensor. fp32 forwards carry ~1e-5
+  /// absolute loss noise, so per-element relative error is meaningless for
+  /// near-zero gradients (a bias feeding BatchNorm has gradient exactly 0);
+  /// normalising by the tensor's gradient scale keeps the check sharp for
+  /// real errors while tolerating noise on zero entries.
+  double max_rel_err = 0.0;
+  std::string worst = "";  // "input" or a parameter name
+};
+
+/// Compares analytic gradients of `layer` against central finite
+/// differences around input `x`. `probe` weights the output so the scalar
+/// loss exercises all output elements asymmetrically. The layer must be
+/// deterministic and stateless across repeated forwards in training mode
+/// (BatchNorm qualifies: running stats do not affect training-mode output).
+/// `h` trades truncation error (O(h^2)) against fp32 noise (O(1e-5/h));
+/// the default minimises their sum for O(1) activations.
+GradCheckResult grad_check(Layer& layer, const Tensor& x, const Tensor& probe,
+                           double h = 1e-3, int64_t max_probes = 64);
+
+}  // namespace apt::nn

@@ -1,0 +1,17 @@
+// Weight initialisation (He et al. [5], as the paper adopts).
+#pragma once
+
+#include <cmath>
+
+#include "base/rng.hpp"
+#include "base/tensor.hpp"
+
+namespace apt::nn {
+
+/// He-normal: N(0, sqrt(2 / fan_in)).
+inline void he_normal(Tensor& w, int64_t fan_in, Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  rng.fill_normal(w, 0.0f, stddev);
+}
+
+}  // namespace apt::nn

@@ -1,0 +1,71 @@
+// Layer interface: explicit forward / backward with cached activations.
+//
+// There is no general autograd; every layer implements its own backward
+// pass (verified against finite differences in tests). `backward` consumes
+// the gradient w.r.t. the layer's output, *accumulates* parameter
+// gradients into Parameter::grad, and returns the gradient w.r.t. the
+// layer's input.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/tensor.hpp"
+#include "nn/parameter.hpp"
+
+namespace apt::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Tensor forward(const Tensor& x, bool training) = 0;
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Learnable parameters, if any. Pointers remain valid for the layer's
+  /// lifetime (layers own their parameters by value).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  virtual std::string name() const = 0;
+
+  /// Direct sub-layers of composite layers (containers, residual blocks).
+  /// Leaf layers return {}.
+  virtual std::vector<Layer*> children() { return {}; }
+
+  /// Multiply-accumulate operations per input sample (known after the
+  /// first forward pass for shape-dependent layers; 0 before).
+  virtual int64_t macs_per_sample() const { return 0; }
+
+  /// Output elements per input sample from the last forward pass (used by
+  /// the cost model for activation-traffic accounting; 0 for layers that
+  /// do not dominate activation movement).
+  virtual int64_t out_elems_per_sample() const { return 0; }
+
+  int64_t param_count() {
+    int64_t n = 0;
+    for (auto* p : parameters()) n += p->numel();
+    return n;
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+/// Depth-first collection of leaf layers (layers with no children).
+inline void collect_leaves(Layer& root, std::vector<Layer*>& out) {
+  auto kids = root.children();
+  if (kids.empty()) {
+    out.push_back(&root);
+    return;
+  }
+  for (Layer* k : kids) collect_leaves(*k, out);
+}
+
+inline std::vector<Layer*> leaves_of(Layer& root) {
+  std::vector<Layer*> out;
+  collect_leaves(root, out);
+  return out;
+}
+
+}  // namespace apt::nn

@@ -1,0 +1,65 @@
+#include "nn/linear.hpp"
+
+#include "nn/gemm.hpp"
+#include "nn/init.hpp"
+
+namespace apt::nn {
+
+Linear::Linear(std::string name, int64_t in_features, int64_t out_features,
+               Rng& rng, bool bias)
+    : name_(std::move(name)),
+      in_(in_features),
+      out_(out_features),
+      has_bias_(bias),
+      weight_(name_ + ".weight", Shape{out_features, in_features}),
+      bias_(name_ + ".bias", Shape{out_features}, /*decay=*/false) {
+  he_normal(weight_.value, in_, rng);
+}
+
+Tensor Linear::forward(const Tensor& x, bool training) {
+  APT_CHECK(x.shape().rank() == 2 && x.dim(1) == in_)
+      << name_ << ": bad input " << x.shape().str();
+  if (training) input_ = x;  // shallow share; batches are freshly allocated
+  const int64_t n = x.dim(0);
+  Tensor y(Shape{n, out_});
+  // y[N,out] = x[N,in] * W^T[in,out]
+  gemm(false, true, n, out_, in_, 1.0f, x.data(), weight_.value.data(), 0.0f,
+       y.data());
+  if (has_bias_) {
+    const float* b = bias_.value.data();
+    for (int64_t i = 0; i < n; ++i) {
+      float* row = y.data() + i * out_;
+      for (int64_t j = 0; j < out_; ++j) row[j] += b[j];
+    }
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  APT_CHECK(input_.defined() && input_.numel() > 0)
+      << name_ << ": backward before forward";
+  const int64_t n = grad_out.dim(0);
+  // dW[out,in] += dY^T[out,N] * X[N,in]
+  gemm(true, false, out_, in_, n, 1.0f, grad_out.data(), input_.data(), 1.0f,
+       weight_.grad.data());
+  if (has_bias_) {
+    float* db = bias_.grad.data();
+    for (int64_t i = 0; i < n; ++i) {
+      const float* row = grad_out.data() + i * out_;
+      for (int64_t j = 0; j < out_; ++j) db[j] += row[j];
+    }
+  }
+  // dX[N,in] = dY[N,out] * W[out,in]
+  Tensor dx(Shape{n, in_});
+  gemm(false, false, n, in_, out_, 1.0f, grad_out.data(), weight_.value.data(),
+       0.0f, dx.data());
+  return dx;
+}
+
+std::vector<Parameter*> Linear::parameters() {
+  std::vector<Parameter*> ps{&weight_};
+  if (has_bias_) ps.push_back(&bias_);
+  return ps;
+}
+
+}  // namespace apt::nn

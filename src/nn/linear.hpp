@@ -1,0 +1,34 @@
+// Fully connected layer: y = x W^T + b.
+#pragma once
+
+#include "base/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace apt::nn {
+
+class Linear : public Layer {
+ public:
+  /// weight: [out_features, in_features]; bias: [out_features].
+  Linear(std::string name, int64_t in_features, int64_t out_features,
+         Rng& rng, bool bias = true);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return name_; }
+  int64_t macs_per_sample() const override { return in_ * out_; }
+  int64_t out_elems_per_sample() const override { return out_; }
+
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  std::string name_;
+  int64_t in_, out_;
+  bool has_bias_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor input_;  // cached for backward
+};
+
+}  // namespace apt::nn

@@ -1,0 +1,84 @@
+// Learnable parameters and their storage representations.
+//
+// A `Parameter` is deliberately dumb: a named float value/grad pair. How the
+// value is *stored* (plain fp32, quantised codes with no master copy — the
+// paper's scheme —, or an fp32 master with a quantised compute view — the
+// baselines') is delegated to an attached `Representation`. Layers always
+// compute with `value`, which every representation keeps in sync with its
+// own storage after each update.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/tensor.hpp"
+#include "quant/qtensor.hpp"
+
+namespace apt::nn {
+
+class Representation;
+
+/// A learnable tensor with its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  /// Weight decay is applied only where the paper's recipe does (conv /
+  /// linear weights; not biases or BatchNorm affine parameters).
+  bool decay = true;
+  /// Storage representation; nullptr means plain float (fp32) storage.
+  std::shared_ptr<Representation> rep;
+
+  Parameter() = default;
+  Parameter(std::string n, Shape shape, bool decay_ = true)
+      : name(std::move(n)), value(shape), grad(shape), decay(decay_) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+  int64_t numel() const { return value.numel(); }
+};
+
+/// How a parameter's value is stored and how an optimiser step lands on it.
+///
+/// Invariant: after construction and after every mutating call,
+/// `p.value` equals the dequantised view of the representation's storage.
+class Representation {
+ public:
+  virtual ~Representation() = default;
+
+  /// Applies w := w - step. Returns underflow/clamp statistics.
+  virtual quant::UpdateStats apply_step(Parameter& p, const Tensor& step) = 0;
+
+  /// The paper's ε (Eq. 2) for this tensor; 0 for unquantised storage.
+  virtual double epsilon() const = 0;
+
+  /// Current storage bitwidth (32 for plain float).
+  virtual int bits() const = 0;
+
+  /// Changes the storage bitwidth (requantising as needed). No-op for
+  /// representations with fixed precision.
+  virtual void set_bits(Parameter& p, int k) = 0;
+
+  /// Re-fits the quantisation range to the current values (after drift).
+  virtual void refit_range(Parameter& p) = 0;
+
+  /// Total bits this parameter occupies during *training* — the quantity
+  /// Fig. 5's "model size for training" accounts (master copies count).
+  virtual int64_t memory_bits(const Parameter& p) const = 0;
+
+  /// Human-readable representation name for reports.
+  virtual std::string describe() const = 0;
+};
+
+/// Applies an fp32 step directly (used when `rep == nullptr`).
+inline quant::UpdateStats apply_float_step(Parameter& p, const Tensor& step) {
+  p.value -= step;
+  quant::UpdateStats s;
+  s.total = p.numel();
+  const float* d = step.data();
+  for (int64_t i = 0; i < step.numel(); ++i)
+    if (d[i] != 0.0f) ++s.moved;
+  return s;
+}
+
+}  // namespace apt::nn

@@ -1,0 +1,45 @@
+// Activation fake-quantisation layer (optional extension, §III-B).
+//
+// Forward quantise-dequantises activations onto a k-bit grid over an
+// EMA-tracked range; backward uses the straight-through estimator with
+// saturation masking. Disabled (bits == 32) layers pass through untouched.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "quant/fake_quant.hpp"
+
+namespace apt::nn {
+
+class QuantAct : public Layer {
+ public:
+  QuantAct(std::string name, int bits = 8, double range_momentum = 0.95)
+      : name_(std::move(name)), bits_(bits), tracker_(range_momentum) {}
+
+  void set_bits(int bits) { bits_ = bits; }
+  int bits() const { return bits_; }
+  const quant::RangeTracker& tracker() const { return tracker_; }
+
+  Tensor forward(const Tensor& x, bool training) override {
+    if (bits_ >= 32) return x;
+    if (training) tracker_.observe(x);
+    if (!tracker_.initialized()) return x;
+    const float lo = tracker_.lo(), hi = tracker_.hi();
+    if (training) mask_ = quant::ste_mask(x, lo, hi, bits_);
+    return quant::fake_quantize(x, lo, hi, bits_);
+  }
+
+  Tensor backward(const Tensor& grad_out) override {
+    if (bits_ >= 32 || mask_.numel() == 0) return grad_out;
+    return grad_out * mask_;
+  }
+
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  int bits_;
+  quant::RangeTracker tracker_;
+  Tensor mask_;
+};
+
+}  // namespace apt::nn

@@ -1,0 +1,70 @@
+// Sequential container. Composite blocks (residual, inverted-residual)
+// are themselves Layers, so every paper backbone is a Sequential of blocks.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "nn/layer.hpp"
+
+namespace apt::nn {
+
+class Sequential : public Layer {
+ public:
+  explicit Sequential(std::string name = "net") : name_(std::move(name)) {}
+
+  template <typename L, typename... Args>
+  L* emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L* raw = layer.get();
+    layers_.push_back(std::move(layer));
+    return raw;
+  }
+
+  void append(LayerPtr layer) { layers_.push_back(std::move(layer)); }
+
+  Tensor forward(const Tensor& x, bool training) override {
+    Tensor h = x;
+    for (auto& l : layers_) h = l->forward(h, training);
+    return h;
+  }
+
+  Tensor backward(const Tensor& grad_out) override {
+    Tensor g = grad_out;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+      g = (*it)->backward(g);
+    return g;
+  }
+
+  std::vector<Parameter*> parameters() override {
+    std::vector<Parameter*> ps;
+    for (auto& l : layers_)
+      for (auto* p : l->parameters()) ps.push_back(p);
+    return ps;
+  }
+
+  std::string name() const override { return name_; }
+
+  std::vector<Layer*> children() override {
+    std::vector<Layer*> out;
+    out.reserve(layers_.size());
+    for (auto& l : layers_) out.push_back(l.get());
+    return out;
+  }
+
+  int64_t macs_per_sample() const override {
+    int64_t total = 0;
+    for (const auto& l : layers_) total += l->macs_per_sample();
+    return total;
+  }
+
+  size_t size() const { return layers_.size(); }
+  Layer& operator[](size_t i) { return *layers_[i]; }
+  const std::vector<LayerPtr>& layers() const { return layers_; }
+
+ private:
+  std::string name_;
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace apt::nn

@@ -1,0 +1,34 @@
+// Fused softmax + cross-entropy loss with integer class labels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/tensor.hpp"
+
+namespace apt::nn {
+
+/// Numerically stable log-softmax cross-entropy.
+class SoftmaxCrossEntropy {
+ public:
+  /// logits: [N, classes]; labels: N entries in [0, classes).
+  /// Returns mean loss over the batch and caches softmax for backward.
+  float forward(const Tensor& logits, const std::vector<int32_t>& labels);
+
+  /// Gradient w.r.t. logits of the mean loss: (softmax - onehot) / N.
+  Tensor backward() const;
+
+  /// Per-row argmax of the last forward's logits (predictions).
+  const std::vector<int32_t>& predictions() const { return predictions_; }
+
+ private:
+  Tensor probs_;
+  std::vector<int32_t> labels_;
+  std::vector<int32_t> predictions_;
+};
+
+/// Counts label matches in `predictions`.
+double accuracy(const std::vector<int32_t>& predictions,
+                const std::vector<int32_t>& labels);
+
+}  // namespace apt::nn

@@ -1,0 +1,63 @@
+#include "quant/affine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apt::quant {
+
+QuantParams choose_params(float lo, float hi, int bits) {
+  APT_CHECK(bits >= 2 && bits <= 32) << "bitwidth out of range: " << bits;
+  APT_CHECK(std::isfinite(lo) && std::isfinite(hi) && lo <= hi)
+      << "bad range [" << lo << ", " << hi << "]";
+
+  // Include zero so it is exactly representable (needed for padding /
+  // sparse weights), matching the affine scheme of Jacob et al.
+  double dlo = std::min<double>(lo, 0.0);
+  double dhi = std::max<double>(hi, 0.0);
+  if (dhi - dlo < 1e-12) {  // degenerate: all values equal (and == 0)
+    dhi = dlo + 1e-12;
+  }
+
+  QuantParams p;
+  p.bits = bits;
+  const double levels = static_cast<double>(max_code(bits));  // 2^k - 1
+  p.scale = (dhi - dlo) / levels;
+
+  // Nudge the zero point onto an integer code inside [0, 2^k - 1].
+  const double z_real = -dlo / p.scale;
+  p.zero_point = std::clamp<int64_t>(
+      static_cast<int64_t>(std::llround(z_real)), 0, max_code(bits));
+  return p;
+}
+
+QuantParams choose_params(const Tensor& t, int bits) {
+  APT_CHECK(t.numel() > 0) << "cannot derive range from an empty tensor";
+  return choose_params(t.min(), t.max(), bits);
+}
+
+int64_t round_steps(double x, RoundMode mode, double u01) {
+  switch (mode) {
+    case RoundMode::kNearest:
+      return std::llround(x);
+    case RoundMode::kTrunc:
+      return static_cast<int64_t>(std::trunc(x));
+    case RoundMode::kStochastic: {
+      const double f = std::floor(x);
+      const double frac = x - f;
+      return static_cast<int64_t>(f) + (u01 < frac ? 1 : 0);
+    }
+  }
+  return 0;  // unreachable
+}
+
+int64_t quantize_value(float r, const QuantParams& p, RoundMode mode) {
+  const double q = static_cast<double>(r) / p.scale +
+                   static_cast<double>(p.zero_point);
+  // Stochastic quantisation of raw values is not used by the library
+  // (only update *steps* are rounded stochastically), so u01 = 0.5 keeps
+  // this deterministic if ever requested.
+  const int64_t code = round_steps(q, mode, 0.5);
+  return std::clamp<int64_t>(code, 0, max_code(p.bits));
+}
+
+}  // namespace apt::quant

@@ -1,0 +1,76 @@
+// Affine quantisation scheme (paper §III, following Jacob et al. [11]).
+//
+//   r = S * (q - Z)
+//
+// All values in a tensor share one scale `S` and zero-point `Z`; a k-bit
+// code `q` takes one of 2^k discrete states in [0, 2^k - 1].
+//
+// The minimum representable change of a weight — the paper's ε (Eq. 2) —
+// equals the scale chosen from the tensor's range:
+//
+//   ε_i = (max(W_i) - min(W_i)) / (2^k - 1)
+#pragma once
+
+#include <cstdint>
+
+#include "base/tensor.hpp"
+
+namespace apt::quant {
+
+/// Rounding used when mapping real values (or update steps) onto the grid.
+enum class RoundMode {
+  kNearest,     ///< round-half-away-from-zero; used when (re)quantising
+  kTrunc,       ///< truncate toward zero; the paper's Eq. 3 ⌊lr·g/ε⌋ step
+  kStochastic,  ///< probabilistic rounding ∝ fractional part (WAGE-like)
+};
+
+/// Inclusive number of discrete states for a k-bit code: 2^k.
+inline double num_states(int bits) { return static_cast<double>(1ULL << bits); }
+
+/// Largest valid code for k bits: 2^k - 1.
+inline int64_t max_code(int bits) {
+  return static_cast<int64_t>((bits >= 63) ? INT64_MAX
+                                           : ((int64_t{1} << bits) - 1));
+}
+
+/// Per-tensor quantisation parameters.
+///
+/// Invariants: 2 <= bits <= 32, scale > 0, 0 <= zero_point <= max_code(bits).
+struct QuantParams {
+  double scale = 1.0;      ///< S — also the resolution ε of the grid
+  int64_t zero_point = 0;  ///< Z
+  int bits = 8;            ///< k
+
+  /// The paper's ε (Eq. 2) is exactly the affine scale.
+  double epsilon() const { return scale; }
+
+  /// Real value represented by code q.
+  float dequantize(int64_t q) const {
+    return static_cast<float>(scale * static_cast<double>(q - zero_point));
+  }
+
+  /// Smallest / largest representable real values.
+  float range_min() const { return dequantize(0); }
+  float range_max() const { return dequantize(max_code(bits)); }
+
+  bool operator==(const QuantParams&) const = default;
+};
+
+/// Chooses (S, Z) for a k-bit grid covering [lo, hi] per Eq. 2, nudging the
+/// zero-point onto an integer code (Jacob et al. §3). The range is expanded
+/// to include 0 so that the real value zero is exactly representable, and a
+/// degenerate range (hi == lo) gets a tiny synthetic width.
+QuantParams choose_params(float lo, float hi, int bits);
+
+/// choose_params() from a tensor's observed min/max.
+QuantParams choose_params(const Tensor& t, int bits);
+
+/// Maps a real value to its (clamped) code.
+int64_t quantize_value(float r, const QuantParams& p,
+                       RoundMode mode = RoundMode::kNearest);
+
+/// Rounds `x` according to `mode`. `u01` supplies the uniform sample used by
+/// stochastic rounding (ignored by the other modes).
+int64_t round_steps(double x, RoundMode mode, double u01 = 0.0);
+
+}  // namespace apt::quant

@@ -1,0 +1,28 @@
+#include "quant/fake_quant.hpp"
+
+namespace apt::quant {
+
+Tensor fake_quantize(const Tensor& t, float lo, float hi, int bits) {
+  const QuantParams p = choose_params(lo, hi, bits);
+  Tensor out(t.shape());
+  const float* in = t.data();
+  float* o = out.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i)
+    o[i] = p.dequantize(quantize_value(in[i], p));
+  return out;
+}
+
+Tensor ste_mask(const Tensor& t, float lo, float hi, int bits) {
+  const QuantParams p = choose_params(lo, hi, bits);
+  const float rmin = p.range_min(), rmax = p.range_max();
+  Tensor out(t.shape());
+  const float* in = t.data();
+  float* o = out.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i)
+    o[i] = (in[i] >= rmin && in[i] <= rmax) ? 1.0f : 0.0f;
+  return out;
+}
+
+}  // namespace apt::quant

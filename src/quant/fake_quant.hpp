@@ -1,0 +1,50 @@
+// Fake quantisation (quantise-dequantise) helpers for activations.
+//
+// The paper's experiments quantise *weights* in both passes; activation
+// quantisation is an optional extension (§III-B notes Gavg also applies to
+// activation clipping points). `RangeTracker` keeps an exponential moving
+// average of observed min/max, as is standard for activation ranges.
+#pragma once
+
+#include "base/tensor.hpp"
+#include "quant/affine.hpp"
+
+namespace apt::quant {
+
+/// EMA tracker of a tensor's dynamic range.
+class RangeTracker {
+ public:
+  explicit RangeTracker(double momentum = 0.95) : momentum_(momentum) {}
+
+  void observe(const Tensor& t) {
+    if (t.numel() == 0) return;
+    const float lo = t.min(), hi = t.max();
+    if (!initialized_) {
+      lo_ = lo;
+      hi_ = hi;
+      initialized_ = true;
+    } else {
+      lo_ = momentum_ * lo_ + (1.0 - momentum_) * lo;
+      hi_ = momentum_ * hi_ + (1.0 - momentum_) * hi;
+    }
+  }
+
+  bool initialized() const { return initialized_; }
+  float lo() const { return static_cast<float>(lo_); }
+  float hi() const { return static_cast<float>(hi_); }
+
+ private:
+  double momentum_;
+  double lo_ = 0.0, hi_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Quantise-dequantise every element of `t` onto a k-bit grid over
+/// [lo, hi]. Returns a new tensor; values outside the range saturate.
+Tensor fake_quantize(const Tensor& t, float lo, float hi, int bits);
+
+/// Straight-through-estimator mask: 1 where the value was inside the
+/// representable range (gradient passes), 0 where it saturated.
+Tensor ste_mask(const Tensor& t, float lo, float hi, int bits);
+
+}  // namespace apt::quant

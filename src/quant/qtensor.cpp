@@ -1,0 +1,93 @@
+#include "quant/qtensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apt::quant {
+
+QuantizedTensor::QuantizedTensor(const Tensor& values, int bits,
+                                 RoundMode mode)
+    : QuantizedTensor(values, bits, values.min(), values.max(), mode) {}
+
+QuantizedTensor::QuantizedTensor(const Tensor& values, int bits, float lo,
+                                 float hi, RoundMode mode)
+    : shape_(values.shape()) {
+  APT_CHECK(values.numel() > 0) << "cannot quantise an empty tensor";
+  params_ = choose_params(lo, hi, bits);
+  codes_.resize(static_cast<size_t>(values.numel()));
+  const float* v = values.data();
+  for (size_t i = 0; i < codes_.size(); ++i)
+    codes_[i] = quantize_value(v[i], params_, mode);
+}
+
+Tensor QuantizedTensor::dequantize() const {
+  Tensor out(shape_);
+  dequantize_into(out);
+  return out;
+}
+
+void QuantizedTensor::dequantize_into(Tensor& out) const {
+  APT_CHECK(out.shape() == shape_)
+      << "dequantize_into shape mismatch: " << out.shape().str() << " vs "
+      << shape_.str();
+  float* o = out.data();
+  const double s = params_.scale;
+  const int64_t z = params_.zero_point;
+  for (size_t i = 0; i < codes_.size(); ++i)
+    o[i] = static_cast<float>(s * static_cast<double>(codes_[i] - z));
+}
+
+UpdateStats QuantizedTensor::apply_update(const Tensor& delta, RoundMode mode,
+                                          Rng* rng) {
+  APT_CHECK(delta.shape() == shape_)
+      << "update shape mismatch: " << delta.shape().str() << " vs "
+      << shape_.str();
+  APT_CHECK(mode != RoundMode::kStochastic || rng != nullptr)
+      << "stochastic rounding requires an Rng";
+
+  UpdateStats stats;
+  stats.total = numel();
+  const float* d = delta.data();
+  const double eps = params_.epsilon();
+  const int64_t qmax = max_code(params_.bits);
+  for (size_t i = 0; i < codes_.size(); ++i) {
+    const double x = static_cast<double>(d[i]) / eps;
+    const double u = (mode == RoundMode::kStochastic) ? rng->uniform() : 0.0;
+    const int64_t steps = round_steps(x, mode, u);
+    if (steps == 0) {
+      if (d[i] != 0.0f) ++stats.underflowed;
+      continue;
+    }
+    const int64_t q = codes_[i] - steps;  // w := w - ⌊δ/ε⌋·ε in code space
+    const int64_t clamped = std::clamp<int64_t>(q, 0, qmax);
+    if (clamped != q) ++stats.clamped;
+    if (clamped != codes_[i]) ++stats.moved;
+    codes_[i] = clamped;
+  }
+  return stats;
+}
+
+void QuantizedTensor::requantize(int new_bits, float range_lo, float range_hi,
+                                 RoundMode mode) {
+  const Tensor values = dequantize();
+  params_ = choose_params(range_lo, range_hi, new_bits);
+  const float* v = values.data();
+  for (size_t i = 0; i < codes_.size(); ++i)
+    codes_[i] = quantize_value(v[i], params_, mode);
+}
+
+void QuantizedTensor::requantize(int new_bits, RoundMode mode) {
+  const Tensor values = dequantize();
+  requantize(new_bits, values.min(), values.max(), mode);
+}
+
+double QuantizedTensor::saturation_fraction() const {
+  if (codes_.empty()) return 0.0;
+  const int64_t qmax = max_code(params_.bits);
+  int64_t sat = 0;
+  for (int64_t q : codes_)
+    if (q == 0 || q == qmax) ++sat;
+  return static_cast<double>(sat) / static_cast<double>(codes_.size());
+}
+
+}  // namespace apt::quant

@@ -1,0 +1,94 @@
+// QuantizedTensor: integer codes + per-tensor affine parameters.
+//
+// This is the representation that lives in BOTH the forward and backward
+// pass under APT — there is no fp32 master copy. Compute kernels receive
+// the dequantised float view (exactly S(q - Z) for every element); updates
+// are applied to the codes through `apply_update`, which realises the
+// paper's Eq. 3 grid update including quantisation underflow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "base/tensor.hpp"
+#include "quant/affine.hpp"
+
+namespace apt::quant {
+
+/// Counters describing what happened during one grid update call.
+struct UpdateStats {
+  int64_t total = 0;       ///< elements visited
+  int64_t underflowed = 0; ///< |delta| > 0 but the grid step rounded to 0
+  int64_t moved = 0;       ///< elements whose code changed
+  int64_t clamped = 0;     ///< elements that hit the code range limits
+
+  void accumulate(const UpdateStats& o) {
+    total += o.total;
+    underflowed += o.underflowed;
+    moved += o.moved;
+    clamped += o.clamped;
+  }
+  double underflow_fraction() const {
+    return total ? static_cast<double>(underflowed) / total : 0.0;
+  }
+  double clamp_fraction() const {
+    return total ? static_cast<double>(clamped) / total : 0.0;
+  }
+};
+
+class QuantizedTensor {
+ public:
+  QuantizedTensor() = default;
+
+  /// Quantises `values` onto a fresh k-bit grid fitted to their range.
+  QuantizedTensor(const Tensor& values, int bits,
+                  RoundMode mode = RoundMode::kNearest);
+
+  /// Quantises `values` onto a k-bit grid over an explicit [lo, hi] range
+  /// (values outside saturate).
+  QuantizedTensor(const Tensor& values, int bits, float lo, float hi,
+                  RoundMode mode = RoundMode::kNearest);
+
+  const Shape& shape() const { return shape_; }
+  int64_t numel() const { return shape_.numel(); }
+  const QuantParams& params() const { return params_; }
+  int bits() const { return params_.bits; }
+  /// The paper's ε (Eq. 2) for this tensor.
+  double epsilon() const { return params_.epsilon(); }
+
+  const std::vector<int64_t>& codes() const { return codes_; }
+
+  /// Dequantised float view: out[i] = S * (q[i] - Z).
+  Tensor dequantize() const;
+
+  /// In-place dequantise into a caller-owned tensor (avoids allocation in
+  /// the training hot loop). `out` must already have the right shape.
+  void dequantize_into(Tensor& out) const;
+
+  /// Applies the paper's Eq. 3: q := q - round(delta/ε) with the given
+  /// rounding (kTrunc reproduces ⌊·⌋ semantics), clamping codes to the
+  /// k-bit range. `delta` is the real-valued step to subtract (lr·g or the
+  /// optimiser's composed step). `rng` is only consulted for kStochastic.
+  UpdateStats apply_update(const Tensor& delta, RoundMode mode,
+                           Rng* rng = nullptr);
+
+  /// Re-fits (S, Z) to the current dequantised values with a new bitwidth
+  /// and re-quantises the codes. Used when the APT policy changes k or when
+  /// the range has drifted. Keeps values as close as the new grid allows.
+  void requantize(int new_bits, float range_lo, float range_hi,
+                  RoundMode mode = RoundMode::kNearest);
+
+  /// Convenience: requantize() to the tensor's own current value range.
+  void requantize(int new_bits, RoundMode mode = RoundMode::kNearest);
+
+  /// Fraction of codes currently pinned at 0 or 2^k - 1.
+  double saturation_fraction() const;
+
+ private:
+  Shape shape_;
+  QuantParams params_;
+  std::vector<int64_t> codes_;
+};
+
+}  // namespace apt::quant

@@ -1,0 +1,64 @@
+#include "train/adam.hpp"
+
+#include <cmath>
+
+namespace apt::train {
+
+Adam::Adam(std::vector<nn::Parameter*> params, const AdamConfig& cfg,
+           GradTransform grad_transform)
+    : params_(std::move(params)),
+      cfg_(cfg),
+      grad_transform_(std::move(grad_transform)) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::zero_grad() {
+  for (auto* p : params_) p->zero_grad();
+}
+
+quant::UpdateStats Adam::step(double lr) {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(cfg_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(cfg_.beta2, static_cast<double>(t_));
+
+  quant::UpdateStats total;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    nn::Parameter& p = *params_[i];
+    Tensor g = p.grad.clone();
+    if (grad_transform_) grad_transform_(p, g);
+    if (cfg_.weight_decay != 0.0 && p.decay) {
+      const float wd = static_cast<float>(cfg_.weight_decay);
+      const float* w = p.value.data();
+      float* gd = g.data();
+      for (int64_t j = 0; j < g.numel(); ++j) gd[j] += wd * w[j];
+    }
+
+    float* md = m_[i].data();
+    float* vd = v_[i].data();
+    const float* gd = g.data();
+    Tensor delta(g.shape());
+    float* dd = delta.data();
+    const float b1 = static_cast<float>(cfg_.beta1);
+    const float b2 = static_cast<float>(cfg_.beta2);
+    for (int64_t j = 0; j < g.numel(); ++j) {
+      md[j] = b1 * md[j] + (1.0f - b1) * gd[j];
+      vd[j] = b2 * vd[j] + (1.0f - b2) * gd[j] * gd[j];
+      const double m_hat = md[j] / bc1;
+      const double v_hat = vd[j] / bc2;
+      dd[j] = static_cast<float>(lr * m_hat /
+                                 (std::sqrt(v_hat) + cfg_.eps));
+    }
+
+    const quant::UpdateStats s = p.rep ? p.rep->apply_step(p, delta)
+                                       : nn::apply_float_step(p, delta);
+    total.accumulate(s);
+  }
+  return total;
+}
+
+}  // namespace apt::train

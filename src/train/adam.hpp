@@ -1,0 +1,46 @@
+// Adam optimiser (Kingma & Ba) over the same Representation seam as SGD.
+//
+// Most Table-I baselines train with Adam; providing it demonstrates the
+// paper's §III-B claim that APT composes with "training tricks or
+// sophisticated optimisers": Gavg reads raw gradients, and the optimiser's
+// composed step δ still lands through the parameter's representation
+// (Eq. 3 grid truncation for APT parameters).
+#pragma once
+
+#include <vector>
+
+#include "nn/parameter.hpp"
+#include "train/optimizer.hpp"
+#include "train/sgd.hpp"  // GradTransform
+
+namespace apt::train {
+
+struct AdamConfig {
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.0;  ///< L2 (added to the gradient), paper-style
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<nn::Parameter*> params, const AdamConfig& cfg,
+       GradTransform grad_transform = nullptr);
+
+  void zero_grad() override;
+
+  /// One optimisation step at learning rate `lr` with bias-corrected
+  /// moment estimates. Returns aggregate update statistics.
+  quant::UpdateStats step(double lr) override;
+
+  const std::vector<nn::Parameter*>& params() const { return params_; }
+
+ private:
+  std::vector<nn::Parameter*> params_;
+  AdamConfig cfg_;
+  GradTransform grad_transform_;
+  std::vector<Tensor> m_, v_;
+  int64_t t_ = 0;
+};
+
+}  // namespace apt::train

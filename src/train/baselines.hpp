@@ -1,0 +1,61 @@
+// Representative reimplementations of the comparison methods in Table I.
+//
+// The axis Table I isolates is the *model precision in BPROP*: most prior
+// quantised-training methods (BNN, TWN, TTQ, DoReFa-Net — and TernGrad for
+// weights) keep an fp32 master copy that absorbs every update, so they save
+// no training memory; WAGE updates low-bit weights directly with stochastic
+// rounding; APT updates quantised weights directly with adaptive bitwidth.
+//
+//  * `MasterCopyRepresentation`  — fp32 master + k-bit compute view,
+//    re-quantised from the master every step (BNN/DoReFa family).
+//  * `make_terngrad_transform`   — stochastic ternary gradient quantisation
+//    applied before the velocity update (TernGrad), weights stay fp32.
+//  * The WAGE-like row is `core::GridRepresentation` at fixed k = 8 with
+//    stochastic rounding (no master copy), assembled in the bench.
+#pragma once
+
+#include <memory>
+
+#include "base/rng.hpp"
+#include "nn/layer.hpp"
+#include "nn/parameter.hpp"
+#include "train/sgd.hpp"
+
+namespace apt::train {
+
+/// fp32 master weights with a k-bit quantised compute view. `apply_step`
+/// updates the master in float and re-quantises the view, so learning never
+/// underflows — at the cost of keeping 32 + k bits per weight during
+/// training (the "no savings in memory" column of Table I).
+class MasterCopyRepresentation : public nn::Representation {
+ public:
+  MasterCopyRepresentation(nn::Parameter& p, int bits);
+
+  quant::UpdateStats apply_step(nn::Parameter& p, const Tensor& step) override;
+  double epsilon() const override { return epsilon_; }
+  int bits() const override { return bits_; }
+  void set_bits(nn::Parameter& p, int k) override;
+  void refit_range(nn::Parameter& p) override;
+  int64_t memory_bits(const nn::Parameter& p) const override {
+    return p.numel() * (32 + bits_);
+  }
+  std::string describe() const override {
+    return "fp32-master+" + std::to_string(bits_) + "bit-view";
+  }
+
+ private:
+  void refresh_view(nn::Parameter& p);
+
+  Tensor master_;
+  int bits_;
+  double epsilon_ = 0.0;
+};
+
+/// Attaches MasterCopyRepresentation(k) to every learnable parameter.
+void attach_master_copy(nn::Layer& model, int bits);
+
+/// TernGrad: g -> s · sign(g) · b with s = max|g| and b ~ Bernoulli(|g|/s),
+/// applied per tensor. Unbiased in expectation; weights remain fp32.
+GradTransform make_terngrad_transform(uint64_t seed);
+
+}  // namespace apt::train

@@ -1,0 +1,76 @@
+// Metric helpers and the per-run History record benches consume.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apt::train {
+
+/// Exponential moving average with bias-corrected warm start: the first
+/// observation initialises the average (Alg. 2's "moving average on Gavg").
+class MovingAverage {
+ public:
+  explicit MovingAverage(double momentum = 0.8) : momentum_(momentum) {}
+
+  void observe(double x) {
+    value_ = initialized_ ? momentum_ * value_ + (1.0 - momentum_) * x : x;
+    initialized_ = true;
+  }
+  bool initialized() const { return initialized_; }
+  double value() const { return value_; }
+  void reset() { initialized_ = false; value_ = 0.0; }
+
+ private:
+  double momentum_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// One epoch's record.
+struct EpochStats {
+  int epoch = 0;
+  double lr = 0.0;
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  double cumulative_energy_j = 0.0;   ///< training energy so far (joules)
+  double model_memory_bits = 0.0;     ///< training-time model size
+  double underflow_fraction = 0.0;    ///< share of updates that underflowed
+  std::vector<int> unit_bits;         ///< per-unit bitwidths (empty if fp32)
+  std::vector<double> unit_gavg;      ///< per-unit smoothed Gavg
+};
+
+/// Full training history of one run.
+struct History {
+  std::vector<std::string> unit_names;
+  std::vector<EpochStats> epochs;
+
+  double final_test_accuracy() const {
+    return epochs.empty() ? 0.0 : epochs.back().test_accuracy;
+  }
+  double total_energy_j() const {
+    return epochs.empty() ? 0.0 : epochs.back().cumulative_energy_j;
+  }
+  double best_test_accuracy() const {
+    double best = 0.0;
+    for (const auto& e : epochs) best = std::max(best, e.test_accuracy);
+    return best;
+  }
+  /// Energy spent up to (and including) the first epoch whose test
+  /// accuracy reaches `target`; negative if never reached.
+  double energy_to_reach(double target) const {
+    for (const auto& e : epochs)
+      if (e.test_accuracy >= target) return e.cumulative_energy_j;
+    return -1.0;
+  }
+  /// Peak training-time model memory across epochs, in bits.
+  double peak_memory_bits() const {
+    double peak = 0.0;
+    for (const auto& e : epochs) peak = std::max(peak, e.model_memory_bits);
+    return peak;
+  }
+};
+
+}  // namespace apt::train

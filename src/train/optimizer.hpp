@@ -1,0 +1,19 @@
+// Optimiser interface shared by SGD and Adam so the Trainer (and the APT
+// controller, which never looks at the optimiser at all) are agnostic to
+// the update rule — the paper's §III-B design point.
+#pragma once
+
+#include "nn/parameter.hpp"
+
+namespace apt::train {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual void zero_grad() = 0;
+  /// One step at learning rate lr; returns underflow/clamp statistics
+  /// aggregated over all parameters.
+  virtual quant::UpdateStats step(double lr) = 0;
+};
+
+}  // namespace apt::train

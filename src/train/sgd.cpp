@@ -1,0 +1,49 @@
+#include "train/sgd.hpp"
+
+namespace apt::train {
+
+Sgd::Sgd(std::vector<nn::Parameter*> params, const SgdConfig& cfg,
+         GradTransform grad_transform)
+    : params_(std::move(params)),
+      cfg_(cfg),
+      grad_transform_(std::move(grad_transform)) {
+  velocity_.reserve(params_.size());
+  for (auto* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::zero_grad() {
+  for (auto* p : params_) p->zero_grad();
+}
+
+quant::UpdateStats Sgd::step(double lr) {
+  quant::UpdateStats total;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    nn::Parameter& p = *params_[i];
+    Tensor g = p.grad.clone();
+    if (grad_transform_) grad_transform_(p, g);
+    if (cfg_.weight_decay != 0.0 && p.decay) {
+      const float wd = static_cast<float>(cfg_.weight_decay);
+      const float* w = p.value.data();
+      float* gd = g.data();
+      for (int64_t j = 0; j < g.numel(); ++j) gd[j] += wd * w[j];
+    }
+
+    Tensor& v = velocity_[i];
+    const float mu = static_cast<float>(cfg_.momentum);
+    float* vd = v.data();
+    const float* gd = g.data();
+    for (int64_t j = 0; j < v.numel(); ++j) vd[j] = mu * vd[j] + gd[j];
+
+    Tensor delta(v.shape());
+    const float flr = static_cast<float>(lr);
+    float* dd = delta.data();
+    for (int64_t j = 0; j < v.numel(); ++j) dd[j] = flr * vd[j];
+
+    const quant::UpdateStats s = p.rep ? p.rep->apply_step(p, delta)
+                                       : nn::apply_float_step(p, delta);
+    total.accumulate(s);
+  }
+  return total;
+}
+
+}  // namespace apt::train

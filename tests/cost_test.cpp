@@ -1,0 +1,119 @@
+// Tests for the energy/memory cost model: monotonicity in bitwidth, the
+// master-copy penalty, and the published anchor points the model is
+// calibrated to.
+#include <gtest/gtest.h>
+
+#include "cost/energy.hpp"
+
+namespace apt::cost {
+namespace {
+
+TEST(EnergyModel, AnchorsMatchPublishedNumbers) {
+  EnergyModel em;
+  EXPECT_DOUBLE_EQ(em.mult_pj(8), 0.2);   // int8 multiply
+  EXPECT_DOUBLE_EQ(em.add_pj(8), 0.03);   // int8 add
+  EXPECT_DOUBLE_EQ(em.mult_pj(32), 3.7);  // fp32 multiply
+  EXPECT_DOUBLE_EQ(em.add_pj(32), 0.9);   // fp32 add
+  EXPECT_DOUBLE_EQ(em.mac_pj(8), 0.23);
+}
+
+TEST(EnergyModel, MultiplierScalesQuadratically) {
+  EnergyModel em;
+  EXPECT_NEAR(em.mult_pj(16) / em.mult_pj(8), 4.0, 1e-9);
+  EXPECT_NEAR(em.mult_pj(4) / em.mult_pj(8), 0.25, 1e-9);
+}
+
+TEST(EnergyModel, AdderScalesLinearly) {
+  EnergyModel em;
+  EXPECT_NEAR(em.add_pj(16) / em.add_pj(8), 2.0, 1e-9);
+}
+
+TEST(EnergyModel, MacMonotoneInBits) {
+  EnergyModel em;
+  double prev = 0.0;
+  for (int k = 2; k <= 31; ++k) {
+    EXPECT_GT(em.mac_pj(k), prev) << "k=" << k;
+    prev = em.mac_pj(k);
+  }
+  // k = 32 selects the fp32 unit and costs the most.
+  EXPECT_GT(em.mac_pj(32), em.mac_pj(31));
+}
+
+TEST(EnergyModel, MemoryEnergyPerBit) {
+  EnergyModel em;
+  EXPECT_NEAR(em.mem_per_bit_pj() * 32.0, em.sram_32b_pj, 1e-12);
+}
+
+TEST(IterationCost, AllTermsPositiveAndSum) {
+  EnergyModel em;
+  LayerProfile p{.macs_per_sample = 1000, .params = 100,
+                 .act_elems_per_sample = 50};
+  const IterationCost c = layer_iteration_cost(em, p, 8, 32, false);
+  EXPECT_GT(c.compute_pj, 0);
+  EXPECT_GT(c.weight_traffic_pj, 0);
+  EXPECT_GT(c.update_pj, 0);
+  EXPECT_GT(c.activation_traffic_pj, 0);
+  EXPECT_EQ(c.master_overhead_pj, 0);
+  EXPECT_NEAR(c.total_pj(),
+              c.compute_pj + c.weight_traffic_pj + c.update_pj +
+                  c.activation_traffic_pj,
+              1e-9);
+}
+
+TEST(IterationCost, ComputeTermDominatedByMacs) {
+  EnergyModel em;
+  LayerProfile p{.macs_per_sample = 1000, .params = 0,
+                 .act_elems_per_sample = 0};
+  const IterationCost c = layer_iteration_cost(em, p, 8, 4, false);
+  // 3 passes x 1000 macs x 4 samples x mac(8)
+  EXPECT_NEAR(c.compute_pj, 3.0 * 1000 * 4 * em.mac_pj(8), 1e-9);
+}
+
+TEST(IterationCost, MonotoneInBits) {
+  EnergyModel em;
+  LayerProfile p{.macs_per_sample = 5000, .params = 300,
+                 .act_elems_per_sample = 100};
+  double prev = 0.0;
+  for (int k : {2, 4, 8, 12, 16, 24, 32}) {
+    const double total = layer_iteration_cost(em, p, k, 16, false).total_pj();
+    EXPECT_GT(total, prev) << "k=" << k;
+    prev = total;
+  }
+}
+
+TEST(IterationCost, MasterCopyAddsOverhead) {
+  EnergyModel em;
+  LayerProfile p{.macs_per_sample = 1000, .params = 500,
+                 .act_elems_per_sample = 0};
+  const double plain = layer_iteration_cost(em, p, 8, 8, false).total_pj();
+  const double master = layer_iteration_cost(em, p, 8, 8, true).total_pj();
+  EXPECT_GT(master, plain);
+}
+
+TEST(IterationCost, ActivationTrafficAlwaysFp32) {
+  // Activation movement must not depend on the weight bitwidth.
+  EnergyModel em;
+  LayerProfile p{.macs_per_sample = 0, .params = 0,
+                 .act_elems_per_sample = 128};
+  const IterationCost a = layer_iteration_cost(em, p, 4, 8, false);
+  const IterationCost b = layer_iteration_cost(em, p, 16, 8, false);
+  EXPECT_DOUBLE_EQ(a.activation_traffic_pj, b.activation_traffic_pj);
+}
+
+TEST(MemoryBits, ScalesWithBitsAndMaster) {
+  LayerProfile p{.macs_per_sample = 0, .params = 100,
+                 .act_elems_per_sample = 0};
+  EXPECT_EQ(layer_memory_bits(p, 8, false), 800);
+  EXPECT_EQ(layer_memory_bits(p, 8, true), 800 + 3200);
+  EXPECT_EQ(layer_memory_bits(p, 32, false), 3200);
+}
+
+TEST(MemoryBits, FixedPointAlwaysSmallerThanMasterCopy) {
+  LayerProfile p{.macs_per_sample = 0, .params = 1000,
+                 .act_elems_per_sample = 0};
+  for (int k = 2; k <= 32; ++k)
+    EXPECT_LT(layer_memory_bits(p, k, false), layer_memory_bits(p, k, true));
+}
+
+}  // namespace
+}  // namespace apt::cost

@@ -1,0 +1,273 @@
+// Tests for the data substrate: SynthCIFAR generation, augmentation
+// (pad-crop-flip per the paper), spiral, and the batch loader.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/augment.hpp"
+#include "data/loader.hpp"
+#include "data/spiral.hpp"
+#include "data/synth_images.hpp"
+
+namespace apt::data {
+namespace {
+
+SynthImageConfig small_cfg() {
+  SynthImageConfig c;
+  c.height = 8;
+  c.width = 8;
+  return c;
+}
+
+TEST(SynthImages, ShapesAndLabelBalance) {
+  SynthImageDataset ds(small_cfg(), 100, 40);
+  EXPECT_EQ(ds.train().images.shape(), Shape({100, 3, 8, 8}));
+  EXPECT_EQ(ds.test().size(), 40);
+  // Round-robin labels: exactly balanced.
+  std::vector<int> counts(10, 0);
+  for (int32_t l : ds.train().labels) counts[static_cast<size_t>(l)]++;
+  for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(SynthImages, DeterministicAcrossConstruction) {
+  SynthImageDataset a(small_cfg(), 16, 8);
+  SynthImageDataset b(small_cfg(), 16, 8);
+  for (int64_t i = 0; i < a.train().images.numel(); ++i)
+    ASSERT_EQ(a.train().images[i], b.train().images[i]);
+}
+
+TEST(SynthImages, SeedChangesData) {
+  SynthImageConfig c2 = small_cfg();
+  c2.seed = 43;
+  SynthImageDataset a(small_cfg(), 16, 8);
+  SynthImageDataset b(c2, 16, 8);
+  bool any_diff = false;
+  for (int64_t i = 0; i < a.train().images.numel(); ++i)
+    if (a.train().images[i] != b.train().images[i]) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SynthImages, TrainAndTestDiffer) {
+  SynthImageDataset ds(small_cfg(), 16, 16);
+  bool any_diff = false;
+  for (int64_t i = 0; i < ds.train().images.numel(); ++i)
+    if (ds.train().images[i] != ds.test().images[i]) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SynthImages, ClassesAreStatisticallyDistinct) {
+  // Mean per-pixel energy distance between same-class and cross-class
+  // images: same-class pairs must be closer in the grating-energy space.
+  // Rather than re-deriving energies, check a necessary condition: class
+  // mean images (over samples with random phases) differ across classes
+  // less than raw samples do, while per-class variance is non-trivial.
+  SynthImageConfig c = small_cfg();
+  c.noise = 0.1f;
+  SynthImageDataset ds(c, 200, 10);
+  // Any two same-class images must not be identical (random phases).
+  const auto& imgs = ds.train().images;
+  bool differ = false;
+  for (int64_t i = 0; i < imgs.numel() / 200; ++i)
+    if (imgs[i] != imgs[10 * (imgs.numel() / 200) + i]) differ = true;
+  EXPECT_TRUE(differ);
+}
+
+TEST(SynthImages, SampleRespectsLabelValidation) {
+  SynthImageDataset ds(small_cfg(), 8, 4);
+  Rng rng(1);
+  EXPECT_NO_THROW(ds.sample(0, rng));
+  EXPECT_NO_THROW(ds.sample(9, rng));
+  EXPECT_THROW(ds.sample(10, rng), CheckError);
+  EXPECT_THROW(ds.sample(-1, rng), CheckError);
+}
+
+// ------------------------------------------------------------ augmentation
+
+TEST(Augment, NoopConfigIsIdentity) {
+  Rng rng(1);
+  Tensor batch(Shape{2, 3, 6, 6});
+  rng.fill_normal(batch, 0, 1);
+  AugmentConfig cfg;
+  cfg.pad = 0;
+  cfg.random_crop = false;
+  cfg.horizontal_flip = false;
+  const Tensor out = augment_batch(batch, cfg, rng);
+  for (int64_t i = 0; i < batch.numel(); ++i) EXPECT_EQ(out[i], batch[i]);
+}
+
+TEST(Augment, CenterCropWithoutJitterIsIdentity) {
+  Rng rng(1);
+  Tensor batch(Shape{1, 1, 4, 4});
+  rng.fill_normal(batch, 0, 1);
+  AugmentConfig cfg;
+  cfg.pad = 4;
+  cfg.random_crop = false;  // crop origin fixed at pad -> original view
+  cfg.horizontal_flip = false;
+  const Tensor out = augment_batch(batch, cfg, rng);
+  for (int64_t i = 0; i < batch.numel(); ++i) EXPECT_EQ(out[i], batch[i]);
+}
+
+TEST(Augment, ShiftsAppearAsZeroPadding) {
+  // With maximal padding, some crops must pull in zero pixels.
+  Rng rng(7);
+  Tensor batch(Shape{1, 1, 4, 4});
+  batch.fill(1.0f);
+  AugmentConfig cfg;
+  cfg.pad = 4;
+  cfg.horizontal_flip = false;
+  bool saw_zero = false;
+  for (int trial = 0; trial < 20 && !saw_zero; ++trial) {
+    const Tensor out = augment_batch(batch, cfg, rng);
+    for (float v : out.span())
+      if (v == 0.0f) saw_zero = true;
+  }
+  EXPECT_TRUE(saw_zero);
+}
+
+TEST(Augment, FlipReversesRows) {
+  Rng rng(1);
+  Tensor batch(Shape{1, 1, 1, 4});
+  batch[0] = 1;
+  batch[1] = 2;
+  batch[2] = 3;
+  batch[3] = 4;
+  AugmentConfig cfg;
+  cfg.pad = 0;
+  cfg.random_crop = false;
+  cfg.horizontal_flip = true;
+  // Flip is Bernoulli(0.5); try until one lands, ensure it's an exact
+  // reversal rather than some other shuffle.
+  bool saw_flip = false;
+  for (int trial = 0; trial < 40 && !saw_flip; ++trial) {
+    const Tensor out = augment_batch(batch, cfg, rng);
+    if (out[0] == 4.0f) {
+      EXPECT_EQ(out[1], 3.0f);
+      EXPECT_EQ(out[2], 2.0f);
+      EXPECT_EQ(out[3], 1.0f);
+      saw_flip = true;
+    }
+  }
+  EXPECT_TRUE(saw_flip);
+}
+
+TEST(Augment, PreservesPixelMultisetWhenCropDisabled) {
+  // flip-only augmentation permutes pixels within each row.
+  Rng rng(5);
+  Tensor batch(Shape{1, 2, 3, 3});
+  for (int64_t i = 0; i < batch.numel(); ++i) batch[i] = static_cast<float>(i);
+  AugmentConfig cfg;
+  cfg.pad = 0;
+  cfg.random_crop = false;
+  const Tensor out = augment_batch(batch, cfg, rng);
+  std::multiset<float> a(batch.span().begin(), batch.span().end());
+  std::multiset<float> b(out.span().begin(), out.span().end());
+  EXPECT_EQ(a, b);
+}
+
+// ----------------------------------------------------------------- spiral
+
+TEST(Spiral, ShapesAndDeterminism) {
+  const TabularSet a = make_spiral({});
+  EXPECT_EQ(a.features.shape(), Shape({600, 2}));
+  EXPECT_EQ(a.size(), 600);
+  const TabularSet b = make_spiral({});
+  for (int64_t i = 0; i < a.features.numel(); ++i)
+    ASSERT_EQ(a.features[i], b.features[i]);
+}
+
+TEST(Spiral, ArmsAreAngularlySeparatedNearRim) {
+  // The outermost points of different arms should be far apart.
+  SpiralConfig cfg;
+  cfg.noise = 0.0f;
+  const TabularSet s = make_spiral(cfg);
+  const int64_t last0 = cfg.points_per_class - 1;
+  const int64_t last1 = 2 * cfg.points_per_class - 1;
+  const float dx = s.features.at(last0, 0) - s.features.at(last1, 0);
+  const float dy = s.features.at(last0, 1) - s.features.at(last1, 1);
+  EXPECT_GT(dx * dx + dy * dy, 0.5f);
+}
+
+// ----------------------------------------------------------------- loader
+
+TEST(DataLoader, CoversEverySampleOncePerEpoch) {
+  Tensor xs(Shape{10, 2});
+  for (int64_t i = 0; i < 10; ++i) xs.at(i, 0) = static_cast<float>(i);
+  std::vector<int32_t> ys(10);
+  for (int i = 0; i < 10; ++i) ys[static_cast<size_t>(i)] = i;
+
+  DataLoader loader(xs, ys, 3, /*shuffle=*/true, /*seed=*/1);
+  EXPECT_EQ(loader.batches_per_epoch(), 4);
+  std::multiset<int32_t> seen;
+  loader.for_each_batch([&](int64_t, const Batch& b) {
+    EXPECT_EQ(b.inputs.dim(0), b.size());
+    for (int32_t l : b.labels) seen.insert(l);
+  });
+  EXPECT_EQ(seen.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(seen.count(i), 1u);
+}
+
+TEST(DataLoader, LabelsTrackInputs) {
+  Tensor xs(Shape{8, 1});
+  std::vector<int32_t> ys(8);
+  for (int64_t i = 0; i < 8; ++i) {
+    xs[i] = static_cast<float>(i);
+    ys[static_cast<size_t>(i)] = static_cast<int32_t>(i);
+  }
+  DataLoader loader(xs, ys, 4, true, 9);
+  loader.for_each_batch([&](int64_t, const Batch& b) {
+    for (int64_t i = 0; i < b.size(); ++i)
+      EXPECT_EQ(static_cast<int32_t>(b.inputs[i]),
+                b.labels[static_cast<size_t>(i)]);
+  });
+}
+
+TEST(DataLoader, NoShuffleKeepsOrder) {
+  Tensor xs(Shape{5, 1});
+  std::vector<int32_t> ys = {0, 1, 2, 3, 4};
+  DataLoader loader(xs, ys, 2, /*shuffle=*/false, 1);
+  std::vector<int32_t> order;
+  loader.for_each_batch([&](int64_t, const Batch& b) {
+    order.insert(order.end(), b.labels.begin(), b.labels.end());
+  });
+  EXPECT_EQ(order, ys);
+}
+
+TEST(DataLoader, ShuffleDiffersAcrossEpochs) {
+  Tensor xs(Shape{32, 1});
+  std::vector<int32_t> ys(32);
+  for (int i = 0; i < 32; ++i) ys[static_cast<size_t>(i)] = i;
+  DataLoader loader(xs, ys, 32, true, 1);
+  std::vector<int32_t> e1, e2;
+  loader.for_each_batch([&](int64_t, const Batch& b) { e1 = b.labels; });
+  loader.for_each_batch([&](int64_t, const Batch& b) { e2 = b.labels; });
+  EXPECT_NE(e1, e2);
+}
+
+TEST(DataLoader, AugmentationRequiresImages) {
+  Tensor xs(Shape{4, 2});
+  std::vector<int32_t> ys(4, 0);
+  EXPECT_THROW(DataLoader(xs, ys, 2, true, 1, AugmentConfig{}), CheckError);
+}
+
+TEST(DataLoader, SizeMismatchRejected) {
+  Tensor xs(Shape{4, 2});
+  std::vector<int32_t> ys(3, 0);
+  EXPECT_THROW(DataLoader(xs, ys, 2, true, 1), CheckError);
+}
+
+TEST(DataLoader, AugmentedBatchesDifferFromRaw) {
+  Rng rng(1);
+  Tensor xs(Shape{6, 1, 4, 4});
+  rng.fill_normal(xs, 0, 1);
+  std::vector<int32_t> ys(6, 0);
+  DataLoader loader(xs, ys, 6, /*shuffle=*/false, 1, AugmentConfig{});
+  bool any_diff = false;
+  loader.for_each_batch([&](int64_t, const Batch& b) {
+    for (int64_t i = 0; i < b.inputs.numel(); ++i)
+      if (b.inputs[i] != xs[i]) any_diff = true;
+  });
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace apt::data

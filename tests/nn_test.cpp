@@ -1,0 +1,478 @@
+// Unit tests for the NN substrate: GEMM vs the naive reference, im2col /
+// col2im inverses, layer forward semantics, and BatchNorm statistics.
+// (Gradient correctness is covered exhaustively in nn_gradcheck_test.cpp.)
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/gemm.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+#include "nn/quant_act.hpp"
+#include "nn/sequential.hpp"
+#include "nn/softmax_xent.hpp"
+
+namespace apt::nn {
+namespace {
+
+// ------------------------------------------------------------------ GEMM
+
+struct GemmCase {
+  bool ta, tb;
+  int64_t m, n, k;
+};
+
+class GemmVsNaive : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmVsNaive, Matches) {
+  const GemmCase c = GetParam();
+  Rng rng(1);
+  std::vector<float> a(static_cast<size_t>(c.m * c.k)),
+      b(static_cast<size_t>(c.k * c.n)), out(static_cast<size_t>(c.m * c.n)),
+      ref(static_cast<size_t>(c.m * c.n));
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  for (size_t i = 0; i < out.size(); ++i) out[i] = ref[i] = rng.uniform(-1, 1);
+
+  gemm(c.ta, c.tb, c.m, c.n, c.k, 0.7f, a.data(), b.data(), 0.3f, out.data());
+  gemm_naive(c.ta, c.tb, c.m, c.n, c.k, 0.7f, a.data(), b.data(), 0.3f,
+             ref.data());
+  for (size_t i = 0; i < out.size(); ++i)
+    EXPECT_NEAR(out[i], ref[i], 1e-3f) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmVsNaive,
+    ::testing::Values(GemmCase{false, false, 7, 9, 5},
+                      GemmCase{false, false, 64, 64, 64},
+                      GemmCase{true, false, 17, 13, 31},
+                      GemmCase{false, true, 17, 13, 31},
+                      GemmCase{true, true, 8, 24, 16},
+                      GemmCase{false, false, 1, 1, 1},
+                      GemmCase{false, false, 1, 128, 300},
+                      GemmCase{true, true, 33, 1, 65}));
+
+TEST(Gemm, BetaZeroOverwritesGarbage) {
+  std::vector<float> a{1, 2}, b{3, 4};
+  std::vector<float> c{std::numeric_limits<float>::quiet_NaN()};
+  gemm(false, false, 1, 1, 2, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  EXPECT_FLOAT_EQ(c[0], 11.0f);
+}
+
+// ------------------------------------------------------- im2col / col2im
+
+TEST(Im2col, IdentityKernelExtractsPixels) {
+  Tensor x(Shape{1, 1, 3, 3});
+  for (int64_t i = 0; i < 9; ++i) x[i] = static_cast<float>(i);
+  std::vector<float> cols(9);
+  im2col(x, 0, 0, 1, /*kernel=*/1, /*stride=*/1, /*pad=*/0, 3, 3, cols.data());
+  for (int64_t i = 0; i < 9; ++i) EXPECT_EQ(cols[static_cast<size_t>(i)], x[i]);
+}
+
+TEST(Im2col, PaddingYieldsZeros) {
+  Tensor x(Shape{1, 1, 2, 2});
+  x.fill(5.0f);
+  // 3x3 kernel, pad 1 -> output 2x2; the (0,0) patch's top-left is padding.
+  std::vector<float> cols(9 * 4);
+  im2col(x, 0, 0, 1, 3, 1, 1, 2, 2, cols.data());
+  EXPECT_EQ(cols[0], 0.0f);        // row 0 (kh=0,kw=0), out (0,0)
+  EXPECT_EQ(cols[4 * 4 + 0], 5.0f);  // centre tap sees the image
+}
+
+TEST(Col2im, IsAdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property,
+  // which is exactly what backward relies on.
+  Rng rng(3);
+  Tensor x(Shape{1, 2, 5, 5});
+  rng.fill_normal(x, 0, 1);
+  const int64_t oh = 3, ow = 3;  // kernel 3, stride 1, pad 0
+  const int64_t rows = 2 * 3 * 3;
+  std::vector<float> cols(static_cast<size_t>(rows * oh * ow));
+  im2col(x, 0, 0, 2, 3, 1, 0, oh, ow, cols.data());
+
+  std::vector<float> y(cols.size());
+  for (auto& v : y) v = rng.uniform(-1, 1);
+  Tensor back(Shape{1, 2, 5, 5});
+  col2im(y.data(), 0, 0, 2, 3, 1, 0, oh, ow, back);
+
+  double lhs = 0, rhs = 0;
+  for (size_t i = 0; i < cols.size(); ++i)
+    lhs += static_cast<double>(cols[i]) * y[i];
+  for (int64_t i = 0; i < x.numel(); ++i)
+    rhs += static_cast<double>(x[i]) * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+// ------------------------------------------------------------------ Conv
+
+TEST(Conv2d, OutputShape) {
+  Rng rng(1);
+  Conv2dOptions o;
+  o.in_channels = 3;
+  o.out_channels = 8;
+  o.stride = 2;
+  Conv2d conv("c", o, rng);
+  Tensor x(Shape{2, 3, 16, 16});
+  const Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({2, 8, 8, 8}));
+  EXPECT_EQ(conv.macs_per_sample(), 8 * 8 * 8 * 3 * 9);
+  EXPECT_EQ(conv.out_elems_per_sample(), 8 * 8 * 8);
+}
+
+TEST(Conv2d, MatchesDirectConvolution) {
+  Rng rng(1);
+  Conv2dOptions o;
+  o.in_channels = 2;
+  o.out_channels = 3;
+  Conv2d conv("c", o, rng);
+  Tensor x(Shape{1, 2, 5, 5});
+  rng.fill_normal(x, 0, 1);
+  const Tensor y = conv.forward(x, false);
+
+  // Direct triple-loop reference.
+  const Tensor& w = conv.weight().value;  // [3, 2, 3, 3]
+  for (int64_t oc = 0; oc < 3; ++oc)
+    for (int64_t oy = 0; oy < 5; ++oy)
+      for (int64_t ox = 0; ox < 5; ++ox) {
+        double acc = 0;
+        for (int64_t ic = 0; ic < 2; ++ic)
+          for (int64_t ky = 0; ky < 3; ++ky)
+            for (int64_t kx = 0; kx < 3; ++kx) {
+              const int64_t iy = oy + ky - 1, ix = ox + kx - 1;
+              if (iy < 0 || iy >= 5 || ix < 0 || ix >= 5) continue;
+              acc += static_cast<double>(
+                         w[((oc * 2 + ic) * 3 + ky) * 3 + kx]) *
+                     x.at(0, ic, iy, ix);
+            }
+        EXPECT_NEAR(y.at(0, oc, oy, ox), acc, 1e-4)
+            << oc << "," << oy << "," << ox;
+      }
+}
+
+TEST(Conv2d, DepthwiseKeepsChannelsSeparate) {
+  Rng rng(1);
+  Conv2dOptions o;
+  o.in_channels = 4;
+  o.out_channels = 4;
+  o.groups = 4;
+  Conv2d conv("dw", o, rng);
+  // Zero all weights except channel 2's filter: only channel 2 responds.
+  conv.weight().value.fill(0.0f);
+  for (int64_t i = 0; i < 9; ++i)
+    conv.weight().value[2 * 9 + i] = 1.0f;
+  Tensor x(Shape{1, 4, 4, 4});
+  x.fill(1.0f);
+  const Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.at(0, 2, 1, 1), 9.0f);  // interior: full 3x3 of ones
+  EXPECT_EQ(y.at(0, 0, 1, 1), 0.0f);
+  EXPECT_EQ(y.at(0, 3, 2, 2), 0.0f);
+}
+
+TEST(Conv2d, GroupsMustDivideChannels) {
+  Rng rng(1);
+  Conv2dOptions o;
+  o.in_channels = 3;
+  o.out_channels = 4;
+  o.groups = 2;
+  EXPECT_THROW(Conv2d("bad", o, rng), CheckError);
+}
+
+TEST(Conv2d, BackwardBeforeForwardRejected) {
+  Rng rng(1);
+  Conv2dOptions o;
+  o.in_channels = 1;
+  o.out_channels = 1;
+  Conv2d conv("c", o, rng);
+  Tensor g(Shape{1, 1, 4, 4});
+  EXPECT_THROW(conv.backward(g), CheckError);
+}
+
+// ---------------------------------------------------------------- Linear
+
+TEST(Linear, ForwardMatchesManual) {
+  Rng rng(1);
+  Linear lin("fc", 3, 2, rng);
+  lin.weight().value = Tensor(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  lin.bias().value = Tensor(Shape{2}, {0.5f, -0.5f});
+  Tensor x(Shape{1, 3}, {1, 1, 1});
+  const Tensor y = lin.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 6.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 14.5f);
+}
+
+TEST(Linear, NoBiasVariant) {
+  Rng rng(1);
+  Linear lin("fc", 4, 4, rng, /*bias=*/false);
+  EXPECT_EQ(lin.parameters().size(), 1u);
+}
+
+TEST(Linear, RejectsWrongInputWidth) {
+  Rng rng(1);
+  Linear lin("fc", 4, 2, rng);
+  Tensor x(Shape{1, 5});
+  EXPECT_THROW(lin.forward(x, false), CheckError);
+}
+
+// ------------------------------------------------------------- BatchNorm
+
+TEST(BatchNorm, NormalisesBatchInTraining) {
+  Rng rng(1);
+  BatchNorm bn("bn", 2);
+  Tensor x(Shape{64, 2});
+  rng.fill_normal(x, 3.0f, 2.0f);
+  const Tensor y = bn.forward(x, true);
+  for (int64_t c = 0; c < 2; ++c) {
+    double sum = 0, sq = 0;
+    for (int64_t n = 0; n < 64; ++n) {
+      sum += y.at(n, c);
+      sq += static_cast<double>(y.at(n, c)) * y.at(n, c);
+    }
+    EXPECT_NEAR(sum / 64, 0.0, 1e-4);
+    EXPECT_NEAR(sq / 64, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, GammaBetaApplied) {
+  BatchNorm bn("bn", 1);
+  bn.gamma().value[0] = 2.0f;
+  bn.beta().value[0] = 1.0f;
+  Tensor x(Shape{4, 1}, {-1, -1, 1, 1});
+  const Tensor y = bn.forward(x, true);
+  // x̂ = ±1 -> y = ±2 + 1
+  EXPECT_NEAR(y.at(0, 0), -1.0f, 1e-3);
+  EXPECT_NEAR(y.at(2, 0), 3.0f, 1e-3);
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  BatchNorm bn("bn", 1, /*momentum=*/0.0);  // running = last batch stats
+  Tensor x(Shape{4, 1}, {0, 0, 2, 2});      // mean 1, var 1
+  bn.forward(x, true);
+  Tensor probe(Shape{1, 1}, {1.0f});
+  const Tensor y = bn.forward(probe, false);
+  EXPECT_NEAR(y[0], 0.0f, 1e-3);  // (1 - mean)/std = 0
+}
+
+TEST(BatchNorm, Supports4d) {
+  Rng rng(1);
+  BatchNorm bn("bn", 3);
+  Tensor x(Shape{2, 3, 4, 4});
+  rng.fill_normal(x, 1.0f, 2.0f);
+  const Tensor y = bn.forward(x, true);
+  EXPECT_EQ(y.shape(), x.shape());
+  double sum = 0;
+  for (int64_t n = 0; n < 2; ++n)
+    for (int64_t i = 0; i < 16; ++i) sum += y.at(n, 0, i / 4, i % 4);
+  EXPECT_NEAR(sum / 32.0, 0.0, 1e-4);
+}
+
+TEST(BatchNorm, RejectsTinyBatchInTraining) {
+  BatchNorm bn("bn", 2);
+  Tensor x(Shape{1, 2});
+  EXPECT_THROW(bn.forward(x, true), CheckError);
+  EXPECT_NO_THROW(bn.forward(x, false));  // eval is fine
+}
+
+TEST(BatchNorm, RejectsWrongChannelCount) {
+  BatchNorm bn("bn", 2);
+  Tensor x(Shape{4, 3});
+  EXPECT_THROW(bn.forward(x, true), CheckError);
+}
+
+// ----------------------------------------------------------- activations
+
+TEST(ReLU, ForwardClampsNegative) {
+  ReLU relu("r");
+  Tensor x(Shape{4}, {-1, 0, 2, 5});
+  const Tensor y = relu.forward(x, true);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[2], 2.0f);
+}
+
+TEST(ReLU, Relu6Caps) {
+  ReLU relu6("r6", 6.0f);
+  Tensor x(Shape{3}, {-1, 3, 10});
+  const Tensor y = relu6.forward(x, true);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[1], 3.0f);
+  EXPECT_EQ(y[2], 6.0f);
+}
+
+TEST(ReLU, BackwardMasks) {
+  ReLU relu6("r6", 6.0f);
+  Tensor x(Shape{3}, {-1, 3, 10});
+  relu6.forward(x, true);
+  Tensor g(Shape{3}, {1, 1, 1});
+  const Tensor dx = relu6.backward(g);
+  EXPECT_EQ(dx[0], 0.0f);  // below zero
+  EXPECT_EQ(dx[1], 1.0f);  // pass
+  EXPECT_EQ(dx[2], 0.0f);  // above cap
+}
+
+TEST(Dropout, EvalIsIdentity) {
+  Rng rng(1);
+  Dropout d("d", 0.5, rng);
+  Tensor x(Shape{8}, {1, 2, 3, 4, 5, 6, 7, 8});
+  const Tensor y = d.forward(x, false);
+  for (int64_t i = 0; i < 8; ++i) EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(Dropout, TrainPreservesMeanApproximately) {
+  Rng rng(1);
+  Dropout d("d", 0.3, rng);
+  Tensor x(Shape{20000});
+  x.fill(1.0f);
+  const Tensor y = d.forward(x, true);
+  EXPECT_NEAR(y.mean(), 1.0f, 0.05f);
+}
+
+// ----------------------------------------------------------------- pools
+
+TEST(GlobalAvgPool, AveragesSpatial) {
+  GlobalAvgPool gap("gap");
+  Tensor x(Shape{1, 2, 2, 2});
+  for (int64_t i = 0; i < 4; ++i) x[i] = static_cast<float>(i);  // ch 0
+  for (int64_t i = 4; i < 8; ++i) x[i] = 10.0f;                  // ch 1
+  const Tensor y = gap.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({1, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 10.0f);
+}
+
+TEST(GlobalAvgPool, BackwardSpreadsUniformly) {
+  GlobalAvgPool gap("gap");
+  Tensor x(Shape{1, 1, 2, 2});
+  gap.forward(x, true);
+  Tensor g(Shape{1, 1}, {4.0f});
+  const Tensor dx = gap.backward(g);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(dx[i], 1.0f);
+}
+
+TEST(MaxPool2d, PicksMaxAndRoutesGradient) {
+  MaxPool2d mp("mp", 2);
+  Tensor x(Shape{1, 1, 2, 2}, {1, 5, 3, 2});
+  const Tensor y = mp.forward(x, true);
+  EXPECT_EQ(y.numel(), 1);
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  Tensor g(Shape{1, 1, 1, 1}, {2.0f});
+  const Tensor dx = mp.backward(g);
+  EXPECT_FLOAT_EQ(dx[1], 2.0f);  // gradient lands on argmax only
+  EXPECT_FLOAT_EQ(dx[0], 0.0f);
+}
+
+TEST(Flatten, RoundTrips) {
+  Flatten f("flat");
+  Tensor x(Shape{2, 3, 4, 4});
+  const Tensor y = f.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({2, 48}));
+  const Tensor back = f.backward(y);
+  EXPECT_EQ(back.shape(), x.shape());
+}
+
+// --------------------------------------------------------------- softmax
+
+TEST(SoftmaxXent, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits(Shape{2, 4});
+  const float l = loss.forward(logits, {0, 3});
+  EXPECT_NEAR(l, std::log(4.0f), 1e-5);
+}
+
+TEST(SoftmaxXent, PerfectPredictionNearZeroLoss) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits(Shape{1, 3}, {100.0f, 0.0f, 0.0f});
+  EXPECT_NEAR(loss.forward(logits, {0}), 0.0f, 1e-5);
+}
+
+TEST(SoftmaxXent, GradientIsSoftmaxMinusOnehotOverN) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits(Shape{2, 2});
+  loss.forward(logits, {0, 1});
+  const Tensor g = loss.backward();
+  EXPECT_NEAR(g.at(0, 0), (0.5 - 1.0) / 2.0, 1e-6);
+  EXPECT_NEAR(g.at(0, 1), 0.5 / 2.0, 1e-6);
+  // Gradient rows sum to zero.
+  EXPECT_NEAR(g.at(1, 0) + g.at(1, 1), 0.0, 1e-6);
+}
+
+TEST(SoftmaxXent, NumericallyStableForHugeLogits) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits(Shape{1, 2}, {10000.0f, -10000.0f});
+  const float l = loss.forward(logits, {1});
+  EXPECT_TRUE(std::isfinite(l));
+  EXPECT_GT(l, 1000.0f);
+}
+
+TEST(SoftmaxXent, LabelOutOfRangeRejected) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits(Shape{1, 3});
+  EXPECT_THROW(loss.forward(logits, {3}), CheckError);
+  EXPECT_THROW(loss.forward(logits, {-1}), CheckError);
+}
+
+TEST(SoftmaxXent, PredictionsAreArgmax) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits(Shape{2, 3}, {0, 5, 1, 9, 2, 3});
+  loss.forward(logits, {0, 0});
+  EXPECT_EQ(loss.predictions()[0], 1);
+  EXPECT_EQ(loss.predictions()[1], 0);
+}
+
+TEST(Accuracy, CountsMatches) {
+  EXPECT_DOUBLE_EQ(accuracy({1, 2, 3}, {1, 0, 3}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(accuracy({}, {}), 0.0);
+}
+
+// -------------------------------------------------------------- QuantAct
+
+TEST(QuantAct, PassThroughAt32Bits) {
+  QuantAct qa("qa", 32);
+  Tensor x(Shape{4}, {1, 2, 3, 4});
+  const Tensor y = qa.forward(x, true);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(QuantAct, QuantisesOntoGridAfterWarmup) {
+  QuantAct qa("qa", 4);
+  Rng rng(1);
+  Tensor x(Shape{64});
+  rng.fill_normal(x, 0, 1);
+  qa.forward(x, true);  // warmup observes range
+  const Tensor y = qa.forward(x, true);
+  // At 4 bits, outputs take at most 16 distinct values.
+  std::set<float> distinct(y.span().begin(), y.span().end());
+  EXPECT_LE(distinct.size(), 16u);
+}
+
+// ------------------------------------------------------------ Sequential
+
+TEST(Sequential, ComposesAndExposesParams) {
+  Rng rng(1);
+  Sequential net("net");
+  net.emplace<Linear>("fc1", 4, 8, rng);
+  net.emplace<ReLU>("r");
+  net.emplace<Linear>("fc2", 8, 2, rng);
+  EXPECT_EQ(net.size(), 3u);
+  EXPECT_EQ(net.parameters().size(), 4u);  // 2x (weight + bias)
+  Tensor x(Shape{5, 4});
+  const Tensor y = net.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({5, 2}));
+  const Tensor dx = net.backward(Tensor(Shape{5, 2}));
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(Sequential, LeafCollection) {
+  Rng rng(1);
+  Sequential net("net");
+  net.emplace<Linear>("fc1", 4, 8, rng);
+  net.emplace<ReLU>("r");
+  auto leaves = leaves_of(net);
+  EXPECT_EQ(leaves.size(), 2u);
+  EXPECT_EQ(leaves[0]->name(), "fc1");
+}
+
+}  // namespace
+}  // namespace apt::nn

@@ -1,0 +1,313 @@
+// Unit + property tests for the quantisation substrate: the affine scheme
+// r = S(q - Z), the paper's ε (Eq. 2), rounding modes, the grid update
+// (Eq. 3) with quantisation underflow, and range management.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.hpp"
+#include "quant/affine.hpp"
+#include "quant/fake_quant.hpp"
+#include "quant/qtensor.hpp"
+
+namespace apt::quant {
+namespace {
+
+// ---------------------------------------------------------- choose_params
+
+TEST(Affine, EpsilonMatchesEq2) {
+  // ε = (max - min) / (2^k - 1) for a range already containing 0.
+  const QuantParams p = choose_params(-1.0f, 3.0f, 4);
+  EXPECT_NEAR(p.epsilon(), 4.0 / 15.0, 1e-9);
+}
+
+TEST(Affine, ZeroAlwaysRepresentable) {
+  for (float lo : {0.5f, -2.0f}) {
+    const QuantParams p = choose_params(lo, lo + 1.0f, 6);
+    // Some code must dequantise to exactly zero.
+    bool has_zero = false;
+    for (int64_t q = 0; q <= max_code(6); ++q)
+      if (p.dequantize(q) == 0.0f) has_zero = true;
+    EXPECT_TRUE(has_zero) << "lo=" << lo;
+  }
+}
+
+TEST(Affine, DegenerateRangeGetsPositiveScale) {
+  const QuantParams p = choose_params(0.0f, 0.0f, 8);
+  EXPECT_GT(p.scale, 0.0);
+}
+
+TEST(Affine, BadInputsRejected) {
+  EXPECT_THROW(choose_params(1.0f, 0.0f, 8), CheckError);   // lo > hi
+  EXPECT_THROW(choose_params(0.0f, 1.0f, 1), CheckError);   // k < 2
+  EXPECT_THROW(choose_params(0.0f, 1.0f, 33), CheckError);  // k > 32
+  EXPECT_THROW(choose_params(0.0f, std::numeric_limits<float>::infinity(), 8),
+               CheckError);
+}
+
+TEST(Affine, ZeroPointInsideCodeRange) {
+  const QuantParams p = choose_params(-10.0f, 0.5f, 3);
+  EXPECT_GE(p.zero_point, 0);
+  EXPECT_LE(p.zero_point, max_code(3));
+}
+
+// Property sweep: round-trip error bounded by ε/2 for in-range values.
+class AffineBitwidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(AffineBitwidth, RoundTripErrorBounded) {
+  const int bits = GetParam();
+  Rng rng(bits);
+  Tensor t(Shape{256});
+  rng.fill_normal(t, 0.0f, 1.0f);
+  const QuantParams p = choose_params(t, bits);
+  for (float v : t.span()) {
+    const float back = p.dequantize(quantize_value(v, p));
+    // 0.5ε quantisation bound plus float32 representation error (which
+    // dominates once ε approaches float's own resolution at k >= 24).
+    const double bound = 0.5001 * p.epsilon() + 2e-6 * std::fabs(v);
+    EXPECT_LE(std::fabs(back - v), bound) << "bits=" << bits << " v=" << v;
+  }
+}
+
+TEST_P(AffineBitwidth, EpsilonShrinksWithBits) {
+  const int bits = GetParam();
+  if (bits >= 32) return;
+  const QuantParams lo = choose_params(-1.0f, 1.0f, bits);
+  const QuantParams hi = choose_params(-1.0f, 1.0f, bits + 1);
+  // One more bit halves ε exactly as (2^(k+1)-1)/(2^k-1).
+  const double expected =
+      (num_states(bits + 1) - 1.0) / (num_states(bits) - 1.0);
+  EXPECT_NEAR(lo.epsilon() / hi.epsilon(), expected, 1e-6);
+}
+
+TEST_P(AffineBitwidth, OutOfRangeSaturates) {
+  const int bits = GetParam();
+  const QuantParams p = choose_params(-1.0f, 1.0f, bits);
+  EXPECT_EQ(quantize_value(100.0f, p), max_code(bits));
+  EXPECT_EQ(quantize_value(-100.0f, p), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bitwidths, AffineBitwidth,
+                         ::testing::Values(2, 3, 4, 6, 8, 12, 16, 24, 31, 32));
+
+// -------------------------------------------------------------- rounding
+
+TEST(Rounding, TruncTowardZero) {
+  EXPECT_EQ(round_steps(2.9, RoundMode::kTrunc), 2);
+  EXPECT_EQ(round_steps(-2.9, RoundMode::kTrunc), -2);
+  EXPECT_EQ(round_steps(0.99, RoundMode::kTrunc), 0);
+  EXPECT_EQ(round_steps(-0.99, RoundMode::kTrunc), 0);
+}
+
+TEST(Rounding, Nearest) {
+  EXPECT_EQ(round_steps(2.5, RoundMode::kNearest), 3);
+  EXPECT_EQ(round_steps(2.4, RoundMode::kNearest), 2);
+  EXPECT_EQ(round_steps(-2.5, RoundMode::kNearest), -3);
+}
+
+TEST(Rounding, StochasticBracketsValue) {
+  // u < frac rounds up, else down.
+  EXPECT_EQ(round_steps(2.3, RoundMode::kStochastic, 0.2), 3);
+  EXPECT_EQ(round_steps(2.3, RoundMode::kStochastic, 0.9), 2);
+  EXPECT_EQ(round_steps(-2.3, RoundMode::kStochastic, 0.9), -3);
+  EXPECT_EQ(round_steps(-2.3, RoundMode::kStochastic, 0.2), -2);
+}
+
+TEST(Rounding, StochasticUnbiasedInExpectation) {
+  Rng rng(5);
+  const double x = 1.75;
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    sum += static_cast<double>(round_steps(x, RoundMode::kStochastic,
+                                           rng.uniform()));
+  EXPECT_NEAR(sum / n, x, 0.02);
+}
+
+// ------------------------------------------------------- QuantizedTensor
+
+TEST(QuantizedTensor, DequantizeMatchesOriginalWithinEps) {
+  Rng rng(1);
+  Tensor t(Shape{64});
+  rng.fill_normal(t, 0.0f, 0.5f);
+  QuantizedTensor q(t, 8);
+  const Tensor back = q.dequantize();
+  for (int64_t i = 0; i < t.numel(); ++i)
+    EXPECT_NEAR(back[i], t[i], 0.51 * q.epsilon());
+}
+
+TEST(QuantizedTensor, AllValuesOnGrid) {
+  Rng rng(1);
+  Tensor t(Shape{64});
+  rng.fill_normal(t, 0.0f, 0.5f);
+  QuantizedTensor q(t, 5);
+  const Tensor back = q.dequantize();
+  const auto& p = q.params();
+  for (int64_t i = 0; i < back.numel(); ++i) {
+    const double steps = back[i] / p.scale + static_cast<double>(p.zero_point);
+    EXPECT_NEAR(steps, std::round(steps), 1e-4) << "value off-grid";
+  }
+}
+
+TEST(QuantizedTensor, UpdateMovesByGridSteps) {
+  Tensor t(Shape{1}, {0.0f});
+  QuantizedTensor q(t, 8);
+  q.requantize(8, -1.0f, 1.0f);
+  const double eps = q.epsilon();
+  Tensor delta(Shape{1}, {static_cast<float>(3.4 * eps)});
+  const UpdateStats s = q.apply_update(delta, RoundMode::kTrunc);
+  EXPECT_EQ(s.moved, 1);
+  EXPECT_EQ(s.underflowed, 0);
+  // w := w - trunc(3.4)·ε = -3ε
+  EXPECT_NEAR(q.dequantize()[0], -3.0 * eps, 1e-6);
+}
+
+TEST(QuantizedTensor, UnderflowWhenStepBelowEpsilon) {
+  // The paper's Eq. 3: lr·g < ε leaves the weight unchanged.
+  Tensor t(Shape{4}, {0.1f, -0.2f, 0.3f, 0.0f});
+  QuantizedTensor q(t, 4);
+  const Tensor before = q.dequantize();
+  Tensor delta(Shape{4});
+  delta.fill(static_cast<float>(0.49 * q.epsilon()));
+  const UpdateStats s = q.apply_update(delta, RoundMode::kTrunc);
+  EXPECT_EQ(s.underflowed, 4);
+  EXPECT_EQ(s.moved, 0);
+  const Tensor after = q.dequantize();
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(after[i], before[i]);
+}
+
+TEST(QuantizedTensor, LowerPrecisionUnderflowsMore) {
+  // Same update, two precisions: the lower-precision tensor underflows.
+  Rng rng(9);
+  Tensor t(Shape{128});
+  rng.fill_normal(t, 0.0f, 1.0f);
+  Tensor delta(Shape{128});
+  delta.fill(1e-3f);
+  QuantizedTensor q4(t, 4), q16(t, 16);
+  const UpdateStats s4 = q4.apply_update(delta, RoundMode::kTrunc);
+  const UpdateStats s16 = q16.apply_update(delta, RoundMode::kTrunc);
+  EXPECT_GT(s4.underflow_fraction(), 0.99);
+  EXPECT_LT(s16.underflow_fraction(), 0.01);
+}
+
+TEST(QuantizedTensor, ClampAtGridEdges) {
+  Tensor t(Shape{1}, {1.0f});
+  QuantizedTensor q(t, 4);
+  q.requantize(4, 0.0f, 1.0f);
+  Tensor big(Shape{1}, {-100.0f});  // w := w + 100 -> clamps at max code
+  const UpdateStats s = q.apply_update(big, RoundMode::kTrunc);
+  EXPECT_EQ(s.clamped, 1);
+  EXPECT_NEAR(q.dequantize()[0], q.params().range_max(), 1e-6);
+  EXPECT_NEAR(q.saturation_fraction(), 1.0, 1e-9);
+}
+
+TEST(QuantizedTensor, RequantizePreservesValues) {
+  Rng rng(2);
+  Tensor t(Shape{64});
+  rng.fill_normal(t, 0.0f, 1.0f);
+  QuantizedTensor q(t, 12);
+  const Tensor before = q.dequantize();
+  q.requantize(16);
+  const Tensor after = q.dequantize();
+  for (int64_t i = 0; i < 64; ++i)
+    EXPECT_NEAR(after[i], before[i], 3.0 * q.epsilon());
+  EXPECT_EQ(q.bits(), 16);
+}
+
+TEST(QuantizedTensor, RequantizeDownLosesAtMostNewEps) {
+  Rng rng(2);
+  Tensor t(Shape{64});
+  rng.fill_normal(t, 0.0f, 1.0f);
+  QuantizedTensor q(t, 16);
+  const Tensor before = q.dequantize();
+  q.requantize(6, before.min(), before.max());
+  const Tensor after = q.dequantize();
+  for (int64_t i = 0; i < 64; ++i)
+    EXPECT_NEAR(after[i], before[i], 0.51 * q.epsilon());
+}
+
+TEST(QuantizedTensor, StochasticUpdateRequiresRng) {
+  Tensor t(Shape{2});
+  QuantizedTensor q(t, 8);
+  Tensor delta(Shape{2});
+  EXPECT_THROW(q.apply_update(delta, RoundMode::kStochastic, nullptr),
+               CheckError);
+}
+
+TEST(QuantizedTensor, StochasticUpdateEscapesUnderflow) {
+  // With stochastic rounding a sub-ε step still moves in expectation.
+  Rng rng(11);
+  Tensor t(Shape{4096});
+  t.fill(0.0f);
+  QuantizedTensor q(t, 8);
+  q.requantize(8, -1.0f, 1.0f);
+  Tensor delta(Shape{4096});
+  delta.fill(static_cast<float>(0.25 * q.epsilon()));
+  const UpdateStats s = q.apply_update(delta, RoundMode::kStochastic, &rng);
+  EXPECT_NEAR(static_cast<double>(s.moved) / s.total, 0.25, 0.05);
+}
+
+TEST(QuantizedTensor, ShapeMismatchRejected) {
+  Tensor t(Shape{4});
+  QuantizedTensor q(t, 8);
+  Tensor delta(Shape{5});
+  EXPECT_THROW(q.apply_update(delta, RoundMode::kTrunc), CheckError);
+}
+
+// Property sweep over bitwidths for update arithmetic.
+class GridUpdateBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridUpdateBits, StepsTruncateOntoGrid) {
+  // A 2.5ε step must move exactly 2ε under truncation. (Exact multiples of
+  // ε are deliberately not tested: ⌊δ/ε⌋ sits on a knife edge there and
+  // fp32 representation of δ decides the side — inherent to Eq. 3, not a
+  // library property.)
+  const int bits = GetParam();
+  Tensor t(Shape{1}, {0.0f});
+  QuantizedTensor q(t, bits);
+  q.requantize(bits, -1.0f, 1.0f);
+  const double eps = q.epsilon();
+  const float start = q.dequantize()[0];
+  Tensor delta(Shape{1}, {static_cast<float>(-2.5 * eps)});  // w += 2.5ε
+  q.apply_update(delta, RoundMode::kTrunc);
+  EXPECT_NEAR(q.dequantize()[0], start + 2.0 * eps, 1e-4 * eps + 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bitwidths, GridUpdateBits,
+                         ::testing::Values(3, 4, 6, 8, 12, 16));
+
+// ------------------------------------------------------------ fake-quant
+
+TEST(FakeQuant, ValuesLandOnGrid) {
+  Rng rng(3);
+  Tensor t(Shape{64});
+  rng.fill_normal(t, 0.0f, 1.0f);
+  const Tensor fq = fake_quantize(t, -2.0f, 2.0f, 4);
+  const QuantParams p = choose_params(-2.0f, 2.0f, 4);
+  for (float v : fq.span()) {
+    const double steps = v / p.scale;
+    EXPECT_NEAR(steps, std::round(steps), 1e-4);
+  }
+}
+
+TEST(FakeQuant, SteMaskZeroOutsideRange) {
+  Tensor t(Shape{3}, {-10.0f, 0.0f, 10.0f});
+  const Tensor mask = ste_mask(t, -1.0f, 1.0f, 8);
+  EXPECT_EQ(mask[0], 0.0f);
+  EXPECT_EQ(mask[1], 1.0f);
+  EXPECT_EQ(mask[2], 0.0f);
+}
+
+TEST(RangeTracker, TracksEma) {
+  RangeTracker rt(0.5);
+  Tensor a(Shape{2}, {-1.0f, 1.0f});
+  Tensor b(Shape{2}, {-3.0f, 3.0f});
+  rt.observe(a);
+  EXPECT_FLOAT_EQ(rt.lo(), -1.0f);
+  rt.observe(b);
+  EXPECT_FLOAT_EQ(rt.lo(), -2.0f);  // 0.5·(-1) + 0.5·(-3)
+  EXPECT_FLOAT_EQ(rt.hi(), 2.0f);
+}
+
+}  // namespace
+}  // namespace apt::quant

@@ -1,0 +1,387 @@
+// Tests for the training substrate: schedules, SGD + representations,
+// baselines (master copy, TernGrad), metrics, and Trainer bookkeeping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/grid_representation.hpp"
+#include "data/loader.hpp"
+#include "data/spiral.hpp"
+#include "models/zoo.hpp"
+#include "nn/linear.hpp"
+#include "train/baselines.hpp"
+#include "train/metrics.hpp"
+#include "train/schedule.hpp"
+#include "train/trainer.hpp"
+
+namespace apt::train {
+namespace {
+
+// -------------------------------------------------------------- schedule
+
+TEST(Schedule, PaperCifar10Recipe) {
+  StepDecaySchedule s(0.1, {100, 150});
+  EXPECT_DOUBLE_EQ(s.lr_at(0), 0.1);
+  EXPECT_DOUBLE_EQ(s.lr_at(99), 0.1);
+  EXPECT_NEAR(s.lr_at(100), 0.01, 1e-12);
+  EXPECT_NEAR(s.lr_at(150), 0.001, 1e-12);
+  EXPECT_NEAR(s.lr_at(199), 0.001, 1e-12);
+}
+
+TEST(Schedule, PaperCifar100WarmupRecipe) {
+  StepDecaySchedule s(0.1, {100, 150}, 0.1, /*warmup_epochs=*/2,
+                      /*warmup_lr=*/0.01);
+  EXPECT_DOUBLE_EQ(s.lr_at(0), 0.01);
+  EXPECT_DOUBLE_EQ(s.lr_at(1), 0.01);
+  EXPECT_DOUBLE_EQ(s.lr_at(2), 0.1);
+}
+
+TEST(Schedule, ScaledPreservesShape) {
+  StepDecaySchedule s(0.1, {100, 150});
+  StepDecaySchedule half = s.scaled(0.2);  // 200-epoch recipe -> 40 epochs
+  EXPECT_DOUBLE_EQ(half.lr_at(19), 0.1);
+  EXPECT_NEAR(half.lr_at(20), 0.01, 1e-12);
+  EXPECT_NEAR(half.lr_at(30), 0.001, 1e-12);
+}
+
+TEST(Schedule, RejectsBadParams) {
+  EXPECT_THROW(StepDecaySchedule(0.0, {}), CheckError);
+  EXPECT_THROW(StepDecaySchedule(0.1, {}, 0.0), CheckError);
+}
+
+// --------------------------------------------------------------- metrics
+
+TEST(MovingAverage, FirstObservationInitialises) {
+  MovingAverage ma(0.9);
+  EXPECT_FALSE(ma.initialized());
+  ma.observe(10.0);
+  EXPECT_DOUBLE_EQ(ma.value(), 10.0);
+  ma.observe(0.0);
+  EXPECT_DOUBLE_EQ(ma.value(), 9.0);
+}
+
+TEST(MovingAverage, ZeroMomentumTracksLastValue) {
+  MovingAverage ma(0.0);
+  ma.observe(1.0);
+  ma.observe(7.0);
+  EXPECT_DOUBLE_EQ(ma.value(), 7.0);
+}
+
+TEST(History, EnergyToReach) {
+  History h;
+  for (int e = 0; e < 3; ++e) {
+    EpochStats s;
+    s.epoch = e;
+    s.test_accuracy = 0.3 * (e + 1);
+    s.cumulative_energy_j = 1.0 * (e + 1);
+    h.epochs.push_back(s);
+  }
+  EXPECT_DOUBLE_EQ(h.energy_to_reach(0.55), 2.0);
+  EXPECT_DOUBLE_EQ(h.energy_to_reach(0.1), 1.0);
+  EXPECT_LT(h.energy_to_reach(0.99), 0.0);  // never reached
+  EXPECT_DOUBLE_EQ(h.best_test_accuracy(), 0.9);
+  EXPECT_DOUBLE_EQ(h.final_test_accuracy(), 0.9);
+  EXPECT_DOUBLE_EQ(h.total_energy_j(), 3.0);
+}
+
+// ------------------------------------------------------------------- SGD
+
+nn::Parameter* single_param(nn::Sequential& net) {
+  return net.parameters().front();
+}
+
+TEST(Sgd, PlainStepMatchesManual) {
+  Rng rng(1);
+  nn::Sequential net("n");
+  net.emplace<nn::Linear>("fc", 2, 1, rng, /*bias=*/false);
+  nn::Parameter* w = single_param(net);
+  w->value[0] = 1.0f;
+  w->value[1] = 2.0f;
+  Sgd sgd(net.parameters(), {.momentum = 0.0, .weight_decay = 0.0});
+  w->grad[0] = 0.5f;
+  w->grad[1] = -0.5f;
+  sgd.step(0.1);
+  EXPECT_NEAR(w->value[0], 0.95f, 1e-6);
+  EXPECT_NEAR(w->value[1], 2.05f, 1e-6);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Rng rng(1);
+  nn::Sequential net("n");
+  net.emplace<nn::Linear>("fc", 1, 1, rng, /*bias=*/false);
+  nn::Parameter* w = single_param(net);
+  w->value[0] = 0.0f;
+  Sgd sgd(net.parameters(), {.momentum = 0.5, .weight_decay = 0.0});
+  w->grad[0] = 1.0f;
+  sgd.step(1.0);  // v=1, w=-1
+  w->grad[0] = 1.0f;
+  sgd.step(1.0);  // v=1.5, w=-2.5
+  EXPECT_NEAR(w->value[0], -2.5f, 1e-6);
+}
+
+TEST(Sgd, WeightDecayOnlyWhereFlagged) {
+  Rng rng(1);
+  nn::Sequential net("n");
+  net.emplace<nn::Linear>("fc", 1, 1, rng, /*bias=*/true);
+  auto params = net.parameters();
+  nn::Parameter* w = params[0];
+  nn::Parameter* b = params[1];
+  ASSERT_TRUE(w->decay);
+  ASSERT_FALSE(b->decay);  // paper recipe: no decay on biases
+  w->value[0] = 1.0f;
+  b->value[0] = 1.0f;
+  Sgd sgd(params, {.momentum = 0.0, .weight_decay = 0.1});
+  w->grad[0] = 0.0f;
+  b->grad[0] = 0.0f;
+  sgd.step(1.0);
+  EXPECT_NEAR(w->value[0], 0.9f, 1e-6);   // decayed
+  EXPECT_NEAR(b->value[0], 1.0f, 1e-6);   // untouched
+}
+
+TEST(Sgd, ZeroGradClears) {
+  Rng rng(1);
+  nn::Sequential net("n");
+  net.emplace<nn::Linear>("fc", 2, 2, rng);
+  Sgd sgd(net.parameters(), {});
+  for (auto* p : net.parameters()) p->grad.fill(3.0f);
+  sgd.zero_grad();
+  for (auto* p : net.parameters())
+    for (float g : p->grad.span()) EXPECT_EQ(g, 0.0f);
+}
+
+TEST(Sgd, QuantisedParamsReportUnderflow) {
+  Rng rng(1);
+  nn::Sequential net("n");
+  net.emplace<nn::Linear>("fc", 8, 8, rng, /*bias=*/false);
+  core::GridOptions go;
+  go.bits = 3;  // huge ε
+  core::attach_grid(net, go);
+  Sgd sgd(net.parameters(), {.momentum = 0.0, .weight_decay = 0.0});
+  for (auto* p : net.parameters()) p->grad.fill(1e-6f);
+  const quant::UpdateStats s = sgd.step(0.1);
+  EXPECT_EQ(s.underflowed, 64);
+  EXPECT_EQ(s.moved, 0);
+}
+
+TEST(Sgd, GradTransformApplied) {
+  Rng rng(1);
+  nn::Sequential net("n");
+  net.emplace<nn::Linear>("fc", 1, 1, rng, /*bias=*/false);
+  nn::Parameter* w = single_param(net);
+  w->value[0] = 0.0f;
+  // Transform that zeroes all gradients: weight must not move.
+  Sgd sgd(net.parameters(), {.momentum = 0.0, .weight_decay = 0.0},
+          [](const nn::Parameter&, Tensor& g) { g.fill(0.0f); });
+  w->grad[0] = 5.0f;
+  sgd.step(0.1);
+  EXPECT_EQ(w->value[0], 0.0f);
+}
+
+// -------------------------------------------------------------- baselines
+
+TEST(MasterCopy, AbsorbsSubEpsilonUpdates) {
+  // The defining difference from GridRepresentation: tiny steps accumulate
+  // in the fp32 master and eventually surface in the quantised view.
+  nn::Parameter p("w", Shape{1});
+  p.value[0] = 0.0f;
+  auto rep = std::make_shared<MasterCopyRepresentation>(p, 4);
+  p.rep = rep;
+  Tensor step(Shape{1});
+  step.fill(-1e-3f);
+  float before = p.value[0];
+  bool moved = false;
+  for (int i = 0; i < 2000 && !moved; ++i) {
+    rep->apply_step(p, step);
+    moved = p.value[0] != before;
+  }
+  EXPECT_TRUE(moved) << "master copy must accumulate sub-ε progress";
+}
+
+TEST(MasterCopy, MemoryIncludesMaster) {
+  nn::Parameter p("w", Shape{100});
+  auto rep = std::make_shared<MasterCopyRepresentation>(p, 8);
+  EXPECT_EQ(rep->memory_bits(p), 100 * (32 + 8));
+}
+
+TEST(MasterCopy, ViewStaysOnGrid) {
+  Rng rng(1);
+  nn::Parameter p("w", Shape{32});
+  rng.fill_normal(p.value, 0.0f, 1.0f);
+  auto rep = std::make_shared<MasterCopyRepresentation>(p, 4);
+  p.rep = rep;
+  Tensor step(Shape{32});
+  rng.fill_normal(step, 0.0f, 0.05f);
+  rep->apply_step(p, step);
+  // At 4 bits the view can take at most 16 distinct values.
+  std::set<float> distinct(p.value.span().begin(), p.value.span().end());
+  EXPECT_LE(distinct.size(), 16u);
+}
+
+TEST(MasterCopy, AttachHelperCoversModel) {
+  Rng rng(1);
+  auto net = models::make_mlp(4, {8}, 2, rng);
+  attach_master_copy(*net, 8);
+  for (auto* p : net->parameters()) {
+    ASSERT_TRUE(p->rep);
+    EXPECT_EQ(p->rep->bits(), 8);
+    EXPECT_GT(p->rep->memory_bits(*p), 32 * p->numel());
+  }
+}
+
+TEST(TernGrad, OutputIsTernary) {
+  GradTransform tg = make_terngrad_transform(7);
+  nn::Parameter p("w", Shape{64});
+  Rng rng(1);
+  Tensor g(Shape{64});
+  rng.fill_normal(g, 0.0f, 1.0f);
+  const float s = g.abs_max();
+  tg(p, g);
+  for (float v : g.span()) {
+    EXPECT_TRUE(v == 0.0f || std::fabs(std::fabs(v) - s) < 1e-6)
+        << "not ternary: " << v;
+  }
+}
+
+TEST(TernGrad, UnbiasedInExpectation) {
+  GradTransform tg = make_terngrad_transform(7);
+  nn::Parameter p("w", Shape{1});
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    Tensor g(Shape{1}, {0.3f});
+    // abs_max == 0.3 -> P(keep) = 1; vary by adding a second element.
+    Tensor g2(Shape{2}, {0.3f, 1.0f});
+    nn::Parameter p2("w", Shape{2});
+    tg(p2, g2);
+    sum += g2[0];
+  }
+  EXPECT_NEAR(sum / n, 0.3, 0.02);
+}
+
+TEST(TernGrad, ZeroGradUntouched) {
+  GradTransform tg = make_terngrad_transform(7);
+  nn::Parameter p("w", Shape{4});
+  Tensor g(Shape{4});
+  tg(p, g);
+  for (float v : g.span()) EXPECT_EQ(v, 0.0f);
+}
+
+// ---------------------------------------------------------------- Trainer
+
+TEST(Trainer, UnitsMatchWeightedLeavesAndBitsDefault32) {
+  Rng rng(1);
+  auto net = models::make_mlp(2, {8}, 2, rng);
+  const data::TabularSet set = data::make_spiral({.points_per_class = 8});
+  data::DataLoader loader(set.features, set.labels, 8, true, 1);
+  TrainerConfig cfg;
+  cfg.epochs = 1;
+  Trainer trainer(*net, loader, set.features, set.labels, cfg);
+  // fc0 (w,b), bn (gamma,beta), head (w,b) -> 3 units.
+  EXPECT_EQ(trainer.units().size(), 3u);
+  for (const auto& u : trainer.units()) {
+    EXPECT_EQ(Trainer::unit_bits(u), 32);
+    EXPECT_FALSE(Trainer::unit_has_master(u));
+  }
+  EXPECT_GT(trainer.model_memory_bits(), 0.0);
+}
+
+TEST(Trainer, RunProducesConsistentHistory) {
+  Rng rng(1);
+  auto net = models::make_mlp(2, {16}, 3, rng);
+  const data::TabularSet set = data::make_spiral({.points_per_class = 32});
+  data::DataLoader loader(set.features, set.labels, 16, true, 1);
+  TrainerConfig cfg;
+  cfg.epochs = 3;
+  cfg.schedule = StepDecaySchedule(0.05, {});
+  Trainer trainer(*net, loader, set.features, set.labels, cfg);
+  const History h = trainer.run();
+  ASSERT_EQ(h.epochs.size(), 3u);
+  EXPECT_EQ(h.unit_names.size(), trainer.units().size());
+  // Energy strictly accumulates; memory constant for fp32.
+  EXPECT_GT(h.epochs[0].cumulative_energy_j, 0.0);
+  EXPECT_LT(h.epochs[0].cumulative_energy_j, h.epochs[2].cumulative_energy_j);
+  EXPECT_EQ(h.epochs[0].model_memory_bits, h.epochs[2].model_memory_bits);
+  // fp32 training never underflows.
+  for (const auto& e : h.epochs) EXPECT_EQ(e.underflow_fraction, 0.0);
+  // Bits recorded as 32 everywhere.
+  for (int b : h.epochs[0].unit_bits) EXPECT_EQ(b, 32);
+}
+
+TEST(Trainer, LearnsSpiralFp32) {
+  Rng rng(1);
+  auto net = models::make_mlp(2, {32, 32}, 3, rng);
+  const data::TabularSet train_set =
+      data::make_spiral({.points_per_class = 128, .noise = 0.05f, .seed = 3});
+  const data::TabularSet test_set =
+      data::make_spiral({.points_per_class = 64, .noise = 0.05f, .seed = 4});
+  data::DataLoader loader(train_set.features, train_set.labels, 64, true, 1);
+  TrainerConfig cfg;
+  cfg.epochs = 25;
+  cfg.schedule = StepDecaySchedule(0.1, {18});
+  Trainer trainer(*net, loader, test_set.features, test_set.labels, cfg);
+  const History h = trainer.run();
+  EXPECT_GT(h.best_test_accuracy(), 0.9) << "fp32 MLP should solve spiral";
+}
+
+TEST(Trainer, HooksFireInOrder) {
+  struct Recorder : TrainHook {
+    std::vector<std::string> events;
+    void on_train_begin(Trainer&) override { events.push_back("begin"); }
+    void on_gradients(Trainer&, int64_t) override {
+      if (events.empty() || events.back() != "grad") events.push_back("grad");
+    }
+    void on_epoch_end(Trainer&, int epoch) override {
+      events.push_back("epoch" + std::to_string(epoch));
+    }
+  };
+  Rng rng(1);
+  auto net = models::make_mlp(2, {4}, 3, rng);
+  const data::TabularSet set = data::make_spiral({.points_per_class = 8});
+  data::DataLoader loader(set.features, set.labels, 8, true, 1);
+  TrainerConfig cfg;
+  cfg.epochs = 2;
+  Trainer trainer(*net, loader, set.features, set.labels, cfg);
+  Recorder rec;
+  trainer.add_hook(&rec);
+  trainer.run();
+  ASSERT_GE(rec.events.size(), 4u);
+  EXPECT_EQ(rec.events.front(), "begin");
+  EXPECT_EQ(rec.events[1], "grad");
+  EXPECT_EQ(rec.events.back(), "epoch1");
+}
+
+TEST(Trainer, EvaluateMatchesManualAccuracy) {
+  Rng rng(1);
+  auto net = models::make_mlp(2, {4}, 2, rng);
+  Tensor xs(Shape{4, 2});
+  rng.fill_normal(xs, 0, 1);
+  const std::vector<int32_t> ys = {0, 1, 0, 1};
+  const EvalResult r = evaluate(*net, xs, ys, 2);
+  // Recompute by hand.
+  const Tensor logits = net->forward(xs, false);
+  int hits = 0;
+  for (int64_t i = 0; i < 4; ++i) {
+    const int32_t pred = logits.at(i, 0) > logits.at(i, 1) ? 0 : 1;
+    if (pred == ys[static_cast<size_t>(i)]) ++hits;
+  }
+  EXPECT_DOUBLE_EQ(r.accuracy, hits / 4.0);
+  EXPECT_GT(r.loss, 0.0);
+}
+
+TEST(Trainer, MasterCopyUnitsReportMaster) {
+  Rng rng(1);
+  auto net = models::make_mlp(2, {4}, 2, rng);
+  attach_master_copy(*net, 8);
+  const data::TabularSet set = data::make_spiral({.points_per_class = 8});
+  data::DataLoader loader(set.features, set.labels, 8, true, 1);
+  TrainerConfig cfg;
+  cfg.epochs = 1;
+  Trainer trainer(*net, loader, set.features, set.labels, cfg);
+  for (const auto& u : trainer.units()) {
+    EXPECT_TRUE(Trainer::unit_has_master(u));
+    EXPECT_EQ(Trainer::unit_bits(u), 8);
+  }
+}
+
+}  // namespace
+}  // namespace apt::train
