@@ -18,14 +18,6 @@ void write_string(std::ofstream& f, const std::string& s) {
   f.write(s.data(), static_cast<std::streamsize>(n));
 }
 
-std::string read_string(std::ifstream& f) {
-  uint64_t n = 0;
-  f.read(reinterpret_cast<char*>(&n), sizeof(n));
-  std::string s(n, '\0');
-  f.read(s.data(), static_cast<std::streamsize>(n));
-  return s;
-}
-
 void write_tensor(std::ofstream& f, const std::string& name,
                   const apt::Tensor& t) {
   write_string(f, name);
