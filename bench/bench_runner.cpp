@@ -1,0 +1,451 @@
+// Self-contained kernel benchmark runner (no Google Benchmark).
+//
+// Times the hot-path workloads — GEMM across backends, im2col conv
+// forward/backward, and a full train step — and writes the results to a
+// stable JSON schema ("apt-bench-kernels/1", see README.md) so CI can
+// track the repo's perf trajectory. With --check it re-reads a
+// previously recorded JSON and fails (exit 1) when any workload ran
+// more than --tolerance times slower than the reference.
+//
+// Usage:
+//   bench_runner [--quick] [--out FILE] [--check REF.json]
+//                [--tolerance X] [--filter SUBSTR] [--list]
+//
+// Tolerance may also come from the PERF_GATE_TOLERANCE environment
+// variable; the flag wins. Default 2.0 — loose on purpose so shared CI
+// runners do not flake the gate.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "base/thread_pool.hpp"
+#include "models/zoo.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/gemm.hpp"
+#include "nn/gemm_kernel.hpp"
+#include "nn/softmax_xent.hpp"
+
+namespace {
+
+using apt::Rng;
+using apt::Shape;
+using apt::Tensor;
+
+struct BenchResult {
+  std::string name;
+  double ns_per_iter = 0.0;
+  int64_t work_items = 0;  // flops for GEMM/conv, samples for train step
+};
+
+struct Config {
+  bool quick = false;
+  std::string out = "BENCH_kernels.json";
+  std::string check;  // reference JSON; empty = no gate
+  double tolerance = 2.0;
+  // Floor on the derived packed-vs-ikj speedups. Unlike the absolute
+  // ns comparison this is measured on one machine against itself, so
+  // it holds on any runner speed; it catches "the packed backend
+  // stopped being fast" even when wall-times drift.
+  double min_speedup = 1.2;
+  std::string filter;
+  bool list_only = false;
+};
+
+double now_ns() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Calibrates an iteration count that fills `min_time_s`, then takes the
+// best of three batches (min average) to shed scheduler noise.
+double time_ns_per_iter(const std::function<void()>& fn, double min_time_s) {
+  fn();  // warm up caches, arenas, pool
+  int64_t iters = 1;
+  for (;;) {
+    const double t0 = now_ns();
+    for (int64_t i = 0; i < iters; ++i) fn();
+    const double elapsed = now_ns() - t0;
+    if (elapsed >= min_time_s * 1e9 || iters >= (1 << 20)) break;
+    if (elapsed <= 0.0) {
+      iters *= 8;
+    } else {
+      const double target = iters * min_time_s * 1.2e9 / elapsed;
+      iters = std::max(iters + 1, static_cast<int64_t>(target));
+    }
+  }
+  double best = 1e300;
+  for (int batch = 0; batch < 3; ++batch) {
+    const double t0 = now_ns();
+    for (int64_t i = 0; i < iters; ++i) fn();
+    best = std::min(best, (now_ns() - t0) / static_cast<double>(iters));
+  }
+  return best;
+}
+
+// Scoped GEMM backend override (restores the previous selection).
+class BackendGuard {
+ public:
+  explicit BackendGuard(apt::nn::GemmBackend b)
+      : prev_(apt::nn::gemm_backend()) {
+    apt::nn::set_gemm_backend(b);
+  }
+  ~BackendGuard() { apt::nn::set_gemm_backend(prev_); }
+
+ private:
+  apt::nn::GemmBackend prev_;
+};
+
+struct Workload {
+  std::string name;
+  int64_t work_items;
+  std::function<std::function<void()>()> make;  // builds state + run fn
+};
+
+std::vector<Workload> build_workloads(const Config& cfg) {
+  using apt::nn::GemmBackend;
+  std::vector<Workload> ws;
+  const int64_t conv_batch = cfg.quick ? 2 : 8;
+  const int64_t train_batch = cfg.quick ? 8 : 32;
+
+  auto gemm_workload = [](int64_t m, int64_t n, int64_t k, bool tb,
+                          GemmBackend backend) {
+    return [=]() -> std::function<void()> {
+      auto a = std::make_shared<std::vector<float>>(
+          static_cast<size_t>(m * k));
+      auto b = std::make_shared<std::vector<float>>(
+          static_cast<size_t>(k * n));
+      auto c = std::make_shared<std::vector<float>>(
+          static_cast<size_t>(m * n));
+      Rng rng(1);
+      for (auto& v : *a) v = rng.uniform(-1, 1);
+      for (auto& v : *b) v = rng.uniform(-1, 1);
+      return [=] {
+        BackendGuard guard(backend);
+        apt::nn::gemm(false, tb, m, n, k, 1.0f, a->data(), b->data(), 0.0f,
+                      c->data());
+      };
+    };
+  };
+
+  // The acceptance workload: 256^3, packed vs the legacy ikj backend.
+  ws.push_back({"gemm_f32_256_packed", 2 * 256 * 256 * 256,
+                gemm_workload(256, 256, 256, false, GemmBackend::kPacked)});
+  ws.push_back(
+      {"gemm_f32_256_packed_scalar", 2 * 256 * 256 * 256,
+       gemm_workload(256, 256, 256, false, GemmBackend::kPackedScalar)});
+  ws.push_back({"gemm_f32_256_ikj", 2 * 256 * 256 * 256,
+                gemm_workload(256, 256, 256, false, GemmBackend::kIkj)});
+  // Linear-layer shape: y = x * W^T exercises trans_b packing.
+  ws.push_back({"gemm_f32_128x512x256_nt", 2 * 128 * 512 * 256,
+                gemm_workload(128, 512, 256, true, GemmBackend::kPacked)});
+
+  auto conv_workload = [conv_batch](bool backward, GemmBackend backend) {
+    return [=]() -> std::function<void()> {
+      Rng rng(1);
+      apt::nn::Conv2dOptions opts;
+      opts.in_channels = 64;
+      opts.out_channels = 64;
+      opts.bias = true;
+      auto conv = std::make_shared<apt::nn::Conv2d>("bench", opts, rng);
+      auto x = std::make_shared<Tensor>(Shape{conv_batch, 64, 16, 16});
+      rng.fill_normal(*x, 0, 1);
+      auto dy = std::make_shared<Tensor>(conv->forward(*x, true).shape());
+      rng.fill_normal(*dy, 0, 1);
+      return [=] {
+        BackendGuard guard(backend);
+        if (backward) {
+          conv->forward(*x, true);
+          conv->backward(*dy);
+        } else {
+          conv->forward(*x, true);
+        }
+      };
+    };
+  };
+  // MACs: 64 out-ch * 16*16 * (64*3*3) per sample; backward ~3x forward.
+  const int64_t conv_macs = 64 * 16 * 16 * 64 * 3 * 3 * conv_batch;
+  ws.push_back(
+      {"conv3x3_c64_fwd_packed", 2 * conv_macs,
+       conv_workload(/*backward=*/false, GemmBackend::kPacked)});
+  ws.push_back({"conv3x3_c64_fwd_ikj", 2 * conv_macs,
+                conv_workload(/*backward=*/false, GemmBackend::kIkj)});
+  ws.push_back(
+      {"conv3x3_c64_fwdbwd_packed", 6 * conv_macs,
+       conv_workload(/*backward=*/true, GemmBackend::kPacked)});
+  ws.push_back({"conv3x3_c64_fwdbwd_ikj", 6 * conv_macs,
+                conv_workload(/*backward=*/true, GemmBackend::kIkj)});
+
+  // Whole train step (ResNet-8 fwd + loss + bwd) on the default backend:
+  // the end-to-end number the kernel work is in service of.
+  ws.push_back({"train_step_resnet8", train_batch, [train_batch]() {
+                  Rng rng(1);
+                  auto model = apt::models::make_resnet(
+                      {.n = 1, .base_width = 8, .num_classes = 10}, rng);
+                  auto x =
+                      std::make_shared<Tensor>(Shape{train_batch, 3, 16, 16});
+                  rng.fill_normal(*x, 0, 1);
+                  auto labels = std::make_shared<std::vector<int32_t>>();
+                  for (int64_t i = 0; i < train_batch; ++i)
+                    labels->push_back(static_cast<int32_t>(i % 10));
+                  auto loss = std::make_shared<apt::nn::SoftmaxCrossEntropy>();
+                  std::shared_ptr<apt::nn::Sequential> net(std::move(model));
+                  return std::function<void()>([=] {
+                    Tensor logits = net->forward(*x, /*training=*/true);
+                    loss->forward(logits, *labels);
+                    net->backward(loss->backward());
+                  });
+                }});
+  return ws;
+}
+
+// ------------------------------------------------------------- reporting
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+double find_ns(const std::vector<BenchResult>& rs, const std::string& name) {
+  for (const auto& r : rs)
+    if (r.name == name) return r.ns_per_iter;
+  return 0.0;
+}
+
+void write_json(const Config& cfg, const std::vector<BenchResult>& results,
+                const std::map<std::string, double>& derived) {
+  std::ofstream out(cfg.out);
+  if (!out) {
+    std::fprintf(stderr, "bench_runner: cannot write %s\n", cfg.out.c_str());
+    std::exit(1);
+  }
+  out << "{\n";
+  out << "  \"schema\": \"apt-bench-kernels/1\",\n";
+  out << "  \"mode\": \"" << (cfg.quick ? "quick" : "default") << "\",\n";
+  out << "  \"pool_threads\": " << apt::ThreadPool::global().size() + 1
+      << ",\n";
+  out << "  \"avx2_fma\": "
+      << (apt::nn::gemm_cpu_has_avx2_fma() ? "true" : "false") << ",\n";
+  out << "  \"benchmarks\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"ns_per_iter\": %.1f, "
+                  "\"work_items\": %lld, \"items_per_sec\": %.4g}%s\n",
+                  json_escape(r.name).c_str(), r.ns_per_iter,
+                  static_cast<long long>(r.work_items),
+                  r.work_items * 1e9 / r.ns_per_iter,
+                  i + 1 < results.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n";
+  out << "  \"derived\": {";
+  size_t i = 0;
+  for (const auto& [key, value] : derived) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": %.3f",
+                  i++ ? "," : "", key.c_str(), value);
+    out << buf;
+  }
+  out << "\n  }\n}\n";
+  std::printf("wrote %s\n", cfg.out.c_str());
+}
+
+// Minimal scanner for the files this tool writes itself: pulls the
+// ("name", "ns_per_iter") pairs out of the benchmarks array, plus the
+// "mode" field so a gate never compares across workload sizes.
+std::map<std::string, double> read_reference(const std::string& path,
+                                             std::string* mode) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_runner: cannot read reference %s\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  const size_t mode_key = text.find("\"mode\"");
+  if (mode_key != std::string::npos) {
+    const size_t q0 = text.find('"', mode_key + 6 + 1);
+    const size_t q1 = text.find('"', q0 + 1);
+    if (q0 != std::string::npos && q1 != std::string::npos)
+      *mode = text.substr(q0 + 1, q1 - q0 - 1);
+  }
+  std::map<std::string, double> ref;
+  size_t pos = 0;
+  for (;;) {
+    const size_t name_key = text.find("\"name\"", pos);
+    if (name_key == std::string::npos) break;
+    const size_t q0 = text.find('"', name_key + 6 + 1);
+    const size_t q1 = text.find('"', q0 + 1);
+    const size_t ns_key = text.find("\"ns_per_iter\"", q1);
+    if (q0 == std::string::npos || q1 == std::string::npos ||
+        ns_key == std::string::npos)
+      break;
+    const size_t colon = text.find(':', ns_key);
+    ref[text.substr(q0 + 1, q1 - q0 - 1)] =
+        std::strtod(text.c_str() + colon + 1, nullptr);
+    pos = ns_key + 1;
+  }
+  return ref;
+}
+
+int run_gate(const Config& cfg, const std::vector<BenchResult>& results,
+             const std::map<std::string, double>& derived) {
+  std::string ref_mode;
+  const auto ref = read_reference(cfg.check, &ref_mode);
+  const std::string run_mode = cfg.quick ? "quick" : "default";
+  if (!ref_mode.empty() && ref_mode != run_mode) {
+    std::fprintf(stderr,
+                 "bench_runner: reference %s was recorded in \"%s\" mode but "
+                 "this run used \"%s\" — rerun with %s\n",
+                 cfg.check.c_str(), ref_mode.c_str(), run_mode.c_str(),
+                 ref_mode == "quick" ? "--quick" : "no --quick");
+    return 1;
+  }
+  int failures = 0;
+  std::printf("\nperf gate vs %s (tolerance %.2fx, min speedup %.2fx)\n",
+              cfg.check.c_str(), cfg.tolerance, cfg.min_speedup);
+  std::printf("%-32s %14s %14s %8s\n", "benchmark", "ref ns/iter",
+              "now ns/iter", "ratio");
+  for (const auto& r : results) {
+    const auto it = ref.find(r.name);
+    if (it == ref.end() || it->second <= 0.0) {
+      // A benchmark the reference does not know cannot be gated; under
+      // --filter that is expected, otherwise it means someone renamed
+      // or added a workload without regenerating perf_reference.json —
+      // fail rather than silently un-gate it.
+      const bool bad = cfg.filter.empty();
+      if (bad) ++failures;
+      std::printf("%-32s %14s %14.0f %8s%s\n", r.name.c_str(), "-",
+                  r.ns_per_iter, "new", bad ? "  << not in reference" : "");
+      continue;
+    }
+    const double ratio = r.ns_per_iter / it->second;
+    const bool bad = ratio > cfg.tolerance;
+    if (bad) ++failures;
+    std::printf("%-32s %14.0f %14.0f %7.2fx%s\n", r.name.c_str(), it->second,
+                r.ns_per_iter, ratio, bad ? "  << FAIL" : "");
+  }
+  if (cfg.filter.empty()) {
+    for (const auto& [name, ns] : ref) {
+      bool measured = false;
+      for (const auto& r : results) measured |= r.name == name;
+      if (!measured) {
+        ++failures;
+        std::printf("%-32s %14.0f %14s %8s  << stale reference entry\n",
+                    name.c_str(), ns, "-", "-");
+      }
+    }
+  }
+  for (const auto& [key, value] : derived) {
+    if (key.find("speedup") != std::string::npos && value < cfg.min_speedup) {
+      ++failures;
+      std::printf("%-32s %37.2fx  << below min speedup\n", key.c_str(), value);
+    }
+  }
+  if (failures > 0) {
+    std::printf("perf gate FAILED: %d check(s) out of bounds\n", failures);
+    return 1;
+  }
+  std::printf("perf gate passed\n");
+  return 0;
+}
+
+Config parse_args(int argc, char** argv) {
+  Config cfg;
+  if (const char* env = std::getenv("PERF_GATE_TOLERANCE"))
+    cfg.tolerance = std::strtod(env, nullptr);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_runner: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--quick") {
+      cfg.quick = true;
+    } else if (arg == "--out") {
+      cfg.out = next();
+    } else if (arg == "--check") {
+      cfg.check = next();
+    } else if (arg == "--tolerance") {
+      cfg.tolerance = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--min-speedup") {
+      cfg.min_speedup = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--filter") {
+      cfg.filter = next();
+    } else if (arg == "--list") {
+      cfg.list_only = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_runner [--quick] [--out FILE] [--check REF] "
+                   "[--tolerance X] [--min-speedup X] [--filter SUBSTR] "
+                   "[--list]\n");
+      std::exit(arg == "--help" ? 0 : 2);
+    }
+  }
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = parse_args(argc, argv);
+  const auto workloads = build_workloads(cfg);
+  if (cfg.list_only) {
+    for (const auto& w : workloads) std::printf("%s\n", w.name.c_str());
+    return 0;
+  }
+
+  const double min_time_s = cfg.quick ? 0.05 : 0.25;
+  std::vector<BenchResult> results;
+  std::printf("%-32s %14s %12s\n", "benchmark", "ns/iter", "Gitems/s");
+  for (const auto& w : workloads) {
+    if (!cfg.filter.empty() && w.name.find(cfg.filter) == std::string::npos)
+      continue;
+    const auto fn = w.make();
+    const double ns = time_ns_per_iter(fn, min_time_s);
+    results.push_back({w.name, ns, w.work_items});
+    std::printf("%-32s %14.0f %12.3f\n", w.name.c_str(), ns,
+                w.work_items / ns);
+    std::fflush(stdout);
+  }
+
+  std::map<std::string, double> derived;
+  const double gemm_packed = find_ns(results, "gemm_f32_256_packed");
+  const double gemm_ikj = find_ns(results, "gemm_f32_256_ikj");
+  if (gemm_packed > 0 && gemm_ikj > 0)
+    derived["gemm256_speedup_vs_ikj"] = gemm_ikj / gemm_packed;
+  const double conv_packed = find_ns(results, "conv3x3_c64_fwd_packed");
+  const double conv_ikj = find_ns(results, "conv3x3_c64_fwd_ikj");
+  if (conv_packed > 0 && conv_ikj > 0)
+    derived["conv3x3_c64_fwd_speedup_vs_ikj"] = conv_ikj / conv_packed;
+  const double bwd_packed = find_ns(results, "conv3x3_c64_fwdbwd_packed");
+  const double bwd_ikj = find_ns(results, "conv3x3_c64_fwdbwd_ikj");
+  if (bwd_packed > 0 && bwd_ikj > 0)
+    derived["conv3x3_c64_fwdbwd_speedup_vs_ikj"] = bwd_ikj / bwd_packed;
+  for (const auto& [key, value] : derived)
+    std::printf("%-40s %6.2fx\n", key.c_str(), value);
+
+  write_json(cfg, results, derived);
+  return cfg.check.empty() ? 0 : run_gate(cfg, results, derived);
+}

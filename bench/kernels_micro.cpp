@@ -7,6 +7,7 @@
 #include "core/gavg.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/gemm.hpp"
+#include "nn/gemm_kernel.hpp"
 #include "quant/qtensor.hpp"
 
 using namespace apt;
@@ -39,6 +40,56 @@ void BM_GemmTransposed(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_GemmTransposed)->Arg(128);
+
+// Backend comparison on one shape: packed/auto vs packed/scalar vs the
+// legacy ikj baseline (bench_runner tracks the same split in CI).
+void BM_GemmBackend(benchmark::State& state) {
+  const int64_t n = 256;
+  const auto backend = static_cast<nn::GemmBackend>(state.range(0));
+  std::vector<float> a(static_cast<size_t>(n * n)),
+      b(static_cast<size_t>(n * n)), c(static_cast<size_t>(n * n));
+  Rng rng(1);
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  const nn::GemmBackend prev = nn::gemm_backend();
+  nn::set_gemm_backend(backend);
+  for (auto _ : state) {
+    nn::gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  nn::set_gemm_backend(prev);
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmBackend)
+    ->Arg(static_cast<int>(nn::GemmBackend::kPacked))
+    ->Arg(static_cast<int>(nn::GemmBackend::kPackedScalar))
+    ->Arg(static_cast<int>(nn::GemmBackend::kIkj));
+
+void BM_GemmPackA(benchmark::State& state) {
+  const int64_t m = 192, k = 256;
+  std::vector<float> a(static_cast<size_t>(m * k), 1.0f);
+  std::vector<float> packed(static_cast<size_t>(m * k));
+  for (auto _ : state) {
+    nn::gemm_pack_a(false, a.data(), m, k, 0, nn::kGemmMC, 0, k,
+                    packed.data());
+    benchmark::DoNotOptimize(packed.data());
+  }
+  state.SetItemsProcessed(state.iterations() * nn::kGemmMC * k);
+}
+BENCHMARK(BM_GemmPackA);
+
+void BM_GemmPackB(benchmark::State& state) {
+  const int64_t k = 256, n = 1024;
+  std::vector<float> b(static_cast<size_t>(k * n), 1.0f);
+  std::vector<float> packed(static_cast<size_t>(k * n));
+  const bool trans = state.range(0) != 0;
+  for (auto _ : state) {
+    nn::gemm_pack_b(trans, b.data(), k, n, 0, k, 0, n, packed.data());
+    benchmark::DoNotOptimize(packed.data());
+  }
+  state.SetItemsProcessed(state.iterations() * k * n);
+}
+BENCHMARK(BM_GemmPackB)->Arg(0)->Arg(1);
 
 void BM_ConvForward(benchmark::State& state) {
   const int64_t ch = state.range(0);

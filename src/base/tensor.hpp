@@ -44,7 +44,9 @@ class Tensor {
     t.fill(value);
     return t;
   }
-  static Tensor zeros_like(const Tensor& other) { return Tensor(other.shape()); }
+  static Tensor zeros_like(const Tensor& other) {
+    return Tensor(other.shape());
+  }
 
   const Shape& shape() const { return shape_; }
   int64_t numel() const { return shape_.numel(); }
@@ -107,12 +109,22 @@ class Tensor {
   }
 
   // ---- simple arithmetic (allocating) ------------------------------------
-  Tensor operator+(const Tensor& rhs) const { return binary(rhs, std::plus<float>{}); }
-  Tensor operator-(const Tensor& rhs) const { return binary(rhs, std::minus<float>{}); }
-  Tensor operator*(const Tensor& rhs) const { return binary(rhs, std::multiplies<float>{}); }
+  Tensor operator+(const Tensor& rhs) const {
+    return binary(rhs, std::plus<float>{});
+  }
+  Tensor operator-(const Tensor& rhs) const {
+    return binary(rhs, std::minus<float>{});
+  }
+  Tensor operator*(const Tensor& rhs) const {
+    return binary(rhs, std::multiplies<float>{});
+  }
 
-  Tensor& operator+=(const Tensor& rhs) { return binary_inplace(rhs, std::plus<float>{}); }
-  Tensor& operator-=(const Tensor& rhs) { return binary_inplace(rhs, std::minus<float>{}); }
+  Tensor& operator+=(const Tensor& rhs) {
+    return binary_inplace(rhs, std::plus<float>{});
+  }
+  Tensor& operator-=(const Tensor& rhs) {
+    return binary_inplace(rhs, std::minus<float>{});
+  }
 
   Tensor operator*(float s) const {
     Tensor out = clone();
@@ -130,7 +142,9 @@ class Tensor {
     for (float v : span()) acc += v;
     return static_cast<float>(acc);
   }
-  float mean() const { return numel() ? sum() / static_cast<float>(numel()) : 0.0f; }
+  float mean() const {
+    return numel() ? sum() / static_cast<float>(numel()) : 0.0f;
+  }
   float min() const;
   float max() const;
   float abs_max() const;

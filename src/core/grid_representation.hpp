@@ -1,5 +1,5 @@
 // The paper's parameter storage: quantised codes in BOTH passes, no fp32
-// master copy. Updates land on the grid via Eq. 3 (⌊δ/ε⌋·ε with truncation
+// master copy. Updates land on the grid via Eq. 3 (⌊δ/ε⌋·ε, truncating
 // toward zero), which is where quantisation underflow physically happens.
 //
 // Range management (DESIGN.md §6): the k-bit grid covers the observed

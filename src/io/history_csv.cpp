@@ -7,13 +7,15 @@ namespace apt::io {
 void write_history_csv(const train::History& history,
                        const std::string& path) {
   std::vector<std::string> header = {
-      "epoch",        "lr",           "train_loss",        "train_accuracy",
-      "test_accuracy", "energy_j",    "model_memory_bits", "underflow_fraction"};
+      "epoch",      "lr",       "train_loss",        "train_accuracy",
+      "test_accuracy", "energy_j", "model_memory_bits", "underflow_fraction"};
   const bool has_units =
       !history.epochs.empty() && !history.epochs.front().unit_bits.empty();
   if (has_units) {
-    for (const auto& name : history.unit_names) header.push_back("bits." + name);
-    for (const auto& name : history.unit_names) header.push_back("gavg." + name);
+    for (const auto& name : history.unit_names)
+      header.push_back("bits." + name);
+    for (const auto& name : history.unit_names)
+      header.push_back("gavg." + name);
   }
 
   Table t(std::move(header));

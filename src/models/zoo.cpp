@@ -13,7 +13,8 @@
 namespace apt::models {
 namespace {
 
-nn::Conv2dOptions conv_opts(int64_t in, int64_t out, int64_t k, int64_t stride) {
+nn::Conv2dOptions conv_opts(int64_t in, int64_t out, int64_t k,
+                            int64_t stride) {
   nn::Conv2dOptions o;
   o.in_channels = in;
   o.out_channels = out;

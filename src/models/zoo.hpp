@@ -13,7 +13,7 @@
 namespace apt::models {
 
 struct ResNetConfig {
-  int64_t n = 3;           ///< blocks per stage; depth = 6n + 2 (3 -> ResNet-20)
+  int64_t n = 3;           ///< blocks per stage; depth 6n+2 (3 -> ResNet-20)
   int64_t base_width = 16; ///< stage widths are {w, 2w, 4w}
   int64_t num_classes = 10;
   int64_t in_channels = 3;

@@ -12,7 +12,8 @@ namespace apt::nn {
 /// cap = +inf gives plain ReLU).
 class ReLU : public Layer {
  public:
-  explicit ReLU(std::string name, float cap = std::numeric_limits<float>::infinity())
+  explicit ReLU(std::string name,
+                float cap = std::numeric_limits<float>::infinity())
       : name_(std::move(name)), cap_(cap) {}
 
   Tensor forward(const Tensor& x, bool training) override {

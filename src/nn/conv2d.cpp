@@ -3,54 +3,88 @@
 #include <atomic>
 #include <vector>
 
+#include "base/arena.hpp"
 #include "base/thread_pool.hpp"
 #include "nn/gemm.hpp"
 #include "nn/init.hpp"
 
 namespace apt::nn {
 
+namespace {
+
+// Output-x range [lo, hi) whose input column in_x = xo*stride - padding
+// + kw lands inside [0, W); everything outside is padding. Both bounds
+// are clamped to [0, ow]: with padding large relative to the output
+// width a kernel column can have no valid xo at all (lo == hi == ow).
+void valid_x_range(int64_t kw, int64_t stride, int64_t padding, int64_t W,
+                   int64_t ow, int64_t* lo, int64_t* hi) {
+  const int64_t d = padding - kw;
+  *lo = std::min(ow, d > 0 ? (d + stride - 1) / stride : 0);
+  *hi = std::min(ow, std::max(*lo, (W + d + stride - 1) / stride));
+}
+
+}  // namespace
+
 void im2col(const Tensor& x, int64_t n, int64_t c_begin, int64_t c_count,
             int64_t kernel, int64_t stride, int64_t padding, int64_t oh,
             int64_t ow, float* cols) {
-  const int64_t H = x.dim(2), W = x.dim(3);
+  const int64_t C = x.dim(1), H = x.dim(2), W = x.dim(3);
   int64_t row = 0;
-  for (int64_t c = c_begin; c < c_begin + c_count; ++c)
+  for (int64_t c = c_begin; c < c_begin + c_count; ++c) {
+    const float* chan = x.data() + (n * C + c) * H * W;
     for (int64_t kh = 0; kh < kernel; ++kh)
       for (int64_t kw = 0; kw < kernel; ++kw, ++row) {
         float* out = cols + row * (oh * ow);
-        for (int64_t y = 0; y < oh; ++y) {
+        int64_t xo_lo, xo_hi;
+        valid_x_range(kw, stride, padding, W, ow, &xo_lo, &xo_hi);
+        for (int64_t y = 0; y < oh; ++y, out += ow) {
           const int64_t in_y = y * stride - padding + kh;
           if (in_y < 0 || in_y >= H) {
-            for (int64_t xo = 0; xo < ow; ++xo) out[y * ow + xo] = 0.0f;
+            std::fill(out, out + ow, 0.0f);
             continue;
           }
-          for (int64_t xo = 0; xo < ow; ++xo) {
-            const int64_t in_x = xo * stride - padding + kw;
-            out[y * ow + xo] =
-                (in_x >= 0 && in_x < W) ? x.at(n, c, in_y, in_x) : 0.0f;
+          // Padding edges zero-filled; the interior is one contiguous
+          // (stride 1) or strided gather with no per-element branch.
+          std::fill(out, out + xo_lo, 0.0f);
+          const float* src = chan + in_y * W + (xo_lo * stride - padding + kw);
+          if (stride == 1) {
+            std::copy(src, src + (xo_hi - xo_lo), out + xo_lo);
+          } else {
+            for (int64_t xo = xo_lo; xo < xo_hi; ++xo)
+              out[xo] = src[(xo - xo_lo) * stride];
           }
+          std::fill(out + xo_hi, out + ow, 0.0f);
         }
       }
+  }
 }
 
 void col2im(const float* cols, int64_t n, int64_t c_begin, int64_t c_count,
             int64_t kernel, int64_t stride, int64_t padding, int64_t oh,
             int64_t ow, Tensor& dx) {
-  const int64_t H = dx.dim(2), W = dx.dim(3);
+  const int64_t C = dx.dim(1), H = dx.dim(2), W = dx.dim(3);
   int64_t row = 0;
-  for (int64_t c = c_begin; c < c_begin + c_count; ++c)
+  for (int64_t c = c_begin; c < c_begin + c_count; ++c) {
+    float* chan = dx.data() + (n * C + c) * H * W;
     for (int64_t kh = 0; kh < kernel; ++kh)
       for (int64_t kw = 0; kw < kernel; ++kw, ++row) {
         const float* in = cols + row * (oh * ow);
-        for (int64_t y = 0; y < oh; ++y) {
+        int64_t xo_lo, xo_hi;
+        valid_x_range(kw, stride, padding, W, ow, &xo_lo, &xo_hi);
+        for (int64_t y = 0; y < oh; ++y, in += ow) {
           const int64_t in_y = y * stride - padding + kh;
           if (in_y < 0 || in_y >= H) continue;
-          for (int64_t xo = 0; xo < ow; ++xo) {
-            const int64_t in_x = xo * stride - padding + kw;
-            if (in_x >= 0 && in_x < W) dx.at(n, c, in_y, in_x) += in[y * ow + xo];
+          float* dst = chan + in_y * W + (xo_lo * stride - padding + kw);
+          if (stride == 1) {
+            for (int64_t xo = xo_lo; xo < xo_hi; ++xo)
+              dst[xo - xo_lo] += in[xo];
+          } else {
+            for (int64_t xo = xo_lo; xo < xo_hi; ++xo)
+              dst[(xo - xo_lo) * stride] += in[xo];
           }
         }
       }
+  }
 }
 
 Conv2d::Conv2d(std::string name, const Conv2dOptions& opts, Rng& rng)
@@ -81,28 +115,38 @@ Tensor Conv2d::forward(const Tensor& x, bool training) {
   out_elems_ = opts_.out_channels * OH * OW;
 
   Tensor y(Shape{N, opts_.out_channels, OH, OW});
-  // One task per sample; each task owns its scratch column buffer and the
-  // GEMMs inside run single-chunk (work below the pool's implicit grain).
+  // One task per sample; each task draws its column scratch from its
+  // thread's arena (reused across tasks, no per-task vector churn) and
+  // the GEMMs inside run single-chunk (work below the pool's grain).
   ThreadPool::global().parallel_for(0, N, [&](int64_t n0, int64_t n1) {
-    std::vector<float> cols(static_cast<size_t>(krows * OH * OW));
+    ScratchArena::Scope scope(ScratchArena::thread_local_arena());
+    float* cols = scope.alloc_floats(static_cast<size_t>(krows * OH * OW));
     for (int64_t n = n0; n < n1; ++n)
       for (int64_t g = 0; g < G; ++g) {
         im2col(x, n, g * icg, icg, opts_.kernel, opts_.stride, opts_.padding,
-               OH, OW, cols.data());
+               OH, OW, cols);
         // Y_g [ocg, OH*OW] = W_g [ocg, krows] * cols [krows, OH*OW]
         float* yg = y.data() + ((n * opts_.out_channels + g * ocg) * OH * OW);
         gemm(false, false, ocg, OH * OW, krows, 1.0f,
-             weight_.value.data() + g * ocg * krows, cols.data(), 0.0f, yg);
+             weight_.value.data() + g * ocg * krows, cols, 0.0f, yg);
       }
   });
 
   if (opts_.bias) {
+    // Each (sample, channel) plane is independent: batch them through
+    // the pool, grained so small planes do not fragment into tiny tasks.
     const float* b = bias_.value.data();
-    for (int64_t n = 0; n < N; ++n)
-      for (int64_t c = 0; c < opts_.out_channels; ++c) {
-        float* plane = y.data() + ((n * opts_.out_channels + c) * OH * OW);
-        for (int64_t i = 0; i < OH * OW; ++i) plane[i] += b[c];
-      }
+    const int64_t plane = OH * OW;
+    ThreadPool::global().parallel_for(
+        0, N * opts_.out_channels,
+        [&](int64_t pc0, int64_t pc1) {
+          for (int64_t pc = pc0; pc < pc1; ++pc) {
+            float* out = y.data() + pc * plane;
+            const float bc = b[pc % opts_.out_channels];
+            for (int64_t i = 0; i < plane; ++i) out[i] += bc;
+          }
+        },
+        std::max<int64_t>(1, (1 << 14) / plane));
   }
   return y;
 }
@@ -129,21 +173,22 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   ThreadPool::global().parallel_for(0, N, [&](int64_t n0, int64_t n1) {
     const unsigned slot = slot_counter.fetch_add(1) % slots;
     std::vector<float>& dw = dw_local[slot];
-    std::vector<float> cols(static_cast<size_t>(krows * OH * OW));
-    std::vector<float> dcols(static_cast<size_t>(krows * OH * OW));
+    ScratchArena::Scope scope(ScratchArena::thread_local_arena());
+    float* cols = scope.alloc_floats(static_cast<size_t>(krows * OH * OW));
+    float* dcols = scope.alloc_floats(static_cast<size_t>(krows * OH * OW));
     for (int64_t n = n0; n < n1; ++n)
       for (int64_t g = 0; g < G; ++g) {
         im2col(x, n, g * icg, icg, opts_.kernel, opts_.stride, opts_.padding,
-               OH, OW, cols.data());
+               OH, OW, cols);
         const float* dyg =
             grad_out.data() + ((n * opts_.out_channels + g * ocg) * OH * OW);
         // dW_g [ocg, krows] += dY_g [ocg, OH*OW] * cols^T [OH*OW, krows]
-        gemm(false, true, ocg, krows, OH * OW, 1.0f, dyg, cols.data(), 1.0f,
+        gemm(false, true, ocg, krows, OH * OW, 1.0f, dyg, cols, 1.0f,
              dw.data() + g * ocg * krows);
         // dcols [krows, OH*OW] = W_g^T [krows, ocg] * dY_g [ocg, OH*OW]
         gemm(true, false, krows, OH * OW, ocg, 1.0f,
-             weight_.value.data() + g * ocg * krows, dyg, 0.0f, dcols.data());
-        col2im(dcols.data(), n, g * icg, icg, opts_.kernel, opts_.stride,
+             weight_.value.data() + g * ocg * krows, dyg, 0.0f, dcols);
+        col2im(dcols, n, g * icg, icg, opts_.kernel, opts_.stride,
                opts_.padding, OH, OW, dx);
       }
   });
@@ -153,13 +198,25 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
     for (int64_t i = 0; i < weight_.numel(); ++i) dw_out[i] += dw[i];
 
   if (opts_.bias) {
+    // Parallelise over channels so each db[c] is owned by one task; the
+    // inner n-then-i order is fixed, keeping the reduction deterministic
+    // for any pool size.
     float* db = bias_.grad.data();
-    for (int64_t n = 0; n < N; ++n)
-      for (int64_t c = 0; c < opts_.out_channels; ++c) {
-        const float* plane =
-            grad_out.data() + ((n * opts_.out_channels + c) * OH * OW);
-        for (int64_t i = 0; i < OH * OW; ++i) db[c] += plane[i];
-      }
+    const int64_t plane = OH * OW;
+    ThreadPool::global().parallel_for(
+        0, opts_.out_channels,
+        [&](int64_t c0, int64_t c1) {
+          for (int64_t c = c0; c < c1; ++c) {
+            float acc = 0.0f;
+            for (int64_t n = 0; n < N; ++n) {
+              const float* g =
+                  grad_out.data() + ((n * opts_.out_channels + c) * plane);
+              for (int64_t i = 0; i < plane; ++i) acc += g[i];
+            }
+            db[c] += acc;
+          }
+        },
+        std::max<int64_t>(1, (1 << 14) / (N * plane)));
   }
   return dx;
 }

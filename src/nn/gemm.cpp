@@ -1,11 +1,40 @@
 #include "nn/gemm.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "base/thread_pool.hpp"
+#include "nn/gemm_kernel.hpp"
 
 namespace apt::nn {
 namespace {
+
+std::atomic<GemmBackend> g_backend{GemmBackend::kAuto};
+
+GemmBackend backend_from_env() {
+  const char* env = std::getenv("APT_GEMM_BACKEND");
+  if (env != nullptr) {
+    if (std::strcmp(env, "scalar") == 0) return GemmBackend::kPackedScalar;
+    if (std::strcmp(env, "ikj") == 0) return GemmBackend::kIkj;
+    if (std::strcmp(env, "packed") != 0)
+      std::fprintf(stderr,
+                   "apt: unknown APT_GEMM_BACKEND \"%s\" "
+                   "(expected packed|scalar|ikj), using packed\n",
+                   env);
+  }
+  return GemmBackend::kPacked;
+}
+
+GemmBackend resolve_backend() {
+  const GemmBackend b = g_backend.load(std::memory_order_relaxed);
+  if (b != GemmBackend::kAuto) return b;
+  static const GemmBackend from_env = backend_from_env();
+  return from_env;
+}
 
 // Transpose src (rows x cols, row-major) into dst (cols x rows, row-major).
 void transpose(const float* src, int64_t rows, int64_t cols, float* dst) {
@@ -15,14 +44,16 @@ void transpose(const float* src, int64_t rows, int64_t cols, float* dst) {
       const int64_t rmax = std::min(rows, rb + kBlock);
       const int64_t cmax = std::min(cols, cb + kBlock);
       for (int64_t r = rb; r < rmax; ++r)
-        for (int64_t c = cb; c < cmax; ++c) dst[c * rows + r] = src[r * cols + c];
+        for (int64_t c = cb; c < cmax; ++c)
+          dst[c * rows + r] = src[r * cols + c];
     }
 }
 
-// Row-major kernel: C[m,n] = alpha * sum_k A[m,k] B[k,n] + beta * C[m,n].
-// "ikj" ordering so the inner loop is a vectorisable axpy over N.
-void kernel(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
-            const float* b, float beta, float* c) {
+// Legacy row-major kernel: "ikj" ordering so the inner loop is a
+// vectorisable axpy over N. No element-level zero shortcut: 0 * NaN
+// must stay NaN, so every A element's row of B is accumulated.
+void ikj_kernel(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+                const float* b, float beta, float* c) {
   auto run_rows = [&](int64_t row_begin, int64_t row_end) {
     constexpr int64_t kKBlock = 256;
     for (int64_t i = row_begin; i < row_end; ++i) {
@@ -36,7 +67,6 @@ void kernel(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
         const int64_t kmax = std::min(k, kb + kKBlock);
         for (int64_t p = kb; p < kmax; ++p) {
           const float av = alpha * a[i * k + p];
-          if (av == 0.0f) continue;
           const float* bp = b + p * n;
           for (int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
         }
@@ -46,17 +76,75 @@ void kernel(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
   // Parallelise across C's rows; each task writes a disjoint row range.
   const int64_t work = m * n * k;
   if (work > (1 << 16)) {
-    ThreadPool::global().parallel_for(0, m, run_rows,
-                                      std::max<int64_t>(1, (1 << 16) / (n * k)));
+    ThreadPool::global().parallel_for(
+        0, m, run_rows, std::max<int64_t>(1, (1 << 16) / (n * k)));
   } else {
     run_rows(0, m);
   }
 }
 
+// Direct strided loop for problems too small to amortise packing.
+// Single-threaded, fixed k-order accumulation: trivially deterministic.
+void gemm_small(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                float alpha, const float* a, const float* b, float beta,
+                float* c) {
+  const int64_t a_rs = trans_a ? 1 : k, a_cs = trans_a ? m : 1;
+  const int64_t b_rs = trans_b ? 1 : n, b_cs = trans_b ? k : 1;
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      const float* ai = a + i * a_rs;
+      const float* bj = b + j * b_cs;
+      for (int64_t p = 0; p < k; ++p) acc += ai[p * a_cs] * bj[p * b_rs];
+      float* cij = c + i * n + j;
+      *cij = beta == 0.0f ? alpha * acc : alpha * acc + beta * *cij;
+    }
+}
+
+// Below this M*N*K the packed backend's pack/dispatch overhead exceeds
+// the multiply itself (e.g. classifier-head GEMMs).
+constexpr int64_t kSmallWork = 1 << 14;
+
 }  // namespace
+
+void set_gemm_backend(GemmBackend backend) {
+  g_backend.store(backend, std::memory_order_relaxed);
+}
+
+GemmBackend gemm_backend() {
+  return g_backend.load(std::memory_order_relaxed);
+}
 
 void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
           float alpha, const float* a, const float* b, float beta, float* c) {
+  if (m <= 0 || n <= 0) return;
+  if (alpha == 0.0f || k <= 0) {
+    // BLAS contract for every backend: A and B are not referenced, so
+    // NaN/Inf there cannot leak into C through 0 * x.
+    if (beta == 0.0f) {
+      std::fill(c, c + m * n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+    }
+    return;
+  }
+  const GemmBackend backend = resolve_backend();
+  if (backend == GemmBackend::kIkj) {
+    gemm_ikj(trans_a, trans_b, m, n, k, alpha, a, b, beta, c);
+    return;
+  }
+  if (m * n * k <= kSmallWork) {
+    gemm_small(trans_a, trans_b, m, n, k, alpha, a, b, beta, c);
+    return;
+  }
+  GemmOptions opts;
+  if (backend == GemmBackend::kPackedScalar) opts.kernel = GemmKernel::kScalar;
+  gemm_packed(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, opts);
+}
+
+void gemm_ikj(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+              float alpha, const float* a, const float* b, float beta,
+              float* c) {
   // Materialise transposed operands; the copy is O(MK + KN), negligible
   // next to the O(MNK) multiply for the shapes this library uses.
   std::vector<float> a_buf, b_buf;
@@ -72,7 +160,7 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
     transpose(b, n, k, b_buf.data());  // stored as n x k; want k x n
     bp = b_buf.data();
   }
-  kernel(m, n, k, alpha, ap, bp, beta, c);
+  ikj_kernel(m, n, k, alpha, ap, bp, beta, c);
 }
 
 void gemm_naive(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,

@@ -1,20 +1,47 @@
-// Blocked single-precision matrix multiply used by Linear and Conv2d.
+// Single-precision matrix multiply used by Linear and Conv2d.
 //
 // C[M,N] (+)= op_a(A) * op_b(B), where op transposes when the flag is set.
-// The kernel parallelises over row blocks of C via the global thread pool
-// and relies on the compiler to vectorise the inner loops.
+// `gemm` dispatches between backends at runtime: the packed
+// register-blocked backend in gemm_kernel.hpp (default; AVX2+FMA
+// micro-kernel when the CPU has it, portable scalar otherwise), and the
+// legacy blocked-ikj backend kept as a perf baseline for benches. Tiny
+// problems take a direct strided loop to skip packing overhead.
 #pragma once
 
 #include <cstdint>
 
 namespace apt::nn {
 
+/// Backend selection for `gemm`. kAuto honours the APT_GEMM_BACKEND
+/// environment variable ("packed", "scalar", "ikj"; read once per
+/// process) and otherwise means kPacked.
+enum class GemmBackend {
+  kAuto,
+  kPacked,        // packed backend, micro-kernel chosen via CPUID
+  kPackedScalar,  // packed backend, portable micro-kernel forced
+  kIkj,           // legacy single-level ikj kernel (perf baseline)
+};
+
+/// Process-wide backend override, primarily for benches and tests.
+void set_gemm_backend(GemmBackend backend);
+GemmBackend gemm_backend();
+
 /// C = alpha * op_a(A) * op_b(B) + beta * C.
 /// A is M x K after op_a; B is K x N after op_b; C is M x N, row-major.
+/// Per BLAS convention alpha == 0 skips the product (A/B unread) and
+/// beta == 0 overwrites C without reading it; otherwise NaN/Inf in A or
+/// B propagate normally (no element-level zero shortcuts).
 void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
           float alpha, const float* a, const float* b, float beta, float* c);
 
-/// Reference implementation (triple loop, no blocking) for tests.
+/// Legacy backend: materialised transposes + blocked "ikj" loop. Kept
+/// callable so benches can report the packed backend's speedup against
+/// it; not used by layers unless selected via set_gemm_backend.
+void gemm_ikj(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+              float alpha, const float* a, const float* b, float beta,
+              float* c);
+
+/// Reference implementation (triple loop, double accumulator) for tests.
 void gemm_naive(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
                 float alpha, const float* a, const float* b, float beta,
                 float* c);

@@ -1,0 +1,253 @@
+#include "nn/gemm_kernel.hpp"
+
+#include <algorithm>
+
+#include "base/arena.hpp"
+#include "base/check.hpp"
+#include "base/thread_pool.hpp"
+
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+#define APT_GEMM_X86 1
+#include <immintrin.h>
+#else
+#define APT_GEMM_X86 0
+#endif
+
+namespace apt::nn {
+namespace {
+
+// ---------------------------------------------------------- micro-kernels
+//
+// Both kernels compute acc[MR][NR] = sum_p pa[p*MR + i] * pb[p*NR + j]
+// over one packed A strip and one packed B strip. alpha/beta handling
+// happens in the write-back so the inner loop is pure FMA.
+
+// One output row at a time: its NR accumulators fit the baseline
+// vector register file (4 xmm on SSE2), so the p-loop vectorises and
+// stays out of memory; B strips are L1-hot across the MR rows.
+void micro_kernel_scalar(int64_t kc, const float* __restrict pa,
+                         const float* __restrict pb, float* __restrict acc) {
+  for (int64_t i = 0; i < kGemmMR; ++i) {
+    float row[kGemmNR] = {};
+    const float* __restrict b = pb;
+    for (int64_t p = 0; p < kc; ++p, b += kGemmNR) {
+      const float ai = pa[p * kGemmMR + i];
+      for (int64_t j = 0; j < kGemmNR; ++j) row[j] += ai * b[j];
+    }
+    std::copy(row, row + kGemmNR, acc + i * kGemmNR);
+  }
+}
+
+#if APT_GEMM_X86
+// 6x16 tile: 12 ymm accumulators + 2 B vectors + 1 broadcast register.
+__attribute__((target("avx2,fma"))) void micro_kernel_avx2(int64_t kc,
+                                                           const float* pa,
+                                                           const float* pb,
+                                                           float* acc) {
+  __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+  __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+  __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
+  __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
+  __m256 c40 = _mm256_setzero_ps(), c41 = _mm256_setzero_ps();
+  __m256 c50 = _mm256_setzero_ps(), c51 = _mm256_setzero_ps();
+  for (int64_t p = 0; p < kc; ++p, pa += kGemmMR, pb += kGemmNR) {
+    const __m256 b0 = _mm256_loadu_ps(pb);
+    const __m256 b1 = _mm256_loadu_ps(pb + 8);
+    __m256 a;
+    a = _mm256_broadcast_ss(pa + 0);
+    c00 = _mm256_fmadd_ps(a, b0, c00);
+    c01 = _mm256_fmadd_ps(a, b1, c01);
+    a = _mm256_broadcast_ss(pa + 1);
+    c10 = _mm256_fmadd_ps(a, b0, c10);
+    c11 = _mm256_fmadd_ps(a, b1, c11);
+    a = _mm256_broadcast_ss(pa + 2);
+    c20 = _mm256_fmadd_ps(a, b0, c20);
+    c21 = _mm256_fmadd_ps(a, b1, c21);
+    a = _mm256_broadcast_ss(pa + 3);
+    c30 = _mm256_fmadd_ps(a, b0, c30);
+    c31 = _mm256_fmadd_ps(a, b1, c31);
+    a = _mm256_broadcast_ss(pa + 4);
+    c40 = _mm256_fmadd_ps(a, b0, c40);
+    c41 = _mm256_fmadd_ps(a, b1, c41);
+    a = _mm256_broadcast_ss(pa + 5);
+    c50 = _mm256_fmadd_ps(a, b0, c50);
+    c51 = _mm256_fmadd_ps(a, b1, c51);
+  }
+  _mm256_storeu_ps(acc + 0 * kGemmNR, c00);
+  _mm256_storeu_ps(acc + 0 * kGemmNR + 8, c01);
+  _mm256_storeu_ps(acc + 1 * kGemmNR, c10);
+  _mm256_storeu_ps(acc + 1 * kGemmNR + 8, c11);
+  _mm256_storeu_ps(acc + 2 * kGemmNR, c20);
+  _mm256_storeu_ps(acc + 2 * kGemmNR + 8, c21);
+  _mm256_storeu_ps(acc + 3 * kGemmNR, c30);
+  _mm256_storeu_ps(acc + 3 * kGemmNR + 8, c31);
+  _mm256_storeu_ps(acc + 4 * kGemmNR, c40);
+  _mm256_storeu_ps(acc + 4 * kGemmNR + 8, c41);
+  _mm256_storeu_ps(acc + 5 * kGemmNR, c50);
+  _mm256_storeu_ps(acc + 5 * kGemmNR + 8, c51);
+}
+#endif  // APT_GEMM_X86
+
+using MicroKernelFn = void (*)(int64_t, const float*, const float*, float*);
+
+MicroKernelFn resolve_kernel(GemmKernel which) {
+  switch (which) {
+    case GemmKernel::kScalar:
+      return micro_kernel_scalar;
+    case GemmKernel::kAvx2:
+      APT_CHECK(gemm_cpu_has_avx2_fma()) << "AVX2+FMA kernel forced on a "
+                                            "CPU without AVX2/FMA support";
+#if APT_GEMM_X86
+      return micro_kernel_avx2;
+#else
+      return micro_kernel_scalar;  // unreachable: check above fails
+#endif
+    case GemmKernel::kAuto:
+    default:
+#if APT_GEMM_X86
+      if (gemm_cpu_has_avx2_fma()) return micro_kernel_avx2;
+#endif
+      return micro_kernel_scalar;
+  }
+}
+
+// Applies one k-panel's contribution to an mr x nr corner of C. The
+// first panel owns beta: beta == 0 overwrites without reading C (so
+// garbage, including NaN, in the output buffer cannot leak through).
+void store_tile(float* c, int64_t ldc, int64_t mr, int64_t nr,
+                const float* acc, float alpha, float beta, bool first_panel) {
+  for (int64_t i = 0; i < mr; ++i) {
+    float* ci = c + i * ldc;
+    const float* ai = acc + i * kGemmNR;
+    if (!first_panel) {
+      for (int64_t j = 0; j < nr; ++j) ci[j] += alpha * ai[j];
+    } else if (beta == 0.0f) {
+      for (int64_t j = 0; j < nr; ++j) ci[j] = alpha * ai[j];
+    } else {
+      for (int64_t j = 0; j < nr; ++j) ci[j] = beta * ci[j] + alpha * ai[j];
+    }
+  }
+}
+
+void scale_c(int64_t m, int64_t n, float beta, float* c) {
+  if (beta == 1.0f) return;
+  if (beta == 0.0f) {
+    std::fill(c, c + m * n, 0.0f);
+  } else {
+    for (int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+}
+
+}  // namespace
+
+bool gemm_cpu_has_avx2_fma() {
+#if APT_GEMM_X86
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+void gemm_pack_a(bool trans_a, const float* a, int64_t m, int64_t k,
+                 int64_t i0, int64_t mc, int64_t p0, int64_t kc, float* dst) {
+  // op_a(A)[i, p] = trans_a ? a[p*m + i] : a[i*k + p].
+  const int64_t row_stride = trans_a ? 1 : k;
+  const int64_t col_stride = trans_a ? m : 1;
+  for (int64_t s = 0; s < mc; s += kGemmMR, dst += kGemmMR * kc) {
+    const int64_t rows = std::min(kGemmMR, mc - s);
+    const float* src = a + (i0 + s) * row_stride + p0 * col_stride;
+    for (int64_t p = 0; p < kc; ++p) {
+      float* out = dst + p * kGemmMR;
+      const float* col = src + p * col_stride;
+      for (int64_t r = 0; r < rows; ++r) out[r] = col[r * row_stride];
+      for (int64_t r = rows; r < kGemmMR; ++r) out[r] = 0.0f;
+    }
+  }
+}
+
+void gemm_pack_b(bool trans_b, const float* b, int64_t k, int64_t n,
+                 int64_t p0, int64_t kc, int64_t j0, int64_t nc, float* dst) {
+  // op_b(B)[p, j] = trans_b ? b[j*k + p] : b[p*n + j].
+  const int64_t row_stride = trans_b ? 1 : n;
+  const int64_t col_stride = trans_b ? k : 1;
+  for (int64_t s = 0; s < nc; s += kGemmNR, dst += kGemmNR * kc) {
+    const int64_t cols = std::min(kGemmNR, nc - s);
+    const float* src = b + p0 * row_stride + (j0 + s) * col_stride;
+    if (cols == kGemmNR && col_stride == 1) {
+      for (int64_t p = 0; p < kc; ++p) {
+        const float* row = src + p * row_stride;
+        std::copy(row, row + kGemmNR, dst + p * kGemmNR);
+      }
+      continue;
+    }
+    for (int64_t p = 0; p < kc; ++p) {
+      float* out = dst + p * kGemmNR;
+      const float* row = src + p * row_stride;
+      for (int64_t c = 0; c < cols; ++c) out[c] = row[c * col_stride];
+      for (int64_t c = cols; c < kGemmNR; ++c) out[c] = 0.0f;
+    }
+  }
+}
+
+void gemm_packed(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                 float alpha, const float* a, const float* b, float beta,
+                 float* c, const GemmOptions& opts) {
+  if (m <= 0 || n <= 0) return;
+  if (alpha == 0.0f || k <= 0) {  // BLAS: A and B are not referenced
+    scale_c(m, n, beta, c);
+    return;
+  }
+  const MicroKernelFn kernel = resolve_kernel(opts.kernel);
+
+  for (int64_t j0 = 0; j0 < n; j0 += kGemmNC) {
+    const int64_t nc = std::min(kGemmNC, n - j0);
+    const int64_t n_strips = (nc + kGemmNR - 1) / kGemmNR;
+    for (int64_t p0 = 0; p0 < k; p0 += kGemmKC) {
+      const int64_t kc = std::min(kGemmKC, k - p0);
+      const bool first_panel = p0 == 0;
+
+      // B panel packed once per (j0, p0) by the calling thread; the
+      // parallel M tasks below only read it.
+      ScratchArena::Scope panel_scope(ScratchArena::thread_local_arena());
+      float* packb = panel_scope.alloc_floats(
+          static_cast<size_t>(n_strips * kGemmNR * kc));
+      gemm_pack_b(trans_b, b, k, n, p0, kc, j0, nc, packb);
+
+      const int64_t m_blocks = (m + kGemmMC - 1) / kGemmMC;
+      auto run_blocks = [&](int64_t mb_begin, int64_t mb_end) {
+        ScratchArena::Scope scope(ScratchArena::thread_local_arena());
+        float* packa =
+            scope.alloc_floats(static_cast<size_t>(kGemmMC * kc));
+        alignas(64) float acc[kGemmMR * kGemmNR];
+        for (int64_t mb = mb_begin; mb < mb_end; ++mb) {
+          const int64_t i0 = mb * kGemmMC;
+          const int64_t mc = std::min(kGemmMC, m - i0);
+          gemm_pack_a(trans_a, a, m, k, i0, mc, p0, kc, packa);
+          for (int64_t sj = 0; sj < n_strips; ++sj) {
+            const float* pb = packb + sj * kGemmNR * kc;
+            const int64_t nr = std::min(kGemmNR, nc - sj * kGemmNR);
+            for (int64_t si = 0; si * kGemmMR < mc; ++si) {
+              const int64_t mr = std::min(kGemmMR, mc - si * kGemmMR);
+              kernel(kc, packa + si * kGemmMR * kc, pb, acc);
+              store_tile(c + (i0 + si * kGemmMR) * n + j0 + sj * kGemmNR, n,
+                         mr, nr, acc, alpha, beta, first_panel);
+            }
+          }
+        }
+      };
+
+      // Partitioning whole MC panels keeps every C element's k-order
+      // accumulation on a single task: bit-identical for any pool size.
+      const int64_t work = m * nc * kc;
+      if (opts.parallel && m_blocks > 1 && work > (1 << 16)) {
+        ThreadPool::global().parallel_for(0, m_blocks, run_blocks, 1);
+      } else {
+        run_blocks(0, m_blocks);
+      }
+    }
+  }
+}
+
+}  // namespace apt::nn

@@ -1,0 +1,72 @@
+// Packed, register-blocked SGEMM backend (BLIS-style three-level tiling).
+//
+// The driver walks C in NC-wide column panels and KC-deep k panels,
+// packing the corresponding B panel once into NR-column strips; inside,
+// M is walked in MC-tall panels whose A sub-panel is packed into MR-row
+// strips, and an MR x NR micro-kernel runs over the packed operands.
+// Transposition is folded into the packing gathers, so `gemm(trans_a,
+// trans_b, ...)` never materialises a full transposed copy. Packing
+// buffers come from the per-thread ScratchArena, so steady-state
+// training does no kernel-side allocation.
+//
+// Two micro-kernels are provided: a portable scalar one (the fixed
+// MR x NR accumulator block auto-vectorises on any target) and an
+// AVX2+FMA one selected at runtime via CPUID on x86-64. Results are
+// bit-identical for a fixed micro-kernel regardless of thread count:
+// every C element is accumulated in a fixed k-order by exactly one
+// task (parallelism only partitions whole MC row panels).
+#pragma once
+
+#include <cstdint>
+
+namespace apt::nn {
+
+// Register/cache blocking constants (see DESIGN.md §8).
+inline constexpr int64_t kGemmMR = 6;     // rows per register tile
+inline constexpr int64_t kGemmNR = 16;    // cols per register tile (2 ymm)
+inline constexpr int64_t kGemmKC = 256;   // k panel depth (B strip in L1)
+inline constexpr int64_t kGemmMC = 96;    // m panel height (packed A in L2)
+inline constexpr int64_t kGemmNC = 2048;  // n panel width (packed B in L3)
+
+/// Micro-kernel selection for `gemm_packed`.
+enum class GemmKernel {
+  kAuto,    // AVX2+FMA when the CPU supports it, scalar otherwise
+  kScalar,  // force the portable kernel
+  kAvx2,    // force the AVX2+FMA kernel (caller must check support)
+};
+
+/// True when the running CPU supports the AVX2+FMA micro-kernel.
+bool gemm_cpu_has_avx2_fma();
+
+struct GemmOptions {
+  GemmKernel kernel = GemmKernel::kAuto;
+  /// Split MC row panels across the global thread pool when the problem
+  /// is large enough. Output bits do not depend on this flag.
+  bool parallel = true;
+};
+
+/// C = alpha * op_a(A) * op_b(B) + beta * C, all row-major.
+/// op_a(A) is m x k, op_b(B) is k x n, C is m x n. Per BLAS convention,
+/// alpha == 0 skips the product entirely (A and B are not read) and
+/// beta == 0 overwrites C without reading it.
+void gemm_packed(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                 float alpha, const float* a, const float* b, float beta,
+                 float* c, const GemmOptions& opts = {});
+
+// -- packing primitives, exposed for tests and micro-benches ---------------
+
+/// Packs rows [i0, i0+mc) x k-range [p0, p0+kc) of op_a(A) into MR-row
+/// strips: strip s holds rows i0+s*MR..+MR-1 as kc consecutive groups of
+/// MR floats (column-major within the strip). The tail strip is
+/// zero-padded to a full MR rows. `dst` needs ceil(mc/MR)*MR*kc floats.
+void gemm_pack_a(bool trans_a, const float* a, int64_t m, int64_t k,
+                 int64_t i0, int64_t mc, int64_t p0, int64_t kc, float* dst);
+
+/// Packs k-range [p0, p0+kc) x cols [j0, j0+nc) of op_b(B) into NR-column
+/// strips: strip s holds cols j0+s*NR..+NR-1 as kc consecutive groups of
+/// NR floats (row-major within the strip), zero-padded to a full NR
+/// columns. `dst` needs ceil(nc/NR)*NR*kc floats.
+void gemm_pack_b(bool trans_b, const float* b, int64_t k, int64_t n,
+                 int64_t p0, int64_t kc, int64_t j0, int64_t nc, float* dst);
+
+}  // namespace apt::nn

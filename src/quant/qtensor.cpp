@@ -58,7 +58,7 @@ UpdateStats QuantizedTensor::apply_update(const Tensor& delta, RoundMode mode,
       if (d[i] != 0.0f) ++stats.underflowed;
       continue;
     }
-    const int64_t q = codes_[i] - steps;  // w := w - ⌊δ/ε⌋·ε in code space
+    const int64_t q = codes_[i] - steps;  // w := w - ⌊δ/ε⌋·ε, code space
     const int64_t clamped = std::clamp<int64_t>(q, 0, qmax);
     if (clamped != q) ++stats.clamped;
     if (clamped != codes_[i]) ++stats.moved;

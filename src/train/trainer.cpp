@@ -147,7 +147,8 @@ History Trainer::run() {
     stats.epoch = epoch_;
     stats.lr = lr_;
     stats.train_loss = loss_sum / static_cast<double>(seen);
-    stats.train_accuracy = static_cast<double>(hits) / static_cast<double>(seen);
+    stats.train_accuracy =
+        static_cast<double>(hits) / static_cast<double>(seen);
     const EvalResult ev =
         evaluate(model_, test_inputs_, test_labels_, cfg_.eval_batch);
     stats.test_accuracy = ev.accuracy;

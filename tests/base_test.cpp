@@ -5,6 +5,7 @@
 #include <numeric>
 #include <set>
 
+#include "base/arena.hpp"
 #include "base/rng.hpp"
 #include "base/tensor.hpp"
 #include "base/thread_pool.hpp"
@@ -289,6 +290,72 @@ TEST(Check, ThrowsWithMessage) {
 TEST(Check, PassingConditionDoesNotThrow) {
   auto passes = [] { APT_CHECK(true) << "never evaluated"; };
   EXPECT_NO_THROW(passes());
+}
+
+// -------------------------------------------------------- ScratchArena
+
+TEST(ScratchArena, AllocationsAreAlignedAndDisjoint) {
+  ScratchArena arena;
+  ScratchArena::Scope scope(arena);
+  float* a = scope.alloc_floats(100);
+  float* b = scope.alloc_floats(100);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % ScratchArena::kAlignment, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % ScratchArena::kAlignment, 0u);
+  // Writing one buffer end-to-end must not touch the other.
+  for (int i = 0; i < 100; ++i) a[i] = 1.0f;
+  for (int i = 0; i < 100; ++i) b[i] = 2.0f;
+  for (int i = 0; i < 100; ++i) ASSERT_FLOAT_EQ(a[i], 1.0f);
+}
+
+TEST(ScratchArena, ScopeReleasesAndCapacityIsReused) {
+  ScratchArena arena;
+  {
+    ScratchArena::Scope scope(arena);
+    scope.alloc_floats(1 << 16);
+    EXPECT_GT(arena.in_use(), 0u);
+  }
+  EXPECT_EQ(arena.in_use(), 0u);
+  const size_t cap = arena.capacity();
+  EXPECT_GE(cap, (1u << 16) * sizeof(float));
+  {
+    ScratchArena::Scope scope(arena);
+    scope.alloc_floats(1 << 16);
+  }
+  EXPECT_EQ(arena.capacity(), cap);  // no regrowth on the second pass
+}
+
+TEST(ScratchArena, NestedScopesKeepOuterPointersValid) {
+  ScratchArena arena;
+  ScratchArena::Scope outer(arena);
+  float* a = outer.alloc_floats(64);
+  a[0] = 42.0f;
+  {
+    // Force growth from the inner scope: existing blocks must not move.
+    ScratchArena::Scope inner(arena);
+    float* big = inner.alloc_floats(1 << 20);
+    big[0] = 1.0f;
+    EXPECT_FLOAT_EQ(a[0], 42.0f);
+  }
+  EXPECT_FLOAT_EQ(a[0], 42.0f);
+  // The inner scope's block is released but still reserved.
+  EXPECT_GE(arena.capacity(), (1u << 20) * sizeof(float));
+}
+
+TEST(ScratchArena, ThreadLocalArenasAreIndependent) {
+  float* main_ptr = nullptr;
+  float* worker_ptr = nullptr;
+  {
+    ScratchArena::Scope scope(ScratchArena::thread_local_arena());
+    main_ptr = scope.alloc_floats(16);
+    std::thread t([&] {
+      ScratchArena::Scope ws(ScratchArena::thread_local_arena());
+      worker_ptr = ws.alloc_floats(16);
+    });
+    t.join();
+  }
+  EXPECT_NE(main_ptr, worker_ptr);
 }
 
 }  // namespace

@@ -13,7 +13,8 @@ TEST(ResNet, Resnet20HasExpectedStructure) {
   Rng rng(1);
   auto net = make_resnet20(10, rng);
   EXPECT_EQ(net->name(), "resnet20");
-  // stem conv+bn, 9 blocks, fc: leaves = 2 + 1(relu) + blocks' leaves + pool + fc.
+  // stem conv+bn, 9 blocks, fc: leaves = 2 + 1(relu) + block leaves +
+  // pool + fc.
   // Weighted units: stem conv + stem bn + 9 blocks x (2 conv + 2 bn [+2 ds])
   // + fc. Two stage transitions add a downsample conv+bn each.
   int64_t weighted = 0;

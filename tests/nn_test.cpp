@@ -73,6 +73,53 @@ TEST(Im2col, IdentityKernelExtractsPixels) {
   for (int64_t i = 0; i < 9; ++i) EXPECT_EQ(cols[static_cast<size_t>(i)], x[i]);
 }
 
+TEST(Im2col, PaddingWiderThanOutputStaysInBounds) {
+  // kernel 7, pad 3 on a 2x2 input: some kernel columns have no valid
+  // output x at all (the fast path's valid range must clamp to empty
+  // instead of writing past the row).
+  const int64_t kernel = 7, pad = 3, W = 2;
+  Tensor x(Shape{1, 1, W, W});
+  for (int64_t i = 0; i < W * W; ++i) x[i] = static_cast<float>(i + 1);
+  const int64_t ow = (W + 2 * pad - kernel) / 1 + 1;  // == 2
+  std::vector<float> cols(static_cast<size_t>(kernel * kernel * ow * ow),
+                          -7.0f);
+  im2col(x, 0, 0, 1, kernel, /*stride=*/1, pad, ow, ow, cols.data());
+  // Every element must match the per-element definition of im2col.
+  int64_t row = 0;
+  for (int64_t kh = 0; kh < kernel; ++kh)
+    for (int64_t kw = 0; kw < kernel; ++kw, ++row)
+      for (int64_t y = 0; y < ow; ++y)
+        for (int64_t xo = 0; xo < ow; ++xo) {
+          const int64_t in_y = y - pad + kh, in_x = xo - pad + kw;
+          const bool in = in_y >= 0 && in_y < W && in_x >= 0 && in_x < W;
+          ASSERT_FLOAT_EQ(
+              cols[static_cast<size_t>(row * ow * ow + y * ow + xo)],
+              in ? x[in_y * W + in_x] : 0.0f)
+              << "kh=" << kh << " kw=" << kw << " y=" << y << " xo=" << xo;
+        }
+}
+
+TEST(Col2im, PaddingWiderThanOutputStaysInBounds) {
+  const int64_t kernel = 7, pad = 3, W = 2;
+  const int64_t ow = (W + 2 * pad - kernel) / 1 + 1;
+  std::vector<float> cols(static_cast<size_t>(kernel * kernel * ow * ow),
+                          1.0f);
+  Tensor dx(Shape{1, 1, W, W});
+  col2im(cols.data(), 0, 0, 1, kernel, /*stride=*/1, pad, ow, ow, dx);
+  // Each input pixel receives one unit per (kh, kw, y, xo) that maps to
+  // it; cross-check against the per-element definition.
+  for (int64_t iy = 0; iy < W; ++iy)
+    for (int64_t ix = 0; ix < W; ++ix) {
+      float expect = 0.0f;
+      for (int64_t kh = 0; kh < kernel; ++kh)
+        for (int64_t kw = 0; kw < kernel; ++kw)
+          for (int64_t y = 0; y < ow; ++y)
+            for (int64_t xo = 0; xo < ow; ++xo)
+              if (y - pad + kh == iy && xo - pad + kw == ix) expect += 1.0f;
+      EXPECT_FLOAT_EQ(dx[iy * W + ix], expect) << iy << "," << ix;
+    }
+}
+
 TEST(Im2col, PaddingYieldsZeros) {
   Tensor x(Shape{1, 1, 2, 2});
   x.fill(5.0f);
