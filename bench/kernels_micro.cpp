@@ -135,7 +135,7 @@ void BM_Quantize(benchmark::State& state) {
   rng.fill_normal(t, 0, 1);
   for (auto _ : state) {
     quant::QuantizedTensor q(t, 8);
-    benchmark::DoNotOptimize(q.codes().data());
+    benchmark::DoNotOptimize(q.codes_u8());
   }
   state.SetItemsProcessed(state.iterations() * n);
 }

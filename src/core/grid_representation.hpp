@@ -35,8 +35,15 @@ class GridRepresentation : public nn::Representation {
   void set_bits(nn::Parameter& p, int k) override;
   void refit_range(nn::Parameter& p) override;
   int64_t memory_bits(const nn::Parameter& p) const override {
-    // codes + per-tensor scale/zero-point metadata
-    return p.numel() * codes_.bits() + 64;
+    // What is physically allocated: codes live in the narrowest unsigned
+    // width holding k bits (8/16/32), plus per-tensor scale/zero-point
+    // metadata. A 6-bit layer therefore reports 8 bits/param — the
+    // honest number; the analytic energy model (src/cost) keeps using
+    // ideal k-bit packing for the paper's Fig. 5 semantics.
+    return p.numel() * codes_.storage_bits() + 64;
+  }
+  const quant::QuantizedTensor* quantized_view() const override {
+    return &codes_;
   }
   std::string describe() const override {
     return "grid-" + std::to_string(codes_.bits()) + "bit";

@@ -6,6 +6,7 @@
 #include "base/arena.hpp"
 #include "base/thread_pool.hpp"
 #include "nn/gemm.hpp"
+#include "nn/gemm_kernel.hpp"
 #include "nn/init.hpp"
 
 namespace apt::nn {
@@ -23,40 +24,58 @@ void valid_x_range(int64_t kw, int64_t stride, int64_t padding, int64_t W,
   *hi = std::min(ow, std::max(*lo, (W + d + stride - 1) / stride));
 }
 
-}  // namespace
-
-void im2col(const Tensor& x, int64_t n, int64_t c_begin, int64_t c_count,
-            int64_t kernel, int64_t stride, int64_t padding, int64_t oh,
-            int64_t ow, float* cols) {
-  const int64_t C = x.dim(1), H = x.dim(2), W = x.dim(3);
+// Shared patch gather for the float path (pad = 0.0f) and the code path
+// (pad = the activation grid's zero-point code).
+template <typename T>
+void im2col_impl(const T* x, int64_t C, int64_t H, int64_t W, int64_t n,
+                 int64_t c_begin, int64_t c_count, int64_t kernel,
+                 int64_t stride, int64_t padding, int64_t oh, int64_t ow,
+                 T pad, T* cols) {
   int64_t row = 0;
   for (int64_t c = c_begin; c < c_begin + c_count; ++c) {
-    const float* chan = x.data() + (n * C + c) * H * W;
+    const T* chan = x + (n * C + c) * H * W;
     for (int64_t kh = 0; kh < kernel; ++kh)
       for (int64_t kw = 0; kw < kernel; ++kw, ++row) {
-        float* out = cols + row * (oh * ow);
+        T* out = cols + row * (oh * ow);
         int64_t xo_lo, xo_hi;
         valid_x_range(kw, stride, padding, W, ow, &xo_lo, &xo_hi);
         for (int64_t y = 0; y < oh; ++y, out += ow) {
           const int64_t in_y = y * stride - padding + kh;
           if (in_y < 0 || in_y >= H) {
-            std::fill(out, out + ow, 0.0f);
+            std::fill(out, out + ow, pad);
             continue;
           }
-          // Padding edges zero-filled; the interior is one contiguous
+          // Padding edges filled; the interior is one contiguous
           // (stride 1) or strided gather with no per-element branch.
-          std::fill(out, out + xo_lo, 0.0f);
-          const float* src = chan + in_y * W + (xo_lo * stride - padding + kw);
+          std::fill(out, out + xo_lo, pad);
+          const T* src = chan + in_y * W + (xo_lo * stride - padding + kw);
           if (stride == 1) {
             std::copy(src, src + (xo_hi - xo_lo), out + xo_lo);
           } else {
             for (int64_t xo = xo_lo; xo < xo_hi; ++xo)
               out[xo] = src[(xo - xo_lo) * stride];
           }
-          std::fill(out + xo_hi, out + ow, 0.0f);
+          std::fill(out + xo_hi, out + ow, pad);
         }
       }
   }
+}
+
+}  // namespace
+
+void im2col(const Tensor& x, int64_t n, int64_t c_begin, int64_t c_count,
+            int64_t kernel, int64_t stride, int64_t padding, int64_t oh,
+            int64_t ow, float* cols) {
+  im2col_impl<float>(x.data(), x.dim(1), x.dim(2), x.dim(3), n, c_begin,
+                     c_count, kernel, stride, padding, oh, ow, 0.0f, cols);
+}
+
+void im2col_u8(const uint8_t* x, int64_t C, int64_t H, int64_t W, int64_t n,
+               int64_t c_begin, int64_t c_count, int64_t kernel,
+               int64_t stride, int64_t padding, int64_t oh, int64_t ow,
+               uint8_t pad_code, uint8_t* cols) {
+  im2col_impl<uint8_t>(x, C, H, W, n, c_begin, c_count, kernel, stride,
+                       padding, oh, ow, pad_code, cols);
 }
 
 void col2im(const float* cols, int64_t n, int64_t c_begin, int64_t c_count,
@@ -105,7 +124,10 @@ Conv2d::Conv2d(std::string name, const Conv2dOptions& opts, Rng& rng)
 Tensor Conv2d::forward(const Tensor& x, bool training) {
   APT_CHECK(x.shape().rank() == 4 && x.dim(1) == opts_.in_channels)
       << name_ << ": bad input " << x.shape().str();
-  if (training) input_ = x;
+  if (training) {
+    input_ = x;
+    act_range_.observe(x);
+  }
 
   const int64_t N = x.dim(0), OH = out_size(x.dim(2)), OW = out_size(x.dim(3));
   const int64_t G = opts_.groups;
@@ -115,22 +137,66 @@ Tensor Conv2d::forward(const Tensor& x, bool training) {
   out_elems_ = opts_.out_channels * OH * OW;
 
   Tensor y(Shape{N, opts_.out_channels, OH, OW});
-  // One task per sample; each task draws its column scratch from its
-  // thread's arena (reused across tasks, no per-task vector churn) and
-  // the GEMMs inside run single-chunk (work below the pool's grain).
-  ThreadPool::global().parallel_for(0, N, [&](int64_t n0, int64_t n1) {
-    ScratchArena::Scope scope(ScratchArena::thread_local_arena());
-    float* cols = scope.alloc_floats(static_cast<size_t>(krows * OH * OW));
-    for (int64_t n = n0; n < n1; ++n)
-      for (int64_t g = 0; g < G; ++g) {
-        im2col(x, n, g * icg, icg, opts_.kernel, opts_.stride, opts_.padding,
-               OH, OW, cols);
-        // Y_g [ocg, OH*OW] = W_g [ocg, krows] * cols [krows, OH*OW]
-        float* yg = y.data() + ((n * opts_.out_channels + g * ocg) * OH * OW);
-        gemm(false, false, ocg, OH * OW, krows, 1.0f,
-             weight_.value.data() + g * ocg * krows, cols, 0.0f, yg);
-      }
-  });
+  const quant::QuantizedTensor* wq =
+      weight_.rep ? weight_.rep->quantized_view() : nullptr;
+  last_forward_int8_ = gemm_int8_forward_enabled() && wq != nullptr &&
+                       wq->bits() <= 8 && act_range_.initialized();
+
+  if (last_forward_int8_) {
+    // Quantise the whole input once onto the tracked 8-bit grid; the
+    // patch gather and the per-group GEMMs then stay on code planes.
+    const quant::QuantParams aq =
+        quant::choose_params(act_range_.lo(), act_range_.hi(), 8);
+    const auto pad_code = static_cast<uint8_t>(aq.zero_point);
+    input_codes_.resize(static_cast<size_t>(x.numel()));
+    ThreadPool::global().parallel_for(
+        0, x.numel(),
+        [&](int64_t e0, int64_t e1) {
+          quant::quantize_codes_u8(x.data() + e0, e1 - e0, aq,
+                                   input_codes_.data() + e0);
+        },
+        1 << 14);
+    // Operand order is weights x columns, so A carries the weight grid;
+    // its code ceiling lets <= 6-bit layers take the vpmaddubsw path.
+    GemmS8Params qp{wq->params().scale, aq.scale,
+                    static_cast<int32_t>(wq->params().zero_point),
+                    static_cast<int32_t>(aq.zero_point)};
+    qp.max_a = static_cast<int32_t>(quant::max_code(wq->bits()));
+    const uint8_t* wcodes = wq->codes_u8();
+    ThreadPool::global().parallel_for(0, N, [&](int64_t n0, int64_t n1) {
+      ScratchArena::Scope scope(ScratchArena::thread_local_arena());
+      auto* cols = static_cast<uint8_t*>(
+          scope.alloc_bytes(static_cast<size_t>(krows * OH * OW)));
+      for (int64_t n = n0; n < n1; ++n)
+        for (int64_t g = 0; g < G; ++g) {
+          im2col_u8(input_codes_.data(), opts_.in_channels, x.dim(2),
+                    x.dim(3), n, g * icg, icg, opts_.kernel, opts_.stride,
+                    opts_.padding, OH, OW, pad_code, cols);
+          float* yg =
+              y.data() + ((n * opts_.out_channels + g * ocg) * OH * OW);
+          gemm_s8(false, false, ocg, OH * OW, krows, wcodes + g * ocg * krows,
+                  cols, qp, yg);
+        }
+    });
+  } else {
+    // One task per sample; each task draws its column scratch from its
+    // thread's arena (reused across tasks, no per-task vector churn) and
+    // the GEMMs inside run single-chunk (work below the pool's grain).
+    ThreadPool::global().parallel_for(0, N, [&](int64_t n0, int64_t n1) {
+      ScratchArena::Scope scope(ScratchArena::thread_local_arena());
+      float* cols = scope.alloc_floats(static_cast<size_t>(krows * OH * OW));
+      for (int64_t n = n0; n < n1; ++n)
+        for (int64_t g = 0; g < G; ++g) {
+          im2col(x, n, g * icg, icg, opts_.kernel, opts_.stride,
+                 opts_.padding, OH, OW, cols);
+          // Y_g [ocg, OH*OW] = W_g [ocg, krows] * cols [krows, OH*OW]
+          float* yg =
+              y.data() + ((n * opts_.out_channels + g * ocg) * OH * OW);
+          gemm(false, false, ocg, OH * OW, krows, 1.0f,
+               weight_.value.data() + g * ocg * krows, cols, 0.0f, yg);
+        }
+    });
+  }
 
   if (opts_.bias) {
     // Each (sample, channel) plane is independent: batch them through

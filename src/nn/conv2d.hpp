@@ -4,10 +4,21 @@
 // (MobileNetV2). Backward recomputes im2col per sample instead of caching
 // column buffers, trading a little compute for training-memory — the
 // resource this paper is about.
+//
+// Like Linear, the forward pass can run on the integer kernel: with the
+// int8 backend selected and <= 8-bit weight codes attached, the input is
+// quantised onto an EMA-tracked 8-bit grid, patches are gathered as raw
+// codes (byte im2col, padding = the grid's zero-point code, which
+// dequantises to exactly 0), and each group GEMM runs gemm_s8 straight
+// on the code planes. Backward always uses fp32.
 #pragma once
+
+#include <cstdint>
+#include <vector>
 
 #include "base/rng.hpp"
 #include "nn/layer.hpp"
+#include "quant/fake_quant.hpp"
 
 namespace apt::nn {
 
@@ -35,6 +46,11 @@ class Conv2d : public Layer {
   Parameter& weight() { return weight_; }
   const Conv2dOptions& options() const { return opts_; }
 
+  /// EMA range of the layer's input, feeding the activation quantiser.
+  const quant::RangeTracker& activation_range() const { return act_range_; }
+  /// True when the last forward ran through the integer kernel.
+  bool last_forward_was_int8() const { return last_forward_int8_; }
+
  private:
   int64_t out_size(int64_t in) const {
     return (in + 2 * opts_.padding - opts_.kernel) / opts_.stride + 1;
@@ -47,6 +63,9 @@ class Conv2d : public Layer {
   Tensor input_;      // cached for backward
   int64_t macs_per_sample_ = 0;
   int64_t out_elems_ = 0;
+  quant::RangeTracker act_range_;
+  std::vector<uint8_t> input_codes_;  // reused int8-path buffer
+  bool last_forward_int8_ = false;
 };
 
 /// Extracts convolution patches of `x[n]` (group `g`) into `cols`, a
@@ -54,6 +73,14 @@ class Conv2d : public Layer {
 void im2col(const Tensor& x, int64_t n, int64_t c_begin, int64_t c_count,
             int64_t kernel, int64_t stride, int64_t padding, int64_t oh,
             int64_t ow, float* cols);
+
+/// Byte-plane im2col over unsigned activation codes (x is [N,C,H,W] dims
+/// passed explicitly). Spatial padding is filled with `pad_code` — the
+/// activation grid's zero-point, so padding dequantises to exactly 0.
+void im2col_u8(const uint8_t* x, int64_t C, int64_t H, int64_t W, int64_t n,
+               int64_t c_begin, int64_t c_count, int64_t kernel,
+               int64_t stride, int64_t padding, int64_t oh, int64_t ow,
+               uint8_t pad_code, uint8_t* cols);
 
 /// Scatter-adds a [icg*k*k, oh*ow] column matrix back into dx[n] (group
 /// channel range [c_begin, c_begin+c_count)). Inverse of im2col.

@@ -20,10 +20,11 @@ GemmBackend backend_from_env() {
   if (env != nullptr) {
     if (std::strcmp(env, "scalar") == 0) return GemmBackend::kPackedScalar;
     if (std::strcmp(env, "ikj") == 0) return GemmBackend::kIkj;
+    if (std::strcmp(env, "int8") == 0) return GemmBackend::kInt8;
     if (std::strcmp(env, "packed") != 0)
       std::fprintf(stderr,
                    "apt: unknown APT_GEMM_BACKEND \"%s\" "
-                   "(expected packed|scalar|ikj), using packed\n",
+                   "(expected packed|scalar|ikj|int8), using packed\n",
                    env);
   }
   return GemmBackend::kPacked;
@@ -113,6 +114,10 @@ void set_gemm_backend(GemmBackend backend) {
 
 GemmBackend gemm_backend() {
   return g_backend.load(std::memory_order_relaxed);
+}
+
+bool gemm_int8_forward_enabled() {
+  return resolve_backend() == GemmBackend::kInt8;
 }
 
 void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,

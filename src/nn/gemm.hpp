@@ -13,18 +13,29 @@
 namespace apt::nn {
 
 /// Backend selection for `gemm`. kAuto honours the APT_GEMM_BACKEND
-/// environment variable ("packed", "scalar", "ikj"; read once per
-/// process) and otherwise means kPacked.
+/// environment variable ("packed", "scalar", "ikj", "int8"; read once
+/// per process) and otherwise means kPacked.
 enum class GemmBackend {
   kAuto,
   kPacked,        // packed backend, micro-kernel chosen via CPUID
   kPackedScalar,  // packed backend, portable micro-kernel forced
   kIkj,           // legacy single-level ikj kernel (perf baseline)
+  /// Packed fp32 for plain float GEMMs, PLUS: layers whose weights live
+  /// in 8-bit-or-narrower QuantizedTensor codes run their forward pass
+  /// through the integer gemm_s8 kernel on quantised activations. The
+  /// backward pass always stays fp32.
+  kInt8,
 };
 
 /// Process-wide backend override, primarily for benches and tests.
 void set_gemm_backend(GemmBackend backend);
 GemmBackend gemm_backend();
+
+/// True when the resolved backend asks layers to attempt the integer
+/// (quantised-code) forward path. Layers still fall back to fp32 per
+/// call when their weights are not stored as <= 8-bit codes or no
+/// activation range has been observed yet.
+bool gemm_int8_forward_enabled();
 
 /// C = alpha * op_a(A) * op_b(B) + beta * C.
 /// A is M x K after op_a; B is K x N after op_b; C is M x N, row-major.

@@ -1,6 +1,7 @@
 #include "nn/gemm_kernel.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "base/arena.hpp"
 #include "base/check.hpp"
@@ -108,6 +109,437 @@ MicroKernelFn resolve_kernel(GemmKernel which) {
       if (gemm_cpu_has_avx2_fma()) return micro_kernel_avx2;
 #endif
       return micro_kernel_scalar;
+  }
+}
+
+// ------------------------------------------------------ s8 micro-kernels
+//
+// Both kernels compute acc[MR][NR] = sum_kp (pa0*pb0 + pa1*pb1) over
+// int16-widened unsigned codes packed as k-pairs (see gemm_kernel.hpp).
+// All arithmetic is int32 and exact, so the scalar and AVX2 variants are
+// bit-identical by construction.
+
+void micro_kernel_s8_scalar(int64_t kp_count, const int16_t* __restrict pa,
+                            const int16_t* __restrict pb,
+                            int32_t* __restrict acc) {
+  for (int64_t i = 0; i < kGemmMR; ++i) {
+    int32_t row[kGemmNR] = {};
+    const int16_t* __restrict b = pb;
+    for (int64_t kp = 0; kp < kp_count; ++kp, b += 2 * kGemmNR) {
+      const int32_t a0 = pa[(kp * kGemmMR + i) * 2 + 0];
+      const int32_t a1 = pa[(kp * kGemmMR + i) * 2 + 1];
+      for (int64_t j = 0; j < kGemmNR; ++j)
+        row[j] += a0 * b[2 * j] + a1 * b[2 * j + 1];
+    }
+    std::copy(row, row + kGemmNR, acc + i * kGemmNR);
+  }
+}
+
+#if APT_GEMM_X86
+// 6x16 int32 tile via vpmaddwd: each madd consumes one k-pair for 8
+// columns. This is the always-exact fallback — for full-range codes,
+// vpmaddubsw's int16 pair-sum could saturate (2*255*128 > 32767), so
+// both operands are pre-widened to int16 and every intermediate stays
+// well inside int32.
+__attribute__((target("avx2"))) void micro_kernel_s8_avx2(int64_t kp_count,
+                                                          const int16_t* pa,
+                                                          const int16_t* pb,
+                                                          int32_t* acc) {
+  __m256i c00 = _mm256_setzero_si256(), c01 = _mm256_setzero_si256();
+  __m256i c10 = _mm256_setzero_si256(), c11 = _mm256_setzero_si256();
+  __m256i c20 = _mm256_setzero_si256(), c21 = _mm256_setzero_si256();
+  __m256i c30 = _mm256_setzero_si256(), c31 = _mm256_setzero_si256();
+  __m256i c40 = _mm256_setzero_si256(), c41 = _mm256_setzero_si256();
+  __m256i c50 = _mm256_setzero_si256(), c51 = _mm256_setzero_si256();
+  // One broadcast grabs a whole (a[i,p], a[i,p+1]) int16 pair as 32 bits;
+  // memcpy keeps the type-punned load defined (it compiles to vpbroadcastd).
+  auto pair_at = [](const int16_t* p) {
+    int32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+  };
+  for (int64_t kp = 0; kp < kp_count;
+       ++kp, pa += 2 * kGemmMR, pb += 2 * kGemmNR) {
+    const __m256i b0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb + kGemmNR));
+    __m256i a;
+    a = _mm256_set1_epi32(pair_at(pa + 0));
+    c00 = _mm256_add_epi32(c00, _mm256_madd_epi16(a, b0));
+    c01 = _mm256_add_epi32(c01, _mm256_madd_epi16(a, b1));
+    a = _mm256_set1_epi32(pair_at(pa + 2));
+    c10 = _mm256_add_epi32(c10, _mm256_madd_epi16(a, b0));
+    c11 = _mm256_add_epi32(c11, _mm256_madd_epi16(a, b1));
+    a = _mm256_set1_epi32(pair_at(pa + 4));
+    c20 = _mm256_add_epi32(c20, _mm256_madd_epi16(a, b0));
+    c21 = _mm256_add_epi32(c21, _mm256_madd_epi16(a, b1));
+    a = _mm256_set1_epi32(pair_at(pa + 6));
+    c30 = _mm256_add_epi32(c30, _mm256_madd_epi16(a, b0));
+    c31 = _mm256_add_epi32(c31, _mm256_madd_epi16(a, b1));
+    a = _mm256_set1_epi32(pair_at(pa + 8));
+    c40 = _mm256_add_epi32(c40, _mm256_madd_epi16(a, b0));
+    c41 = _mm256_add_epi32(c41, _mm256_madd_epi16(a, b1));
+    a = _mm256_set1_epi32(pair_at(pa + 10));
+    c50 = _mm256_add_epi32(c50, _mm256_madd_epi16(a, b0));
+    c51 = _mm256_add_epi32(c51, _mm256_madd_epi16(a, b1));
+  }
+  // Plain statements, not a helper lambda: a lambda would not inherit
+  // the enclosing function's target("avx2") and fails to inline.
+  __m256i* out = reinterpret_cast<__m256i*>(acc);
+  _mm256_storeu_si256(out + 0, c00);
+  _mm256_storeu_si256(out + 1, c01);
+  _mm256_storeu_si256(out + 2, c10);
+  _mm256_storeu_si256(out + 3, c11);
+  _mm256_storeu_si256(out + 4, c20);
+  _mm256_storeu_si256(out + 5, c21);
+  _mm256_storeu_si256(out + 6, c30);
+  _mm256_storeu_si256(out + 7, c31);
+  _mm256_storeu_si256(out + 8, c40);
+  _mm256_storeu_si256(out + 9, c41);
+  _mm256_storeu_si256(out + 10, c50);
+  _mm256_storeu_si256(out + 11, c51);
+}
+#endif  // APT_GEMM_X86
+
+#if APT_GEMM_X86
+// ------------------------------------------------- s8 quad fast path
+//
+// When one operand's codes provably fit the vpmaddubsw headroom
+// (<= kGemmS8QuadMaxCode, see gemm_kernel.hpp), the operands stay raw
+// bytes packed as k-QUADS and each column's quad collapses via
+// vpmaddubsw (u8 x s8 -> i16 pair-sums) + vpmaddwd(·, 1) (-> i32 quad
+// sum): three ops retire 4 k steps for 8 columns, 1.33x the pair path's
+// MAC density. The two variants differ only in which operand is the
+// signed (small-code) one: vpmaddubsw's first argument must be the
+// unsigned full-range operand.
+
+// Packs op_a(A) into MR-row strips of byte k-quads:
+// dst[(kq*MR + r)*4 + t] = op_a(A)[i0+strip+r, p0+4*kq+t] (0-padded).
+// Non-transposed A has its k contiguous, so a row's quad is one 4-byte
+// word copy; the transposed gather falls back to the generic loop.
+void gemm_s8_pack_a_quads(bool trans_a, const uint8_t* a, int64_t m,
+                          int64_t k, int64_t i0, int64_t mc, int64_t p0,
+                          int64_t kc, uint8_t* dst, int32_t* rowsum) {
+  const int64_t row_stride = trans_a ? 1 : k;
+  const int64_t col_stride = trans_a ? m : 1;
+  const int64_t kq_count = (kc + 3) / 4;
+  const int64_t kq_full = kc / 4;
+  for (int64_t s = 0; s < mc; s += kGemmMR, dst += kGemmMR * 4 * kq_count) {
+    const int64_t rows = std::min(kGemmMR, mc - s);
+    const uint8_t* src = a + (i0 + s) * row_stride + p0 * col_stride;
+    if (rowsum != nullptr) {
+      // Separate widening reduction: vectorises independently of the
+      // gather below.
+      for (int64_t r = 0; r < rows; ++r) {
+        int32_t sum = 0;
+        const uint8_t* row = src + r * row_stride;
+        for (int64_t p = 0; p < kc; ++p) sum += row[p * col_stride];
+        rowsum[s + r] += sum;
+      }
+    }
+    if (col_stride == 1) {
+      for (int64_t kq = 0; kq < kq_full; ++kq) {
+        uint8_t* out = dst + kq * kGemmMR * 4;
+        for (int64_t r = 0; r < rows; ++r)
+          std::memcpy(out + r * 4, src + r * row_stride + 4 * kq, 4);
+        for (int64_t r = rows; r < kGemmMR; ++r)
+          std::memset(out + r * 4, 0, 4);
+      }
+    }
+    const int64_t kq_begin = col_stride == 1 ? kq_full : 0;
+    for (int64_t kq = kq_begin; kq < kq_count; ++kq) {
+      uint8_t* out = dst + kq * kGemmMR * 4;
+      for (int64_t r = 0; r < rows; ++r)
+        for (int64_t t = 0; t < 4; ++t) {
+          const int64_t p = 4 * kq + t;
+          out[r * 4 + t] =
+              p < kc ? src[r * row_stride + p * col_stride] : uint8_t{0};
+        }
+      for (int64_t r = rows; r < kGemmMR; ++r)
+        std::memset(out + r * 4, 0, 4);
+    }
+  }
+}
+
+// Packs op_b(B) into NR-column strips of byte k-quads:
+// dst[(kq*NR + c)*4 + t] = op_b(B)[p0+4*kq+t, j0+strip+c] (0-padded).
+// Two fast cases: transposed B (a column's quad is one word copy) and
+// contiguous rows (an SSE2 4x16 byte interleave; punpck is baseline
+// x86-64, no target attribute needed). The column-sum reduction runs
+// separately so it can vectorise with widening adds.
+void gemm_s8_pack_b_quads(bool trans_b, const uint8_t* b, int64_t k,
+                          int64_t n, int64_t p0, int64_t kc, int64_t j0,
+                          int64_t nc, uint8_t* dst, int32_t* colsum) {
+  const int64_t row_stride = trans_b ? 1 : n;
+  const int64_t col_stride = trans_b ? k : 1;
+  const int64_t kq_count = (kc + 3) / 4;
+  const int64_t kq_full = kc / 4;
+  for (int64_t s = 0; s < nc; s += kGemmNR, dst += kGemmNR * 4 * kq_count) {
+    const int64_t cols = std::min(kGemmNR, nc - s);
+    const uint8_t* src = b + p0 * row_stride + (j0 + s) * col_stride;
+    if (colsum != nullptr) {
+      if (col_stride == 1) {
+        // Row-major source: accumulate row by row so the pass walks the
+        // same cache lines the gather below does.
+        int32_t sums[kGemmNR] = {};
+        for (int64_t p = 0; p < kc; ++p) {
+          const uint8_t* row = src + p * row_stride;
+          for (int64_t c = 0; c < cols; ++c) sums[c] += row[c];
+        }
+        for (int64_t c = 0; c < cols; ++c) colsum[s + c] += sums[c];
+      } else {
+        for (int64_t c = 0; c < cols; ++c) {
+          int32_t sum = 0;
+          const uint8_t* col = src + c * col_stride;
+          for (int64_t p = 0; p < kc; ++p) sum += col[p * row_stride];
+          colsum[s + c] += sum;
+        }
+      }
+    }
+    int64_t kq_begin = 0;
+    if (row_stride == 1) {  // transposed: column quads are contiguous
+      for (int64_t kq = 0; kq < kq_full; ++kq) {
+        uint8_t* out = dst + kq * kGemmNR * 4;
+        for (int64_t c = 0; c < cols; ++c)
+          std::memcpy(out + c * 4, src + c * col_stride + 4 * kq, 4);
+        for (int64_t c = cols; c < kGemmNR; ++c)
+          std::memset(out + c * 4, 0, 4);
+      }
+      kq_begin = kq_full;
+    } else if (col_stride == 1 && cols == kGemmNR) {
+      for (int64_t kq = 0; kq < kq_full; ++kq) {
+        const uint8_t* r0 = src + (4 * kq + 0) * row_stride;
+        const uint8_t* r1 = src + (4 * kq + 1) * row_stride;
+        const uint8_t* r2 = src + (4 * kq + 2) * row_stride;
+        const uint8_t* r3 = src + (4 * kq + 3) * row_stride;
+        const __m128i x0 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(r0));
+        const __m128i x1 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(r1));
+        const __m128i x2 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(r2));
+        const __m128i x3 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(r3));
+        const __m128i t0 = _mm_unpacklo_epi8(x0, x1);  // r0c,r1c pairs 0..7
+        const __m128i t1 = _mm_unpackhi_epi8(x0, x1);
+        const __m128i u0 = _mm_unpacklo_epi8(x2, x3);
+        const __m128i u1 = _mm_unpackhi_epi8(x2, x3);
+        __m128i* out =
+            reinterpret_cast<__m128i*>(dst + kq * kGemmNR * 4);
+        _mm_storeu_si128(out + 0, _mm_unpacklo_epi16(t0, u0));  // c 0..3
+        _mm_storeu_si128(out + 1, _mm_unpackhi_epi16(t0, u0));  // c 4..7
+        _mm_storeu_si128(out + 2, _mm_unpacklo_epi16(t1, u1));  // c 8..11
+        _mm_storeu_si128(out + 3, _mm_unpackhi_epi16(t1, u1));  // c 12..15
+      }
+      kq_begin = kq_full;
+    }
+    for (int64_t kq = kq_begin; kq < kq_count; ++kq) {
+      uint8_t* out = dst + kq * kGemmNR * 4;
+      for (int64_t c = 0; c < cols; ++c)
+        for (int64_t t = 0; t < 4; ++t) {
+          const int64_t p = 4 * kq + t;
+          out[c * 4 + t] =
+              p < kc ? src[p * row_stride + c * col_stride] : uint8_t{0};
+        }
+      for (int64_t c = cols; c < kGemmNR; ++c)
+        std::memset(out + c * 4, 0, 4);
+    }
+  }
+}
+
+// The 6x16 quad tile, templated over the vpmaddubsw argument order:
+// kBSmall means B carries the small (signed-safe) codes and A is the
+// unsigned full-range operand — vpmaddubsw's first argument must be the
+// unsigned one. Plain ternaries on the constexpr flag keep every
+// intrinsic lexically inside this target("avx2") function (a helper
+// lambda would not inherit the attribute and fail to inline).
+template <bool kBSmall>
+__attribute__((target("avx2"))) void micro_kernel_s8_quads(
+    int64_t kq_count, const uint8_t* pa, const uint8_t* pb, int32_t* acc) {
+  __m256i c00 = _mm256_setzero_si256(), c01 = _mm256_setzero_si256();
+  __m256i c10 = _mm256_setzero_si256(), c11 = _mm256_setzero_si256();
+  __m256i c20 = _mm256_setzero_si256(), c21 = _mm256_setzero_si256();
+  __m256i c30 = _mm256_setzero_si256(), c31 = _mm256_setzero_si256();
+  __m256i c40 = _mm256_setzero_si256(), c41 = _mm256_setzero_si256();
+  __m256i c50 = _mm256_setzero_si256(), c51 = _mm256_setzero_si256();
+  const __m256i ones = _mm256_set1_epi16(1);
+  auto quad_at = [](const uint8_t* p) {
+    int32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+  };
+  for (int64_t kq = 0; kq < kq_count;
+       ++kq, pa += 4 * kGemmMR, pb += 4 * kGemmNR) {
+    const __m256i b0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb + 4 * 8));
+    __m256i aq, t;
+      aq = _mm256_set1_epi32(quad_at(pa + 0));
+      t = kBSmall ? _mm256_maddubs_epi16(aq, b0) : _mm256_maddubs_epi16(b0, aq);
+      c00 = _mm256_add_epi32(c00, _mm256_madd_epi16(t, ones));
+      t = kBSmall ? _mm256_maddubs_epi16(aq, b1) : _mm256_maddubs_epi16(b1, aq);
+      c01 = _mm256_add_epi32(c01, _mm256_madd_epi16(t, ones));
+      aq = _mm256_set1_epi32(quad_at(pa + 4));
+      t = kBSmall ? _mm256_maddubs_epi16(aq, b0) : _mm256_maddubs_epi16(b0, aq);
+      c10 = _mm256_add_epi32(c10, _mm256_madd_epi16(t, ones));
+      t = kBSmall ? _mm256_maddubs_epi16(aq, b1) : _mm256_maddubs_epi16(b1, aq);
+      c11 = _mm256_add_epi32(c11, _mm256_madd_epi16(t, ones));
+      aq = _mm256_set1_epi32(quad_at(pa + 8));
+      t = kBSmall ? _mm256_maddubs_epi16(aq, b0) : _mm256_maddubs_epi16(b0, aq);
+      c20 = _mm256_add_epi32(c20, _mm256_madd_epi16(t, ones));
+      t = kBSmall ? _mm256_maddubs_epi16(aq, b1) : _mm256_maddubs_epi16(b1, aq);
+      c21 = _mm256_add_epi32(c21, _mm256_madd_epi16(t, ones));
+      aq = _mm256_set1_epi32(quad_at(pa + 12));
+      t = kBSmall ? _mm256_maddubs_epi16(aq, b0) : _mm256_maddubs_epi16(b0, aq);
+      c30 = _mm256_add_epi32(c30, _mm256_madd_epi16(t, ones));
+      t = kBSmall ? _mm256_maddubs_epi16(aq, b1) : _mm256_maddubs_epi16(b1, aq);
+      c31 = _mm256_add_epi32(c31, _mm256_madd_epi16(t, ones));
+      aq = _mm256_set1_epi32(quad_at(pa + 16));
+      t = kBSmall ? _mm256_maddubs_epi16(aq, b0) : _mm256_maddubs_epi16(b0, aq);
+      c40 = _mm256_add_epi32(c40, _mm256_madd_epi16(t, ones));
+      t = kBSmall ? _mm256_maddubs_epi16(aq, b1) : _mm256_maddubs_epi16(b1, aq);
+      c41 = _mm256_add_epi32(c41, _mm256_madd_epi16(t, ones));
+      aq = _mm256_set1_epi32(quad_at(pa + 20));
+      t = kBSmall ? _mm256_maddubs_epi16(aq, b0) : _mm256_maddubs_epi16(b0, aq);
+      c50 = _mm256_add_epi32(c50, _mm256_madd_epi16(t, ones));
+      t = kBSmall ? _mm256_maddubs_epi16(aq, b1) : _mm256_maddubs_epi16(b1, aq);
+      c51 = _mm256_add_epi32(c51, _mm256_madd_epi16(t, ones));
+  }
+  __m256i* out = reinterpret_cast<__m256i*>(acc);
+  _mm256_storeu_si256(out + 0, c00);
+  _mm256_storeu_si256(out + 1, c01);
+  _mm256_storeu_si256(out + 2, c10);
+  _mm256_storeu_si256(out + 3, c11);
+  _mm256_storeu_si256(out + 4, c20);
+  _mm256_storeu_si256(out + 5, c21);
+  _mm256_storeu_si256(out + 6, c30);
+  _mm256_storeu_si256(out + 7, c31);
+  _mm256_storeu_si256(out + 8, c40);
+  _mm256_storeu_si256(out + 9, c41);
+  _mm256_storeu_si256(out + 10, c50);
+  _mm256_storeu_si256(out + 11, c51);
+}
+#endif  // APT_GEMM_X86
+
+// Unified byte-typed plumbing so one driver loop serves both layouts.
+// Both pack 4 bytes per row/column per k-group (pairs: 2 int16 per 2 k;
+// quads: 4 bytes per 4 k), so buffer sizing is layout-independent.
+struct S8Path {
+  int64_t group;  // k steps per packed group: 2 (pairs) or 4 (quads)
+  void (*pack_a)(bool, const uint8_t*, int64_t, int64_t, int64_t, int64_t,
+                 int64_t, int64_t, void*, int32_t*);
+  void (*pack_b)(bool, const uint8_t*, int64_t, int64_t, int64_t, int64_t,
+                 int64_t, int64_t, void*, int32_t*);
+  void (*kernel)(int64_t, const void*, const void*, int32_t*);
+};
+
+void pack_a_pairs_adapter(bool ta, const uint8_t* a, int64_t m, int64_t k,
+                          int64_t i0, int64_t mc, int64_t p0, int64_t kc,
+                          void* dst, int32_t* rowsum) {
+  gemm_s8_pack_a(ta, a, m, k, i0, mc, p0, kc, static_cast<int16_t*>(dst),
+                 rowsum);
+}
+void pack_b_pairs_adapter(bool tb, const uint8_t* b, int64_t k, int64_t n,
+                          int64_t p0, int64_t kc, int64_t j0, int64_t nc,
+                          void* dst, int32_t* colsum) {
+  gemm_s8_pack_b(tb, b, k, n, p0, kc, j0, nc, static_cast<int16_t*>(dst),
+                 colsum);
+}
+void kern_pairs_scalar(int64_t groups, const void* pa, const void* pb,
+                       int32_t* acc) {
+  micro_kernel_s8_scalar(groups, static_cast<const int16_t*>(pa),
+                         static_cast<const int16_t*>(pb), acc);
+}
+#if APT_GEMM_X86
+void kern_pairs_avx2(int64_t groups, const void* pa, const void* pb,
+                     int32_t* acc) {
+  micro_kernel_s8_avx2(groups, static_cast<const int16_t*>(pa),
+                       static_cast<const int16_t*>(pb), acc);
+}
+void pack_a_quads_adapter(bool ta, const uint8_t* a, int64_t m, int64_t k,
+                          int64_t i0, int64_t mc, int64_t p0, int64_t kc,
+                          void* dst, int32_t* rowsum) {
+  gemm_s8_pack_a_quads(ta, a, m, k, i0, mc, p0, kc,
+                       static_cast<uint8_t*>(dst), rowsum);
+}
+void pack_b_quads_adapter(bool tb, const uint8_t* b, int64_t k, int64_t n,
+                          int64_t p0, int64_t kc, int64_t j0, int64_t nc,
+                          void* dst, int32_t* colsum) {
+  gemm_s8_pack_b_quads(tb, b, k, n, p0, kc, j0, nc,
+                       static_cast<uint8_t*>(dst), colsum);
+}
+void kern_quads_b_small(int64_t groups, const void* pa, const void* pb,
+                        int32_t* acc) {
+  micro_kernel_s8_quads<true>(groups, static_cast<const uint8_t*>(pa),
+                              static_cast<const uint8_t*>(pb), acc);
+}
+void kern_quads_a_small(int64_t groups, const void* pa, const void* pb,
+                        int32_t* acc) {
+  micro_kernel_s8_quads<false>(groups, static_cast<const uint8_t*>(pa),
+                               static_cast<const uint8_t*>(pb), acc);
+}
+#endif  // APT_GEMM_X86
+
+S8Path resolve_s8_path(GemmKernel which, const GemmS8Params& params) {
+  const S8Path pairs_scalar{2, pack_a_pairs_adapter, pack_b_pairs_adapter,
+                            kern_pairs_scalar};
+  if (which == GemmKernel::kScalar) return pairs_scalar;
+  if (which == GemmKernel::kAvx2) {
+    APT_CHECK(gemm_cpu_has_avx2_fma()) << "AVX2 s8 kernel forced on a "
+                                          "CPU without AVX2 support";
+  }
+#if APT_GEMM_X86
+  if (gemm_cpu_has_avx2_fma()) {
+    if (params.max_b <= kGemmS8QuadMaxCode)
+      return {4, pack_a_quads_adapter, pack_b_quads_adapter,
+              kern_quads_b_small};
+    if (params.max_a <= kGemmS8QuadMaxCode)
+      return {4, pack_a_quads_adapter, pack_b_quads_adapter,
+              kern_quads_a_small};
+    return {2, pack_a_pairs_adapter, pack_b_pairs_adapter, kern_pairs_avx2};
+  }
+#endif
+  (void)params;
+  return pairs_scalar;
+}
+
+// Adds one k-panel's raw-product tile into the int32 accumulator plane.
+// The first panel overwrites so the plane needs no zero-fill pass.
+void store_tile_s8(int32_t* c, int64_t ldc, int64_t mr, int64_t nr,
+                   const int32_t* acc, bool first_panel) {
+  for (int64_t i = 0; i < mr; ++i) {
+    int32_t* ci = c + i * ldc;
+    const int32_t* ai = acc + i * kGemmNR;
+    if (first_panel) {
+      for (int64_t j = 0; j < nr; ++j) ci[j] = ai[j];
+    } else {
+      for (int64_t j = 0; j < nr; ++j) ci[j] += ai[j];
+    }
+  }
+}
+
+// Final-k-panel store: folds the zero-point corrections and the Sa*Sb
+// scale into the tile write, so the int32 plane never needs a separate
+// requantisation sweep. All terms are integer-valued doubles well below
+// 2^53, so the arithmetic is exact — bit-identical to an int64
+// formulation. `raw` carries the earlier panels' contribution (null when
+// this is the only panel).
+void store_tile_s8_final(float* c, int64_t ldc, const int32_t* raw,
+                         int64_t ldraw, int64_t mr, int64_t nr,
+                         const int32_t* acc, const double* row_corr,
+                         const double* col_corr, double sab) {
+  for (int64_t i = 0; i < mr; ++i) {
+    float* ci = c + i * ldc;
+    const int32_t* ri = raw ? raw + i * ldraw : nullptr;
+    const int32_t* ai = acc + i * kGemmNR;
+    const double rc = row_corr[i];
+    for (int64_t j = 0; j < nr; ++j) {
+      const double t =
+          static_cast<double>(ai[j]) + (ri ? ri[j] : 0) + rc - col_corr[j];
+      ci[j] = static_cast<float>(sab * t);
+    }
   }
 }
 
@@ -240,6 +672,175 @@ void gemm_packed(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
 
       // Partitioning whole MC panels keeps every C element's k-order
       // accumulation on a single task: bit-identical for any pool size.
+      const int64_t work = m * nc * kc;
+      if (opts.parallel && m_blocks > 1 && work > (1 << 16)) {
+        ThreadPool::global().parallel_for(0, m_blocks, run_blocks, 1);
+      } else {
+        run_blocks(0, m_blocks);
+      }
+    }
+  }
+}
+
+void gemm_s8_pack_a(bool trans_a, const uint8_t* a, int64_t m, int64_t k,
+                    int64_t i0, int64_t mc, int64_t p0, int64_t kc,
+                    int16_t* dst, int32_t* rowsum) {
+  // op_a(A)[i, p] = trans_a ? a[p*m + i] : a[i*k + p].
+  const int64_t row_stride = trans_a ? 1 : k;
+  const int64_t col_stride = trans_a ? m : 1;
+  const int64_t kp_count = (kc + 1) / 2;
+  for (int64_t s = 0; s < mc; s += kGemmMR, dst += kGemmMR * 2 * kp_count) {
+    const int64_t rows = std::min(kGemmMR, mc - s);
+    const uint8_t* src = a + (i0 + s) * row_stride + p0 * col_stride;
+    for (int64_t kp = 0; kp < kp_count; ++kp) {
+      const int64_t p = 2 * kp;
+      const bool pair = p + 1 < kc;
+      int16_t* out = dst + kp * kGemmMR * 2;
+      for (int64_t r = 0; r < rows; ++r) {
+        const int32_t q0 = src[r * row_stride + p * col_stride];
+        const int32_t q1 =
+            pair ? src[r * row_stride + (p + 1) * col_stride] : 0;
+        out[r * 2 + 0] = static_cast<int16_t>(q0);
+        out[r * 2 + 1] = static_cast<int16_t>(q1);
+        if (rowsum != nullptr) rowsum[s + r] += q0 + q1;
+      }
+      for (int64_t r = rows; r < kGemmMR; ++r) {
+        out[r * 2 + 0] = 0;
+        out[r * 2 + 1] = 0;
+      }
+    }
+  }
+}
+
+void gemm_s8_pack_b(bool trans_b, const uint8_t* b, int64_t k, int64_t n,
+                    int64_t p0, int64_t kc, int64_t j0, int64_t nc,
+                    int16_t* dst, int32_t* colsum) {
+  // op_b(B)[p, j] = trans_b ? b[j*k + p] : b[p*n + j].
+  const int64_t row_stride = trans_b ? 1 : n;
+  const int64_t col_stride = trans_b ? k : 1;
+  const int64_t kp_count = (kc + 1) / 2;
+  for (int64_t s = 0; s < nc; s += kGemmNR, dst += kGemmNR * 2 * kp_count) {
+    const int64_t cols = std::min(kGemmNR, nc - s);
+    const uint8_t* src = b + p0 * row_stride + (j0 + s) * col_stride;
+    for (int64_t kp = 0; kp < kp_count; ++kp) {
+      const int64_t p = 2 * kp;
+      const bool pair = p + 1 < kc;
+      int16_t* out = dst + kp * kGemmNR * 2;
+      for (int64_t c = 0; c < cols; ++c) {
+        const int32_t q0 = src[p * row_stride + c * col_stride];
+        const int32_t q1 =
+            pair ? src[(p + 1) * row_stride + c * col_stride] : 0;
+        out[c * 2 + 0] = static_cast<int16_t>(q0);
+        out[c * 2 + 1] = static_cast<int16_t>(q1);
+        if (colsum != nullptr) colsum[s + c] += q0 + q1;
+      }
+      for (int64_t c = cols; c < kGemmNR; ++c) {
+        out[c * 2 + 0] = 0;
+        out[c * 2 + 1] = 0;
+      }
+    }
+  }
+}
+
+void gemm_s8(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+             const uint8_t* a, const uint8_t* b, const GemmS8Params& params,
+             float* c, const GemmOptions& opts) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {  // empty reduction: every (qa-Za)(qb-Zb) sum is 0
+    std::fill(c, c + m * n, 0.0f);
+    return;
+  }
+  APT_CHECK(k <= kGemmS8MaxK)
+      << "gemm_s8: k=" << k << " exceeds the int32-exact bound "
+      << kGemmS8MaxK;
+  APT_CHECK(params.zero_a >= 0 && params.zero_a <= 255 &&
+            params.zero_b >= 0 && params.zero_b <= 255)
+      << "gemm_s8: zero-points must be 8-bit codes";
+  const S8Path path = resolve_s8_path(opts.kernel, params);
+  const int64_t za = params.zero_a, zb = params.zero_b;
+  const double sab = params.scale_a * params.scale_b;
+
+  ScratchArena::Scope outer(ScratchArena::thread_local_arena());
+  // Raw code-product plane (int32, only touched when k spans several
+  // panels), the zero-point correction sums, and the per-column
+  // correction staged as doubles for the fused final store.
+  const bool multi_panel = k > kGemmKC;
+  auto* raw =
+      multi_panel ? static_cast<int32_t*>(outer.alloc_bytes(
+                        static_cast<size_t>(m * n) * sizeof(int32_t)))
+                  : nullptr;
+  auto* rowsum = static_cast<int32_t*>(
+      outer.alloc_bytes(static_cast<size_t>(m) * sizeof(int32_t)));
+  auto* colsum = static_cast<int32_t*>(
+      outer.alloc_bytes(static_cast<size_t>(n) * sizeof(int32_t)));
+  auto* col_corr = static_cast<double*>(
+      outer.alloc_bytes(static_cast<size_t>(n) * sizeof(double)));
+  std::fill(rowsum, rowsum + m, 0);
+  std::fill(colsum, colsum + n, 0);
+  const double kzazb = static_cast<double>(k * za * zb);
+
+  for (int64_t j0 = 0; j0 < n; j0 += kGemmNC) {
+    const int64_t nc = std::min(kGemmNC, n - j0);
+    const int64_t n_strips = (nc + kGemmNR - 1) / kGemmNR;
+    for (int64_t p0 = 0; p0 < k; p0 += kGemmKC) {
+      const int64_t kc = std::min(kGemmKC, k - p0);
+      // Both layouts pack 4 bytes per row/column per k-group.
+      const int64_t groups = (kc + path.group - 1) / path.group;
+      const bool first_panel = p0 == 0;
+      const bool last_panel = p0 + kGemmKC >= k;
+
+      ScratchArena::Scope panel_scope(ScratchArena::thread_local_arena());
+      auto* packb = static_cast<std::byte*>(panel_scope.alloc_bytes(
+          static_cast<size_t>(n_strips * kGemmNR * 4 * groups)));
+      // Column sums span all p0 panels of this j0 panel; B is packed
+      // exactly once per (j0, p0), so accumulating here counts each code
+      // once. Rows are packed once per (p0, MC panel) only while j0 == 0,
+      // giving the same once-per-code guarantee for rowsum below.
+      path.pack_b(trans_b, b, k, n, p0, kc, j0, nc, packb, colsum + j0);
+      if (last_panel)  // column sums for this panel are now complete
+        for (int64_t j = 0; j < nc; ++j)
+          col_corr[j0 + j] = static_cast<double>(za) * colsum[j0 + j];
+
+      const int64_t m_blocks = (m + kGemmMC - 1) / kGemmMC;
+      auto run_blocks = [&](int64_t mb_begin, int64_t mb_end) {
+        ScratchArena::Scope scope(ScratchArena::thread_local_arena());
+        auto* packa = static_cast<std::byte*>(scope.alloc_bytes(
+            static_cast<size_t>(kGemmMC * 4 * groups)));
+        alignas(64) int32_t acc[kGemmMR * kGemmNR];
+        double row_corr[kGemmMC];
+        for (int64_t mb = mb_begin; mb < mb_end; ++mb) {
+          const int64_t i0 = mb * kGemmMC;
+          const int64_t mc = std::min(kGemmMC, m - i0);
+          path.pack_a(trans_a, a, m, k, i0, mc, p0, kc, packa,
+                      j0 == 0 ? rowsum + i0 : nullptr);
+          if (last_panel)  // row sums for these rows are now complete
+            for (int64_t r = 0; r < mc; ++r)
+              row_corr[r] =
+                  kzazb - static_cast<double>(zb) * rowsum[i0 + r];
+          for (int64_t sj = 0; sj < n_strips; ++sj) {
+            const std::byte* pb = packb + sj * kGemmNR * 4 * groups;
+            const int64_t nr = std::min(kGemmNR, nc - sj * kGemmNR);
+            for (int64_t si = 0; si * kGemmMR < mc; ++si) {
+              const int64_t mr = std::min(kGemmMR, mc - si * kGemmMR);
+              path.kernel(groups, packa + si * kGemmMR * 4 * groups, pb,
+                          acc);
+              const int64_t tile_i = i0 + si * kGemmMR;
+              const int64_t tile_j = j0 + sj * kGemmNR;
+              if (last_panel) {
+                store_tile_s8_final(
+                    c + tile_i * n + tile_j, n,
+                    first_panel ? nullptr : raw + tile_i * n + tile_j, n,
+                    mr, nr, acc, row_corr + si * kGemmMR,
+                    col_corr + tile_j, sab);
+              } else {
+                store_tile_s8(raw + tile_i * n + tile_j, n, mr, nr, acc,
+                              first_panel);
+              }
+            }
+          }
+        }
+      };
+
       const int64_t work = m * nc * kc;
       if (opts.parallel && m_blocks > 1 && work > (1 << 16)) {
         ThreadPool::global().parallel_for(0, m_blocks, run_blocks, 1);

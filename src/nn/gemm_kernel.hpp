@@ -69,4 +69,80 @@ void gemm_pack_a(bool trans_a, const float* a, int64_t m, int64_t k,
 void gemm_pack_b(bool trans_b, const float* b, int64_t k, int64_t n,
                  int64_t p0, int64_t kc, int64_t j0, int64_t nc, float* dst);
 
+// -- integer (quantised-code) GEMM ------------------------------------------
+//
+// gemm_s8 multiplies two planes of *unsigned* affine codes (the storage
+// format of QuantizedTensor for bits <= 8 and of the 8-bit activation
+// quantiser) and produces a dequantised fp32 result:
+//
+//   C[i,j] = Sa*Sb * sum_p (op_a(A)[i,p] - Za) * (op_b(B)[p,j] - Zb)
+//
+// The kernel accumulates the RAW code products sum_p qa*qb in int32 and
+// folds the zero-points in afterwards via per-row / per-column code sums
+// gathered during packing:
+//
+//   sum (qa-Za)(qb-Zb) = sum qa*qb - Zb*rowsum_a[i] - Za*colsum_b[j]
+//                        + k*Za*Zb
+//
+// Every step up to the final scale-by-Sa*Sb is integer arithmetic, so the
+// result is exact (one float rounding per output element) and bit-identical
+// for any thread count or micro-kernel. The int32 accumulator never
+// saturates: codes are <= 255, so |sum| <= k * 255^2, which bounds exact
+// operation to k <= kGemmS8MaxK (checked).
+//
+// Two AVX2 execution strategies, chosen by the declared code ranges:
+//  * vpmaddwd on int16-widened k-pairs — always exact, but only matches
+//    fp32 FMA MAC density (one op per 8 MACs);
+//  * vpmaddubsw/vpmaddwd on raw byte k-quads — 1.33x the MAC density,
+//    engaged only when one operand's codes are <= kGemmS8QuadMaxCode so
+//    the u8 x s8 pair-sum provably cannot hit vpmaddubsw's int16
+//    saturation (2 * 255 * 64 = 32640 < 32767). Weight grids at the
+//    paper's k <= 6 qualify; both strategies produce identical bits.
+inline constexpr int64_t kGemmS8MaxK = INT32_MAX / (255 * 255);
+inline constexpr int32_t kGemmS8QuadMaxCode = 64;
+
+struct GemmS8Params {
+  double scale_a = 1.0;  ///< Sa
+  double scale_b = 1.0;  ///< Sb
+  int32_t zero_a = 0;    ///< Za, in [0, 255]
+  int32_t zero_b = 0;    ///< Zb, in [0, 255]
+  /// Largest code that can occur in each operand (e.g. max_code(bits) of
+  /// the weight grid). Purely a kernel-selection hint: declaring a value
+  /// <= kGemmS8QuadMaxCode unlocks the faster quad strategy, and every
+  /// code in that operand MUST respect it or products may saturate.
+  int32_t max_a = 255;
+  int32_t max_b = 255;
+};
+
+/// C (fp32, m x n row-major, overwritten) = Sa*Sb * (op_a(A)-Za)(op_b(B)-Zb)
+/// with A, B unsigned 8-bit code planes. Requires k <= kGemmS8MaxK.
+void gemm_s8(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+             const uint8_t* a, const uint8_t* b, const GemmS8Params& params,
+             float* c, const GemmOptions& opts = {});
+
+// -- s8 packing primitives, exposed for tests -------------------------------
+//
+// The integer micro-kernel consumes k-PAIRS (two k steps per iteration,
+// the shape of AVX2's vpmaddwd), so both packers widen codes to int16 and
+// interleave consecutive k values. Odd kc pads the second slot of the
+// last pair with code 0, which contributes 0 to the raw product sum.
+
+/// Packs op_a(A) rows [i0, i0+mc) x k-range [p0, p0+kc) into MR-row strips
+/// of k-pairs: dst[(kp*MR + r)*2 + s] = op_a(A)[i0+strip+r, p0+2*kp+s].
+/// `dst` needs ceil(mc/MR)*MR*2*ceil(kc/2) int16. When `rowsum` is
+/// non-null, rowsum[r] (r in [0, mc)) is incremented by the row's code sum
+/// over the real [p0, p0+kc) range.
+void gemm_s8_pack_a(bool trans_a, const uint8_t* a, int64_t m, int64_t k,
+                    int64_t i0, int64_t mc, int64_t p0, int64_t kc,
+                    int16_t* dst, int32_t* rowsum);
+
+/// Packs op_b(B) k-range [p0, p0+kc) x cols [j0, j0+nc) into NR-column
+/// strips of k-pairs: dst[(kp*NR + c)*2 + s] = op_b(B)[p0+2*kp+s, j0+strip+c].
+/// `dst` needs ceil(nc/NR)*NR*2*ceil(kc/2) int16. When `colsum` is
+/// non-null, colsum[c] (c in [0, nc)) is incremented by the column's code
+/// sum over the real range.
+void gemm_s8_pack_b(bool trans_b, const uint8_t* b, int64_t k, int64_t n,
+                    int64_t p0, int64_t kc, int64_t j0, int64_t nc,
+                    int16_t* dst, int32_t* colsum);
+
 }  // namespace apt::nn

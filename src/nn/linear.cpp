@@ -1,6 +1,11 @@
 #include "nn/linear.hpp"
 
+#include <algorithm>
+
+#include "base/arena.hpp"
+#include "base/thread_pool.hpp"
 #include "nn/gemm.hpp"
+#include "nn/gemm_kernel.hpp"
 #include "nn/init.hpp"
 
 namespace apt::nn {
@@ -19,18 +24,56 @@ Linear::Linear(std::string name, int64_t in_features, int64_t out_features,
 Tensor Linear::forward(const Tensor& x, bool training) {
   APT_CHECK(x.shape().rank() == 2 && x.dim(1) == in_)
       << name_ << ": bad input " << x.shape().str();
-  if (training) input_ = x;  // shallow share; batches are freshly allocated
+  if (training) {
+    input_ = x;  // shallow share; batches are freshly allocated
+    act_range_.observe(x);
+  }
   const int64_t n = x.dim(0);
   Tensor y(Shape{n, out_});
-  // y[N,out] = x[N,in] * W^T[in,out]
-  gemm(false, true, n, out_, in_, 1.0f, x.data(), weight_.value.data(), 0.0f,
-       y.data());
+
+  // Integer path: weight codes stay packed (no dequantised multiply) and
+  // the input is quantised onto the tracked 8-bit activation grid. The
+  // weight's float view equals S(q - Z) exactly, so this differs from
+  // the fp32 path only by activation rounding and exact-vs-float
+  // accumulation order.
+  const quant::QuantizedTensor* wq =
+      weight_.rep ? weight_.rep->quantized_view() : nullptr;
+  last_forward_int8_ = gemm_int8_forward_enabled() && wq != nullptr &&
+                       wq->bits() <= 8 && act_range_.initialized();
+  if (last_forward_int8_) {
+    const quant::QuantParams aq =
+        quant::choose_params(act_range_.lo(), act_range_.hi(), 8);
+    ScratchArena::Scope scope(ScratchArena::thread_local_arena());
+    auto* xq = static_cast<uint8_t*>(
+        scope.alloc_bytes(static_cast<size_t>(x.numel())));
+    quant::quantize_codes_u8(x.data(), x.numel(), aq, xq);
+    GemmS8Params qp{aq.scale, wq->params().scale,
+                    static_cast<int32_t>(aq.zero_point),
+                    static_cast<int32_t>(wq->params().zero_point)};
+    // Declaring the weight grid's code ceiling lets <= 6-bit layers take
+    // the saturation-free vpmaddubsw fast path.
+    qp.max_b = static_cast<int32_t>(quant::max_code(wq->bits()));
+    // y[N,out] = deq(Xq[N,in]) * deq(Wq)^T[in,out]
+    gemm_s8(false, true, n, out_, in_, xq, wq->codes_u8(), qp, y.data());
+  } else {
+    // y[N,out] = x[N,in] * W^T[in,out]
+    gemm(false, true, n, out_, in_, 1.0f, x.data(), weight_.value.data(),
+         0.0f, y.data());
+  }
+
   if (has_bias_) {
+    // Rows are independent; batch them through the pool with a grain that
+    // keeps small layers from fragmenting into tiny tasks.
     const float* b = bias_.value.data();
-    for (int64_t i = 0; i < n; ++i) {
-      float* row = y.data() + i * out_;
-      for (int64_t j = 0; j < out_; ++j) row[j] += b[j];
-    }
+    ThreadPool::global().parallel_for(
+        0, n,
+        [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            float* row = y.data() + i * out_;
+            for (int64_t j = 0; j < out_; ++j) row[j] += b[j];
+          }
+        },
+        std::max<int64_t>(1, (1 << 14) / std::max<int64_t>(1, out_)));
   }
   return y;
 }
@@ -43,11 +86,20 @@ Tensor Linear::backward(const Tensor& grad_out) {
   gemm(true, false, out_, in_, n, 1.0f, grad_out.data(), input_.data(), 1.0f,
        weight_.grad.data());
   if (has_bias_) {
+    // Each feature j is owned by one task and accumulated in a fixed
+    // sample order, so the reduction is deterministic for any pool size.
     float* db = bias_.grad.data();
-    for (int64_t i = 0; i < n; ++i) {
-      const float* row = grad_out.data() + i * out_;
-      for (int64_t j = 0; j < out_; ++j) db[j] += row[j];
-    }
+    ThreadPool::global().parallel_for(
+        0, out_,
+        [&](int64_t j0, int64_t j1) {
+          for (int64_t j = j0; j < j1; ++j) {
+            float acc = 0.0f;
+            for (int64_t i = 0; i < n; ++i)
+              acc += grad_out.data()[i * out_ + j];
+            db[j] += acc;
+          }
+        },
+        std::max<int64_t>(1, (1 << 14) / std::max<int64_t>(1, n)));
   }
   // dX[N,in] = dY[N,out] * W[out,in]
   Tensor dx(Shape{n, in_});

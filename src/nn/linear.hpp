@@ -1,8 +1,17 @@
 // Fully connected layer: y = x W^T + b.
+//
+// Forward has two paths. The fp32 reference path multiplies the
+// dequantised weight view. When the int8 backend is selected
+// (`set_gemm_backend(GemmBackend::kInt8)` / APT_GEMM_BACKEND=int8) and
+// the weight's representation stores <= 8-bit codes, the forward instead
+// quantises activations onto an EMA-tracked 8-bit grid and runs the
+// integer gemm_s8 kernel directly on the code planes. Backward always
+// uses fp32 (straight-through on the activation quantiser).
 #pragma once
 
 #include "base/rng.hpp"
 #include "nn/layer.hpp"
+#include "quant/fake_quant.hpp"
 
 namespace apt::nn {
 
@@ -22,6 +31,11 @@ class Linear : public Layer {
   Parameter& weight() { return weight_; }
   Parameter& bias() { return bias_; }
 
+  /// EMA range of the layer's input, feeding the activation quantiser.
+  const quant::RangeTracker& activation_range() const { return act_range_; }
+  /// True when the last forward ran through the integer kernel.
+  bool last_forward_was_int8() const { return last_forward_int8_; }
+
  private:
   std::string name_;
   int64_t in_, out_;
@@ -29,6 +43,8 @@ class Linear : public Layer {
   Parameter weight_;
   Parameter bias_;
   Tensor input_;  // cached for backward
+  quant::RangeTracker act_range_;
+  bool last_forward_int8_ = false;
 };
 
 }  // namespace apt::nn

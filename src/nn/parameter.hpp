@@ -66,6 +66,14 @@ class Representation {
   /// Fig. 5's "model size for training" accounts (master copies count).
   virtual int64_t memory_bits(const Parameter& p) const = 0;
 
+  /// The quantised code storage backing this representation, when there
+  /// is one whose codes kernels may consume directly (the paper's grid
+  /// scheme). nullptr for fp32 and master-copy storages; layers use this
+  /// to decide whether the integer forward path can engage.
+  virtual const quant::QuantizedTensor* quantized_view() const {
+    return nullptr;
+  }
+
   /// Human-readable representation name for reports.
   virtual std::string describe() const = 0;
 };

@@ -50,6 +50,23 @@ int64_t round_steps(double x, RoundMode mode, double u01) {
   return 0;  // unreachable
 }
 
+void quantize_codes_u8(const float* src, int64_t n, const QuantParams& p,
+                       uint8_t* dst) {
+  APT_CHECK(p.bits <= 8)
+      << "quantize_codes_u8 needs an 8-bit-or-narrower grid, got " << p.bits;
+  const float inv = static_cast<float>(1.0 / p.scale);
+  const float z = static_cast<float>(p.zero_point);
+  const float qmax = static_cast<float>(max_code(p.bits));
+  for (int64_t i = 0; i < n; ++i) {
+    float q = src[i] * inv + z;
+    // Below-range (and NaN) saturates to code 0; the +0.5/truncate pair
+    // rounds non-negative values half away from zero.
+    q = q >= 0.0f ? q + 0.5f : 0.0f;
+    if (q > qmax) q = qmax;  // above-range and +Inf saturate
+    dst[i] = static_cast<uint8_t>(q);
+  }
+}
+
 int64_t quantize_value(float r, const QuantParams& p, RoundMode mode) {
   const double q = static_cast<double>(r) / p.scale +
                    static_cast<double>(p.zero_point);

@@ -69,6 +69,14 @@ QuantParams choose_params(const Tensor& t, int bits);
 int64_t quantize_value(float r, const QuantParams& p,
                        RoundMode mode = RoundMode::kNearest);
 
+/// Bulk-quantises `n` values onto p's grid as unsigned 8-bit codes
+/// (requires p.bits <= 8) — the activation-side feeder of the integer
+/// GEMM. Rounds half away from zero like quantize_value(kNearest) but in
+/// float precision with a precomputed reciprocal scale so the loop
+/// vectorises; out-of-range and non-finite inputs saturate (NaN to 0).
+void quantize_codes_u8(const float* src, int64_t n, const QuantParams& p,
+                       uint8_t* dst);
+
 /// Rounds `x` according to `mode`. `u01` supplies the uniform sample used by
 /// stochastic rounding (ignored by the other modes).
 int64_t round_steps(double x, RoundMode mode, double u01 = 0.0);

@@ -6,6 +6,8 @@
 // average of observed min/max, as is standard for activation ranges.
 #pragma once
 
+#include <cmath>
+
 #include "base/tensor.hpp"
 #include "quant/affine.hpp"
 
@@ -19,6 +21,10 @@ class RangeTracker {
   void observe(const Tensor& t) {
     if (t.numel() == 0) return;
     const float lo = t.min(), hi = t.max();
+    // One batch with a NaN/Inf (a diverging step, a bad sensor frame)
+    // must not poison the EMA forever: skip non-finite observations
+    // entirely — including for initialisation.
+    if (!std::isfinite(lo) || !std::isfinite(hi)) return;
     if (!initialized_) {
       lo_ = lo;
       hi_ = hi;

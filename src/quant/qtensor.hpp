@@ -5,6 +5,12 @@
 // the dequantised float view (exactly S(q - Z) for every element); updates
 // are applied to the codes through `apply_update`, which realises the
 // paper's Eq. 3 grid update including quantisation underflow.
+//
+// Codes are physically stored at the narrowest unsigned width that holds
+// the k-bit range: one byte for k <= 8, two for k <= 16, four above. A
+// 6-bit tensor therefore really allocates numel bytes, and integer
+// kernels can consume the 8-bit code plane directly via `codes_u8()`
+// without a widening copy.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +43,11 @@ struct UpdateStats {
   }
 };
 
+/// Physical storage width (bits) for k-bit codes: 8 / 16 / 32.
+inline int storage_bits_for(int bits) {
+  return bits <= 8 ? 8 : (bits <= 16 ? 16 : 32);
+}
+
 class QuantizedTensor {
  public:
   QuantizedTensor() = default;
@@ -57,7 +68,29 @@ class QuantizedTensor {
   /// The paper's ε (Eq. 2) for this tensor.
   double epsilon() const { return params_.epsilon(); }
 
-  const std::vector<int64_t>& codes() const { return codes_; }
+  /// Physical bits per stored code (8, 16, or 32; >= bits()).
+  int storage_bits() const { return storage_bits_for(params_.bits); }
+  /// Bytes actually allocated for the code plane (numel * storage width).
+  int64_t code_storage_bytes() const {
+    return numel() * (storage_bits() / 8);
+  }
+
+  /// Single-code access, width-independent (for tests and tooling; kernels
+  /// use the contiguous views below).
+  int64_t code(int64_t i) const;
+
+  /// Contiguous unsigned 8-bit code plane; only valid while bits() <= 8.
+  /// This is the operand format of the integer GEMM (`gemm_s8`).
+  const uint8_t* codes_u8() const;
+  /// Same bytes viewed as int8 for kernels that want a signed pointer
+  /// type; the bit pattern is still the unsigned code.
+  const int8_t* codes_i8() const {
+    return reinterpret_cast<const int8_t*>(codes_u8());
+  }
+  /// Contiguous 16-bit code plane; only valid while 8 < bits() <= 16.
+  const uint16_t* codes_u16() const;
+  /// Contiguous 32-bit code plane; only valid while bits() > 16.
+  const uint32_t* codes_u32() const;
 
   /// Dequantised float view: out[i] = S * (q[i] - Z).
   Tensor dequantize() const;
@@ -74,8 +107,9 @@ class QuantizedTensor {
                            Rng* rng = nullptr);
 
   /// Re-fits (S, Z) to the current dequantised values with a new bitwidth
-  /// and re-quantises the codes. Used when the APT policy changes k or when
-  /// the range has drifted. Keeps values as close as the new grid allows.
+  /// and re-quantises the codes (switching storage width as needed). Used
+  /// when the APT policy changes k or when the range has drifted. Keeps
+  /// values as close as the new grid allows.
   void requantize(int new_bits, float range_lo, float range_hi,
                   RoundMode mode = RoundMode::kNearest);
 
@@ -86,9 +120,17 @@ class QuantizedTensor {
   double saturation_fraction() const;
 
  private:
+  // Quantises `values` into the width-appropriate code vector (resizing
+  // it and clearing the other widths).
+  void encode(const Tensor& values, RoundMode mode);
+
   Shape shape_;
   QuantParams params_;
-  std::vector<int64_t> codes_;
+  // Exactly one of these is populated, chosen by storage_bits(). Codes
+  // are raw unsigned grid indices in [0, 2^k - 1].
+  std::vector<uint8_t> codes8_;
+  std::vector<uint16_t> codes16_;
+  std::vector<uint32_t> codes32_;
 };
 
 }  // namespace apt::quant

@@ -43,9 +43,11 @@ TEST(GridRepresentation, NoMasterCopyMemoryFootprint) {
   GridOptions opts;
   opts.bits = 6;
   GridRepresentation rep(p, opts);
-  // 100 params x 6 bits + 64 bits of scale/zero-point metadata. The
-  // crucial property vs the baselines: NOT 100 x (32 + k).
-  EXPECT_EQ(rep.memory_bits(p), 100 * 6 + 64);
+  // 100 params x 8 bits (6-bit codes physically live in one byte each)
+  // + 64 bits of scale/zero-point metadata: what is actually allocated.
+  // The crucial property vs the baselines: NOT 100 x (32 + k).
+  EXPECT_EQ(rep.memory_bits(p), 100 * 8 + 64);
+  EXPECT_LE(rep.codes().code_storage_bytes(), p.numel());
 }
 
 TEST(GridRepresentation, UpdateUnderflowFreezesValue) {

@@ -1,0 +1,552 @@
+// Tests for the integer GEMM path: exact agreement of gemm_s8 with an
+// all-integer affine reference across transpose combinations, zero-point
+// edge cases (Z at both code-range limits), saturation-free accumulation
+// at worst-case codes, bit-identical parallel-vs-serial and
+// scalar-vs-AVX2 determinism, s8 packing layout with row/column code
+// sums, the bulk activation quantiser, and the Linear/Conv2d quantised
+// forward wiring (mirrors tests/gemm_backend_test.cpp for fp32).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "core/grid_representation.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/gemm.hpp"
+#include "nn/gemm_kernel.hpp"
+#include "nn/linear.hpp"
+#include "quant/affine.hpp"
+
+namespace apt::nn {
+namespace {
+
+// All-integer reference: the contract gemm_s8 promises bit-for-bit —
+// one int64 code-product sum per element, one double scale, one float
+// rounding.
+void gemm_s8_reference(bool ta, bool tb, int64_t m, int64_t n, int64_t k,
+                       const uint8_t* a, const uint8_t* b,
+                       const GemmS8Params& qp, float* c) {
+  const double sab = qp.scale_a * qp.scale_b;
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) {
+      int64_t acc = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        const int64_t qa = ta ? a[p * m + i] : a[i * k + p];
+        const int64_t qb = tb ? b[j * k + p] : b[p * n + j];
+        acc += (qa - qp.zero_a) * (qb - qp.zero_b);
+      }
+      c[i * n + j] = static_cast<float>(sab * static_cast<double>(acc));
+    }
+}
+
+struct S8Case {
+  bool ta, tb;
+  int64_t m, n, k;
+  int32_t za, zb;
+  // Code ceilings: both the fill range and the GemmS8Params hint, so
+  // cases with a ceiling <= kGemmS8QuadMaxCode run the vpmaddubsw quad
+  // strategy instead of the int16-pair one.
+  int32_t max_a = 255;
+  int32_t max_b = 255;
+};
+
+void fill_codes(std::vector<uint8_t>& v, uint64_t seed, int lo = 0,
+                int hi = 255) {
+  Rng rng(seed);
+  for (auto& q : v) q = static_cast<uint8_t>(rng.randint(lo, hi));
+}
+
+class S8VsReference : public ::testing::TestWithParam<S8Case> {};
+
+TEST_P(S8VsReference, AutoKernelExact) {
+  const S8Case c = GetParam();
+  std::vector<uint8_t> a(static_cast<size_t>(c.m * c.k)),
+      b(static_cast<size_t>(c.k * c.n));
+  fill_codes(a, 7, 0, c.max_a);
+  fill_codes(b, 13, 0, c.max_b);
+  const GemmS8Params qp{0.02, 0.005, c.za, c.zb, c.max_a, c.max_b};
+  std::vector<float> out(static_cast<size_t>(c.m * c.n), -1.0f),
+      ref(static_cast<size_t>(c.m * c.n), -2.0f);
+  gemm_s8(c.ta, c.tb, c.m, c.n, c.k, a.data(), b.data(), qp, out.data());
+  gemm_s8_reference(c.ta, c.tb, c.m, c.n, c.k, a.data(), b.data(), qp,
+                    ref.data());
+  // Integer accumulation: not merely close — identical bits.
+  ASSERT_EQ(0,
+            std::memcmp(out.data(), ref.data(), out.size() * sizeof(float)));
+}
+
+TEST_P(S8VsReference, ScalarKernelExact) {
+  const S8Case c = GetParam();
+  std::vector<uint8_t> a(static_cast<size_t>(c.m * c.k)),
+      b(static_cast<size_t>(c.k * c.n));
+  fill_codes(a, 17, 0, c.max_a);
+  fill_codes(b, 19, 0, c.max_b);
+  const GemmS8Params qp{0.5, 0.25, c.za, c.zb, c.max_a, c.max_b};
+  GemmOptions opts;
+  opts.kernel = GemmKernel::kScalar;
+  std::vector<float> out(static_cast<size_t>(c.m * c.n)),
+      ref(static_cast<size_t>(c.m * c.n));
+  gemm_s8(c.ta, c.tb, c.m, c.n, c.k, a.data(), b.data(), qp, out.data(),
+          opts);
+  gemm_s8_reference(c.ta, c.tb, c.m, c.n, c.k, a.data(), b.data(), qp,
+                    ref.data());
+  ASSERT_EQ(0,
+            std::memcmp(out.data(), ref.data(), out.size() * sizeof(float)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransposes, S8VsReference,
+    ::testing::Values(S8Case{false, false, 37, 41, 29, 10, 100},
+                      S8Case{true, false, 37, 41, 29, 10, 100},
+                      S8Case{false, true, 37, 41, 29, 10, 100},
+                      S8Case{true, true, 37, 41, 29, 10, 100},
+                      // Cross MC and KC panel boundaries.
+                      S8Case{false, false, 200, 50, 300, 3, 7},
+                      S8Case{true, true, 101, 33, 270, 128, 128}));
+
+INSTANTIATE_TEST_SUITE_P(
+    ZeroPointEdges, S8VsReference,
+    ::testing::Values(  // Z pinned at both ends of the code range; the
+                        // correction terms are maximal there.
+        S8Case{false, false, 23, 19, 31, 0, 0},
+        S8Case{false, true, 23, 19, 31, 255, 255},
+        S8Case{true, false, 23, 19, 31, 0, 255},
+        S8Case{false, false, 23, 19, 31, 255, 0},
+        // Odd k exercises the zero-padded second pair slot.
+        S8Case{false, false, 7, 17, 1, 255, 1},
+        S8Case{true, true, 6, 16, 11, 200, 55},
+        S8Case{false, false, 1, 1, 1, 255, 255}));
+
+INSTANTIATE_TEST_SUITE_P(
+    QuadFastPath, S8VsReference,
+    ::testing::Values(  // Small-code operands engage the vpmaddubsw
+                        // strategy (B-signed, then A-signed variant);
+                        // results must stay exact, including at the
+                        // worst-case 255 x 64 pair products and at every
+                        // k-quad padding remainder (k mod 4 = 0..3).
+        S8Case{false, true, 37, 41, 29, 10, 31, 255, 63},
+        S8Case{false, false, 100, 50, 300, 128, 0, 255, 64},
+        S8Case{true, false, 33, 47, 64, 255, 64, 255, 64},
+        S8Case{false, false, 64, 64, 256, 0, 0, 63, 255},
+        S8Case{true, true, 101, 33, 270, 7, 200, 64, 255},
+        S8Case{false, false, 23, 19, 31, 64, 255, 64, 255},
+        S8Case{false, false, 9, 18, 5, 1, 1, 255, 63},
+        S8Case{false, false, 9, 18, 6, 1, 1, 255, 63},
+        S8Case{false, false, 9, 18, 7, 1, 1, 255, 63},
+        // Both small: the B-signed variant wins the tie.
+        S8Case{false, false, 40, 40, 40, 30, 30, 63, 63}));
+
+TEST(GemmS8, WorstCaseCodesDoNotSaturate) {
+  // All codes at 255 with Z = 0 maximises every intermediate; with k
+  // deep enough to cross many KC panels the int32 raw accumulator
+  // approaches but never crosses its exact bound.
+  const int64_t m = 3, n = 17, k = 20000;
+  ASSERT_LE(k, kGemmS8MaxK);
+  std::vector<uint8_t> a(static_cast<size_t>(m * k), 255),
+      b(static_cast<size_t>(k * n), 255);
+  const GemmS8Params qp{1.0, 1.0, 0, 0};
+  std::vector<float> out(static_cast<size_t>(m * n));
+  gemm_s8(false, false, m, n, k, a.data(), b.data(), qp, out.data());
+  const float expect =
+      static_cast<float>(static_cast<double>(k) * 255.0 * 255.0);
+  for (float v : out) ASSERT_EQ(v, expect);
+}
+
+TEST(GemmS8, WorstCaseNegativeSumsDoNotSaturate) {
+  // Codes 0 against Z = 255 drives the corrected sum to its most
+  // negative value (-k * 255^2).
+  const int64_t m = 2, n = 9, k = 20000;
+  std::vector<uint8_t> a(static_cast<size_t>(m * k), 0),
+      b(static_cast<size_t>(k * n), 255);
+  const GemmS8Params qp{1.0, 1.0, 255, 0};
+  std::vector<float> out(static_cast<size_t>(m * n));
+  gemm_s8(false, false, m, n, k, a.data(), b.data(), qp, out.data());
+  const float expect =
+      static_cast<float>(-static_cast<double>(k) * 255.0 * 255.0);
+  for (float v : out) ASSERT_EQ(v, expect);
+}
+
+TEST(GemmS8, QuadPathWorstCasePairProductsStayExact) {
+  // The quad strategy's vpmaddubsw headroom proof at its boundary:
+  // 255 x 64 + 255 x 64 = 32640, one shy of int16 saturation. Every
+  // element must still be exact.
+  const int64_t m = 8, n = 24, k = 1000;
+  std::vector<uint8_t> a(static_cast<size_t>(m * k), 255),
+      b(static_cast<size_t>(k * n), 64);
+  GemmS8Params qp{1.0, 1.0, 0, 0};
+  qp.max_b = 64;
+  std::vector<float> out(static_cast<size_t>(m * n));
+  gemm_s8(false, false, m, n, k, a.data(), b.data(), qp, out.data());
+  const float expect =
+      static_cast<float>(static_cast<double>(k) * 255.0 * 64.0);
+  for (float v : out) ASSERT_EQ(v, expect);
+}
+
+TEST(GemmS8, QuadAndPairStrategiesBitIdentical) {
+  // Same inputs with and without the small-code declaration: the quad
+  // and pair strategies must agree to the bit (scalar ties them both to
+  // the integer reference).
+  const int64_t m = 52, n = 39, k = 77;
+  std::vector<uint8_t> a(static_cast<size_t>(m * k)),
+      b(static_cast<size_t>(k * n));
+  fill_codes(a, 31);
+  fill_codes(b, 32, 0, 63);
+  GemmS8Params quad{0.04, 0.3, 200, 17};
+  quad.max_b = 63;
+  const GemmS8Params pair{0.04, 0.3, 200, 17};  // max_b left at 255
+  std::vector<float> via_quad(static_cast<size_t>(m * n)),
+      via_pair(static_cast<size_t>(m * n));
+  gemm_s8(false, false, m, n, k, a.data(), b.data(), quad, via_quad.data());
+  gemm_s8(false, false, m, n, k, a.data(), b.data(), pair, via_pair.data());
+  EXPECT_EQ(0, std::memcmp(via_quad.data(), via_pair.data(),
+                           via_quad.size() * sizeof(float)));
+}
+
+TEST(GemmS8, KBeyondExactBoundRejected) {
+  std::vector<uint8_t> a(4), b(4);
+  std::vector<float> c(1);
+  EXPECT_THROW(gemm_s8(false, false, 1, 1, kGemmS8MaxK + 1, a.data(),
+                       b.data(), GemmS8Params{}, c.data()),
+               CheckError);
+}
+
+TEST(GemmS8, EmptyReductionYieldsZero) {
+  std::vector<float> c(6, 42.0f);
+  gemm_s8(false, false, 2, 3, 0, nullptr, nullptr, GemmS8Params{}, c.data());
+  for (float v : c) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(GemmS8, MatchesFakeQuantReferenceClosely) {
+  // Dequantise both code planes and run the double-accumulator float
+  // reference: the integer path must land within float rounding of it
+  // (it is *exactly* the affine product; the float path accumulates
+  // rounded fp32 operands).
+  const int64_t m = 24, n = 31, k = 57;
+  std::vector<uint8_t> a(static_cast<size_t>(m * k)),
+      b(static_cast<size_t>(k * n));
+  fill_codes(a, 3);
+  fill_codes(b, 5, 0, 63);  // 6-bit weight codes
+  const GemmS8Params qp{0.01, 0.02, 128, 31};
+  std::vector<float> af(a.size()), bf(b.size());
+  for (size_t i = 0; i < a.size(); ++i)
+    af[i] = static_cast<float>(qp.scale_a * (a[i] - qp.zero_a));
+  for (size_t i = 0; i < b.size(); ++i)
+    bf[i] = static_cast<float>(qp.scale_b * (b[i] - qp.zero_b));
+  std::vector<float> out(static_cast<size_t>(m * n)),
+      ref(static_cast<size_t>(m * n), 0.0f);
+  gemm_s8(false, false, m, n, k, a.data(), b.data(), qp, out.data());
+  gemm_naive(false, false, m, n, k, 1.0f, af.data(), bf.data(), 0.0f,
+             ref.data());
+  for (size_t i = 0; i < out.size(); ++i)
+    ASSERT_NEAR(out[i], ref[i], 1e-4f) << "i=" << i;
+}
+
+// --------------------------------------------------------- determinism
+
+TEST(GemmS8, BitIdenticalAcrossThreadCounts) {
+  const int64_t m = 3 * kGemmMC + 5, n = 70, k = 2 * kGemmKC + 17;
+  std::vector<uint8_t> a(static_cast<size_t>(m * k)),
+      b(static_cast<size_t>(k * n));
+  fill_codes(a, 11);
+  fill_codes(b, 12);
+  const GemmS8Params qp{0.1, 0.2, 77, 33};
+  std::vector<float> serial(static_cast<size_t>(m * n)),
+      parallel(static_cast<size_t>(m * n));
+  GemmOptions opt_serial;
+  opt_serial.parallel = false;
+  gemm_s8(false, false, m, n, k, a.data(), b.data(), qp, serial.data(),
+          opt_serial);
+  GemmOptions opt_parallel;
+  opt_parallel.parallel = true;
+  gemm_s8(false, false, m, n, k, a.data(), b.data(), qp, parallel.data(),
+          opt_parallel);
+  EXPECT_EQ(0, std::memcmp(serial.data(), parallel.data(),
+                           serial.size() * sizeof(float)));
+}
+
+TEST(GemmS8, ScalarAndAutoKernelsBitIdentical) {
+  // Integer accumulation has one right answer: the AVX2 and scalar
+  // micro-kernels must agree to the bit, not within a tolerance.
+  const int64_t m = 100, n = 47, k = 123;
+  std::vector<uint8_t> a(static_cast<size_t>(m * k)),
+      b(static_cast<size_t>(k * n));
+  fill_codes(a, 21);
+  fill_codes(b, 22);
+  const GemmS8Params qp{0.3, 0.7, 5, 250};
+  std::vector<float> via_auto(static_cast<size_t>(m * n)),
+      via_scalar(static_cast<size_t>(m * n));
+  gemm_s8(false, true, m, n, k, a.data(), b.data(), qp, via_auto.data());
+  GemmOptions opts;
+  opts.kernel = GemmKernel::kScalar;
+  gemm_s8(false, true, m, n, k, a.data(), b.data(), qp, via_scalar.data(),
+          opts);
+  EXPECT_EQ(0, std::memcmp(via_auto.data(), via_scalar.data(),
+                           via_auto.size() * sizeof(float)));
+}
+
+// ------------------------------------------------------------- packing
+
+TEST(GemmS8Packing, PackAInterleavesPairsAndSumsRows) {
+  // 7 rows x 5 k: two MR strips (second padded), 3 k-pairs (last padded).
+  const int64_t m = 7, k = 5;
+  std::vector<uint8_t> a(static_cast<size_t>(m * k));
+  for (size_t i = 0; i < a.size(); ++i) a[i] = static_cast<uint8_t>(i + 1);
+  const int64_t kp = (k + 1) / 2;
+  std::vector<int16_t> packed(static_cast<size_t>(2 * kGemmMR * 2 * kp), -1);
+  std::vector<int32_t> rowsum(static_cast<size_t>(m), 0);
+  gemm_s8_pack_a(false, a.data(), m, k, 0, m, 0, k, packed.data(),
+                 rowsum.data());
+  for (int64_t r = 0; r < kGemmMR; ++r)
+    for (int64_t p = 0; p < k; ++p) {
+      const int64_t idx = ((p / 2) * kGemmMR + r) * 2 + (p % 2);
+      EXPECT_EQ(packed[static_cast<size_t>(idx)], a[r * k + p])
+          << "r=" << r << " p=" << p;
+    }
+  // Odd-k pad slot and tail rows are zero.
+  EXPECT_EQ(packed[static_cast<size_t>((2 * kGemmMR + 0) * 2 + 1)], 0);
+  const int16_t* strip1 = packed.data() + kGemmMR * 2 * kp;
+  for (int64_t p = 0; p < k; ++p) {
+    EXPECT_EQ(strip1[((p / 2) * kGemmMR) * 2 + (p % 2)], a[6 * k + p]);
+    for (int64_t r = 1; r < kGemmMR; ++r)
+      EXPECT_EQ(strip1[((p / 2) * kGemmMR + r) * 2 + (p % 2)], 0);
+  }
+  for (int64_t r = 0; r < m; ++r) {
+    int32_t expect = 0;
+    for (int64_t p = 0; p < k; ++p) expect += a[r * k + p];
+    EXPECT_EQ(rowsum[static_cast<size_t>(r)], expect);
+  }
+}
+
+TEST(GemmS8Packing, PackBFoldsTransposeAndSumsColumns) {
+  const int64_t k = 9, n = 21;
+  std::vector<uint8_t> bt(static_cast<size_t>(n * k));  // stored n x k
+  fill_codes(bt, 5);
+  std::vector<uint8_t> b(static_cast<size_t>(k * n));  // materialised k x n
+  for (int64_t p = 0; p < k; ++p)
+    for (int64_t j = 0; j < n; ++j)
+      b[static_cast<size_t>(p * n + j)] = bt[static_cast<size_t>(j * k + p)];
+
+  const int64_t kp = (k + 1) / 2;
+  const int64_t strips = (n + kGemmNR - 1) / kGemmNR;
+  std::vector<int16_t> p1(static_cast<size_t>(strips * kGemmNR * 2 * kp));
+  std::vector<int16_t> p2(static_cast<size_t>(strips * kGemmNR * 2 * kp));
+  std::vector<int32_t> s1(static_cast<size_t>(n), 0),
+      s2(static_cast<size_t>(n), 0);
+  gemm_s8_pack_b(true, bt.data(), k, n, 0, k, 0, n, p1.data(), s1.data());
+  gemm_s8_pack_b(false, b.data(), k, n, 0, k, 0, n, p2.data(), s2.data());
+  EXPECT_EQ(0, std::memcmp(p1.data(), p2.data(), p1.size() * sizeof(int16_t)));
+  EXPECT_EQ(s1, s2);
+  for (int64_t j = 0; j < n; ++j) {
+    int32_t expect = 0;
+    for (int64_t p = 0; p < k; ++p) expect += b[static_cast<size_t>(p * n + j)];
+    EXPECT_EQ(s1[static_cast<size_t>(j)], expect);
+  }
+}
+
+// ------------------------------------------------- activation quantiser
+
+TEST(QuantizeCodesU8, MatchesQuantizeValueWithinOneCode) {
+  Rng rng(9);
+  const quant::QuantParams p = quant::choose_params(-1.3f, 2.1f, 8);
+  std::vector<float> v(512);
+  for (auto& x : v) x = rng.uniform(-2.0f, 3.0f);
+  std::vector<uint8_t> codes(v.size());
+  quant::quantize_codes_u8(v.data(), static_cast<int64_t>(v.size()), p,
+                           codes.data());
+  for (size_t i = 0; i < v.size(); ++i) {
+    // Float-precision bulk path vs double-precision scalar path: a value
+    // sitting on a rounding knife edge may land one code apart, never
+    // more.
+    const int64_t expect = quant::quantize_value(v[i], p);
+    EXPECT_NEAR(static_cast<double>(codes[i]), static_cast<double>(expect),
+                1.0)
+        << "v=" << v[i];
+  }
+}
+
+TEST(QuantizeCodesU8, SpecialValuesSaturate) {
+  const quant::QuantParams p = quant::choose_params(-1.0f, 1.0f, 8);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  const float v[5] = {0.0f, -100.0f, 100.0f, inf, -inf};
+  uint8_t codes[5];
+  quant::quantize_codes_u8(v, 5, p, codes);
+  EXPECT_EQ(codes[0], p.zero_point);  // exact zero lands on Z
+  EXPECT_EQ(codes[1], 0);
+  EXPECT_EQ(codes[2], quant::max_code(8));
+  EXPECT_EQ(codes[3], quant::max_code(8));
+  EXPECT_EQ(codes[4], 0);
+  const float just_nan[1] = {nan};
+  uint8_t nan_code[1];
+  quant::quantize_codes_u8(just_nan, 1, p, nan_code);
+  EXPECT_EQ(nan_code[0], 0);  // defined, not UB
+}
+
+// ---------------------------------------------------- layer-level wiring
+
+// Scoped backend override (mirrors bench_runner's BackendGuard).
+class BackendGuard {
+ public:
+  explicit BackendGuard(GemmBackend b) : prev_(gemm_backend()) {
+    set_gemm_backend(b);
+  }
+  ~BackendGuard() { set_gemm_backend(prev_); }
+
+ private:
+  GemmBackend prev_;
+};
+
+void attach_weight_grid(Parameter& p, int bits) {
+  core::GridOptions go;
+  go.bits = bits;
+  p.rep = std::make_shared<core::GridRepresentation>(p, go);
+}
+
+TEST(LinearInt8, EngagesOnlyWithCodesAndBackend) {
+  Rng rng(1);
+  Linear lin("fc", 16, 8, rng);
+  Tensor x(Shape{4, 16});
+  rng.fill_normal(x, 0, 1);
+  {
+    BackendGuard guard(GemmBackend::kInt8);
+    lin.forward(x, true);  // no representation attached yet
+    EXPECT_FALSE(lin.last_forward_was_int8());
+    attach_weight_grid(lin.weight(), 6);
+    lin.forward(x, true);
+    EXPECT_TRUE(lin.last_forward_was_int8());
+    lin.weight().rep->set_bits(lin.weight(), 12);  // too wide for int8
+    lin.forward(x, true);
+    EXPECT_FALSE(lin.last_forward_was_int8());
+  }
+  BackendGuard guard(GemmBackend::kPacked);
+  lin.weight().rep->set_bits(lin.weight(), 6);
+  lin.forward(x, true);  // backend not int8
+  EXPECT_FALSE(lin.last_forward_was_int8());
+}
+
+TEST(LinearInt8, MatchesFp32PathWithinActivationRounding) {
+  Rng rng(2);
+  Linear lin("fc", 32, 12, rng);
+  attach_weight_grid(lin.weight(), 8);
+  Tensor x(Shape{8, 32});
+  rng.fill_normal(x, 0, 1);
+
+  BackendGuard fp32_guard(GemmBackend::kPacked);
+  const Tensor y_fp32 = lin.forward(x, true);  // also primes the tracker
+  BackendGuard int8_guard(GemmBackend::kInt8);
+  const Tensor y_int8 = lin.forward(x, true);
+  ASSERT_TRUE(lin.last_forward_was_int8());
+
+  // The weight view is identical (S(q-Z) both paths); the difference is
+  // bounded by 8-bit activation rounding folded through the weights.
+  const quant::QuantParams aq = quant::choose_params(
+      lin.activation_range().lo(), lin.activation_range().hi(), 8);
+  float wmax = 0.0f;
+  for (float w : lin.weight().value.span()) wmax = std::max(wmax, std::fabs(w));
+  const float bound =
+      static_cast<float>(32 * wmax * (0.51 * aq.epsilon()) + 1e-4);
+  for (int64_t i = 0; i < y_fp32.numel(); ++i)
+    ASSERT_NEAR(y_fp32[i], y_int8[i], bound) << "i=" << i;
+}
+
+TEST(LinearInt8, ForwardBitIdenticalAcrossRuns) {
+  Rng rng(3);
+  Linear lin("fc", 64, 24, rng, /*bias=*/false);
+  attach_weight_grid(lin.weight(), 6);
+  Tensor x(Shape{16, 64});
+  rng.fill_normal(x, 0, 1);
+  BackendGuard guard(GemmBackend::kInt8);
+  lin.forward(x, true);  // prime the tracker
+  const Tensor y1 = lin.forward(x, false);
+  const Tensor y2 = lin.forward(x, false);
+  ASSERT_TRUE(lin.last_forward_was_int8());
+  EXPECT_EQ(0, std::memcmp(y1.data(), y2.data(),
+                           static_cast<size_t>(y1.numel()) * sizeof(float)));
+}
+
+TEST(Conv2dInt8, MatchesFp32PathWithinActivationRounding) {
+  Rng rng(4);
+  Conv2dOptions opts;
+  opts.in_channels = 5;
+  opts.out_channels = 7;
+  opts.kernel = 3;
+  opts.padding = 1;
+  opts.bias = true;
+  Conv2d conv("conv", opts, rng);
+  attach_weight_grid(conv.weight(), 8);
+  Tensor x(Shape{2, 5, 9, 9});
+  // Asymmetric input range: the padding code is a non-trivial zero-point.
+  rng.fill_normal(x, 0.7f, 0.8f);
+
+  BackendGuard fp32_guard(GemmBackend::kPacked);
+  const Tensor y_fp32 = conv.forward(x, true);
+  BackendGuard int8_guard(GemmBackend::kInt8);
+  const Tensor y_int8 = conv.forward(x, true);
+  ASSERT_TRUE(conv.last_forward_was_int8());
+
+  const quant::QuantParams aq = quant::choose_params(
+      conv.activation_range().lo(), conv.activation_range().hi(), 8);
+  float wmax = 0.0f;
+  for (float w : conv.weight().value.span())
+    wmax = std::max(wmax, std::fabs(w));
+  const float bound = static_cast<float>(
+      5 * 3 * 3 * wmax * (0.51 * aq.epsilon()) + 1e-4);
+  for (int64_t i = 0; i < y_fp32.numel(); ++i)
+    ASSERT_NEAR(y_fp32[i], y_int8[i], bound) << "i=" << i;
+}
+
+TEST(Conv2dInt8, GroupedConvolutionStaysExact) {
+  Rng rng(5);
+  Conv2dOptions opts;
+  opts.in_channels = 8;
+  opts.out_channels = 8;
+  opts.kernel = 3;
+  opts.padding = 1;
+  opts.groups = 4;
+  Conv2d conv("gconv", opts, rng);
+  attach_weight_grid(conv.weight(), 6);
+  Tensor x(Shape{3, 8, 6, 6});
+  rng.fill_normal(x, 0, 1);
+  BackendGuard fp32_guard(GemmBackend::kPacked);
+  const Tensor y_fp32 = conv.forward(x, true);  // also primes the tracker
+  EXPECT_FALSE(conv.last_forward_was_int8());
+  BackendGuard int8_guard(GemmBackend::kInt8);
+  const Tensor y_int8 = conv.forward(x, true);
+  ASSERT_TRUE(conv.last_forward_was_int8());
+  const quant::QuantParams aq = quant::choose_params(
+      conv.activation_range().lo(), conv.activation_range().hi(), 8);
+  float wmax = 0.0f;
+  for (float w : conv.weight().value.span())
+    wmax = std::max(wmax, std::fabs(w));
+  const float bound = static_cast<float>(
+      2 * 3 * 3 * wmax * (0.51 * aq.epsilon()) + 1e-4);  // icg = 2
+  for (int64_t i = 0; i < y_fp32.numel(); ++i)
+    ASSERT_NEAR(y_fp32[i], y_int8[i], bound) << "i=" << i;
+}
+
+TEST(Im2colU8, MatchesFloatGatherOnCodes) {
+  Rng rng(6);
+  const int64_t C = 3, H = 7, W = 5, kernel = 3, stride = 2, padding = 1;
+  const int64_t oh = (H + 2 * padding - kernel) / stride + 1;
+  const int64_t ow = (W + 2 * padding - kernel) / stride + 1;
+  std::vector<uint8_t> codes(static_cast<size_t>(2 * C * H * W));
+  fill_codes(codes, 8);
+  // Float mirror with pad 0 vs byte gather with pad 0 must agree cell
+  // for cell.
+  Tensor xf(Shape{2, C, H, W});
+  for (int64_t i = 0; i < xf.numel(); ++i)
+    xf.data()[i] = static_cast<float>(codes[static_cast<size_t>(i)]);
+  std::vector<float> cols_f(static_cast<size_t>(C * kernel * kernel * oh * ow));
+  std::vector<uint8_t> cols_q(cols_f.size());
+  im2col(xf, 1, 0, C, kernel, stride, padding, oh, ow, cols_f.data());
+  im2col_u8(codes.data(), C, H, W, 1, 0, C, kernel, stride, padding, oh, ow,
+            /*pad_code=*/0, cols_q.data());
+  for (size_t i = 0; i < cols_f.size(); ++i)
+    ASSERT_EQ(cols_f[i], static_cast<float>(cols_q[i])) << "i=" << i;
+}
+
+}  // namespace
+}  // namespace apt::nn

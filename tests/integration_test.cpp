@@ -91,7 +91,15 @@ TEST(Integration, AptLiftsBitsAndRecoversAccuracy) {
   // spending far less energy than fp32.
   EXPECT_GT(apt.best_test_accuracy(), fixed4.best_test_accuracy() + 0.05);
   EXPECT_LT(apt.total_energy_j(), 0.6 * fp32.total_energy_j());
-  EXPECT_LT(apt.peak_memory_bits(), 0.9 * fp32.peak_memory_bits());
+  // Memory is accounted as what is physically allocated (codes live in
+  // 8/16/32-bit storage, see GridRepresentation::memory_bits): training
+  // starts at a quarter of fp32 (4-bit codes in one byte each) and only
+  // grows as the policy lifts precision, so the peak stays below fp32
+  // even in this compressed run where some units end above 16 bits.
+  ASSERT_FALSE(apt.epochs.empty());
+  EXPECT_LT(apt.epochs.front().model_memory_bits,
+            0.3 * fp32.peak_memory_bits());
+  EXPECT_LT(apt.peak_memory_bits(), 0.95 * fp32.peak_memory_bits());
 }
 
 TEST(Integration, TmaxReclaimsPrecision) {

@@ -264,6 +264,54 @@ TEST(Linear, RejectsWrongInputWidth) {
   EXPECT_THROW(lin.forward(x, false), CheckError);
 }
 
+TEST(Linear, PooledBiasAddMatchesManual) {
+  // Bias add runs through the thread pool; rows are independent, so the
+  // result must equal the serial row-by-row computation bit for bit.
+  Rng rng(7);
+  const int64_t n = 257, in = 33, out = 65;  // big enough to split tasks
+  Linear lin("fc", in, out, rng);
+  Tensor x(Shape{n, in});
+  rng.fill_normal(x, 0, 1);
+  const Tensor y = lin.forward(x, false);
+  std::vector<float> expect(static_cast<size_t>(n * out), 0.0f);
+  gemm_naive(false, true, n, out, in, 1.0f, x.data(),
+             lin.weight().value.data(), 0.0f, expect.data());
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < out; ++j) {
+      const float want =
+          expect[static_cast<size_t>(i * out + j)] + lin.bias().value[j];
+      ASSERT_NEAR(y.at(i, j), want, 1e-4f) << i << "," << j;
+    }
+}
+
+TEST(Linear, PooledBiasGradDeterministicAndCorrect) {
+  // Each output feature's gradient is owned by one task and accumulated
+  // in fixed sample order: identical bits to the serial loop, any pool.
+  Rng rng(8);
+  const int64_t n = 300, in = 17, out = 129;
+  Linear lin("fc", in, out, rng);
+  Tensor x(Shape{n, in});
+  rng.fill_normal(x, 0, 1);
+  Tensor dy(Shape{n, out});
+  rng.fill_normal(dy, 0, 1);
+
+  lin.forward(x, true);
+  lin.backward(dy);
+  std::vector<float> run1(lin.bias().grad.span().begin(),
+                          lin.bias().grad.span().end());
+  // Serial reference in the same per-feature, fixed-sample order.
+  for (int64_t j = 0; j < out; ++j) {
+    float acc = 0.0f;
+    for (int64_t i = 0; i < n; ++i) acc += dy.at(i, j);
+    ASSERT_EQ(run1[static_cast<size_t>(j)], acc) << "j=" << j;
+  }
+  // And a second backward accumulates the identical bits again.
+  lin.backward(dy);
+  for (int64_t j = 0; j < out; ++j)
+    ASSERT_EQ(lin.bias().grad[j], 2.0f * run1[static_cast<size_t>(j)])
+        << "j=" << j;
+}
+
 // ------------------------------------------------------------- BatchNorm
 
 TEST(BatchNorm, NormalisesBatchInTraining) {

@@ -226,6 +226,88 @@ TEST(QuantizedTensor, RequantizeDownLosesAtMostNewEps) {
     EXPECT_NEAR(after[i], before[i], 0.51 * q.epsilon());
 }
 
+// ---------------------------------------------- width-adaptive storage
+
+TEST(QuantizedTensor, StorageWidthTracksBitwidth) {
+  Rng rng(4);
+  Tensor t(Shape{64});
+  rng.fill_normal(t, 0.0f, 1.0f);
+  const struct {
+    int bits, storage;
+  } cases[] = {{2, 8}, {6, 8}, {8, 8}, {9, 16}, {16, 16}, {17, 32}, {32, 32}};
+  for (const auto& c : cases) {
+    QuantizedTensor q(t, c.bits);
+    EXPECT_EQ(q.storage_bits(), c.storage) << "bits=" << c.bits;
+    EXPECT_EQ(q.code_storage_bytes(), 64 * (c.storage / 8))
+        << "bits=" << c.bits;
+  }
+}
+
+TEST(QuantizedTensor, SixBitTensorAllocatesAtMostNumelBytes) {
+  // The paper's pitch made physical: a low-precision tensor must be
+  // small, not an int64 plane behind a k-bit label.
+  Rng rng(4);
+  Tensor t(Shape{1000});
+  rng.fill_normal(t, 0.0f, 1.0f);
+  QuantizedTensor q(t, 6);
+  EXPECT_LE(q.code_storage_bytes(), t.numel());
+}
+
+TEST(QuantizedTensor, CodeViewsMatchGenericAccessor) {
+  Rng rng(8);
+  Tensor t(Shape{33});
+  rng.fill_normal(t, 0.0f, 1.0f);
+  QuantizedTensor q8(t, 7);
+  for (int64_t i = 0; i < t.numel(); ++i)
+    EXPECT_EQ(static_cast<int64_t>(q8.codes_u8()[i]), q8.code(i));
+  EXPECT_EQ(reinterpret_cast<const void*>(q8.codes_i8()),
+            reinterpret_cast<const void*>(q8.codes_u8()));
+  QuantizedTensor q12(t, 12);
+  for (int64_t i = 0; i < t.numel(); ++i)
+    EXPECT_EQ(static_cast<int64_t>(q12.codes_u16()[i]), q12.code(i));
+  QuantizedTensor q20(t, 20);
+  for (int64_t i = 0; i < t.numel(); ++i)
+    EXPECT_EQ(static_cast<int64_t>(q20.codes_u32()[i]), q20.code(i));
+  // The wrong-width view is a hard error, not a reinterpretation.
+  EXPECT_THROW(q12.codes_u8(), CheckError);
+  EXPECT_THROW(q8.codes_u16(), CheckError);
+}
+
+TEST(QuantizedTensor, RequantizeSwitchesStorageWidth) {
+  Rng rng(2);
+  Tensor t(Shape{64});
+  rng.fill_normal(t, 0.0f, 1.0f);
+  QuantizedTensor q(t, 6);
+  EXPECT_EQ(q.storage_bits(), 8);
+  const Tensor before = q.dequantize();
+  q.requantize(12);
+  EXPECT_EQ(q.storage_bits(), 16);
+  const Tensor mid = q.dequantize();
+  for (int64_t i = 0; i < t.numel(); ++i)
+    EXPECT_NEAR(mid[i], before[i], 3.0 * q.epsilon() + 1e-6);
+  q.requantize(4);  // back down: storage shrinks with the grid
+  EXPECT_EQ(q.storage_bits(), 8);
+  EXPECT_EQ(q.bits(), 4);
+}
+
+TEST(QuantizedTensor, EightBitUpdateClampsWithinByteRange) {
+  // Worst-case update arithmetic through the narrow storage: pushing far
+  // past both grid edges must clamp to [0, 255], never wrap the byte.
+  Tensor t(Shape{2}, {0.0f, 1.0f});
+  QuantizedTensor q(t, 8);
+  q.requantize(8, 0.0f, 1.0f);
+  Tensor down(Shape{2});
+  down.fill(1e6f);  // w -= 1e6: huge negative move in code space
+  q.apply_update(down, RoundMode::kTrunc);
+  EXPECT_EQ(q.code(0), 0);
+  EXPECT_EQ(q.code(1), 0);
+  Tensor up(Shape{2});
+  up.fill(-1e6f);
+  q.apply_update(up, RoundMode::kTrunc);
+  EXPECT_EQ(q.code(0), max_code(8));
+  EXPECT_EQ(q.code(1), max_code(8));
+}
+
 TEST(QuantizedTensor, StochasticUpdateRequiresRng) {
   Tensor t(Shape{2});
   QuantizedTensor q(t, 8);
@@ -307,6 +389,28 @@ TEST(RangeTracker, TracksEma) {
   rt.observe(b);
   EXPECT_FLOAT_EQ(rt.lo(), -2.0f);  // 0.5·(-1) + 0.5·(-3)
   EXPECT_FLOAT_EQ(rt.hi(), 2.0f);
+}
+
+TEST(RangeTracker, NonFiniteBatchesAreSkipped) {
+  // Regression: one diverged batch must not poison the EMA range forever.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  RangeTracker rt(0.5);
+  Tensor good(Shape{2}, {-1.0f, 1.0f});
+  rt.observe(good);
+  Tensor all_nan(Shape{2}, {nan, nan});
+  Tensor has_inf(Shape{3}, {-inf, 0.0f, inf});
+  rt.observe(all_nan);
+  rt.observe(has_inf);
+  EXPECT_FLOAT_EQ(rt.lo(), -1.0f);  // unchanged by the bad batches
+  EXPECT_FLOAT_EQ(rt.hi(), 1.0f);
+  // And a leading bad batch must not fake initialisation either.
+  RangeTracker fresh(0.5);
+  fresh.observe(all_nan);
+  EXPECT_FALSE(fresh.initialized());
+  fresh.observe(good);
+  EXPECT_TRUE(fresh.initialized());
+  EXPECT_FLOAT_EQ(fresh.lo(), -1.0f);
 }
 
 }  // namespace
