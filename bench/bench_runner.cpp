@@ -29,11 +29,13 @@
 #include "base/rng.hpp"
 #include "base/thread_pool.hpp"
 #include "core/grid_representation.hpp"
+#include "data/loader.hpp"
 #include "models/zoo.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/gemm.hpp"
 #include "nn/gemm_kernel.hpp"
 #include "nn/softmax_xent.hpp"
+#include "train/sharded_step.hpp"
 
 namespace {
 
@@ -57,6 +59,12 @@ struct Config {
   // it holds on any runner speed; it catches "the packed backend
   // stopped being fast" even when wall-times drift.
   double min_speedup = 1.2;
+  // Floor on the data-parallel train step's speedup over the serial
+  // reference path (same shards, same numerics, one thread). Also
+  // self-relative, but only meaningful with cores to spread over:
+  // enforced when the pool has >= 4 participating threads, recorded
+  // (ungated) otherwise.
+  double min_train_speedup = 1.5;
   std::string filter;
   bool list_only = false;
 };
@@ -254,6 +262,48 @@ std::vector<Workload> build_workloads(const Config& cfg) {
                     net->backward(loss->backward());
                   });
                 }});
+
+  // Full data-parallel step (shard split, fwd, loss, bwd, shard-ordered
+  // gradient reduction) vs the serial reference: the SAME shards in
+  // order on ONE thread (the pool is bypassed entirely via
+  // force_serial, so inner kernel parallel_fors run inline too). Both
+  // produce bit-identical gradients, so the derived speedup measures
+  // whole-step multicore utilisation against a true one-thread
+  // baseline.
+  // Grain keeps both modes at >= 4 shards (quick: batch 8 / grain 2,
+  // full: batch 32 / grain 4) so a 4-core runner has parallelism to
+  // demonstrate.
+  const int64_t step_grain = cfg.quick ? 2 : 4;
+  auto sharded_step_workload = [train_batch, step_grain](int num_workers) {
+    return [=]() -> std::function<void()> {
+      Rng rng(1);
+      auto model = apt::models::make_resnet(
+          {.n = 1, .base_width = 8, .num_classes = 10}, rng);
+      std::shared_ptr<apt::nn::Sequential> net(std::move(model));
+      auto batch = std::make_shared<apt::data::Batch>();
+      batch->inputs = Tensor(Shape{train_batch, 3, 16, 16});
+      rng.fill_normal(batch->inputs, 0, 1);
+      for (int64_t i = 0; i < train_batch; ++i)
+        batch->labels.push_back(static_cast<int32_t>(i % 10));
+      auto engine = std::make_shared<apt::train::ShardedStep>(
+          *net, apt::train::ShardedStepConfig{num_workers, step_grain});
+      auto params = std::make_shared<std::vector<apt::nn::Parameter*>>(
+          net->parameters());
+      // net is captured explicitly: the engine holds the model by
+      // reference, so the closure must own it to keep it alive.
+      const bool serial = num_workers == 1;
+      return std::function<void()>([net, batch, engine, params, serial] {
+        for (auto* p : *params) p->zero_grad();
+        if (serial) apt::ThreadPool::set_force_serial(true);
+        engine->run(*batch);
+        if (serial) apt::ThreadPool::set_force_serial(false);
+      });
+    };
+  };
+  ws.push_back({"train_step_parallel", train_batch,
+                sharded_step_workload(/*num_workers=*/0)});
+  ws.push_back({"train_step_serial", train_batch,
+                sharded_step_workload(/*num_workers=*/1)});
   return ws;
 }
 
@@ -368,8 +418,11 @@ int run_gate(const Config& cfg, const std::vector<BenchResult>& results,
     return 1;
   }
   int failures = 0;
-  std::printf("\nperf gate vs %s (tolerance %.2fx, min speedup %.2fx)\n",
-              cfg.check.c_str(), cfg.tolerance, cfg.min_speedup);
+  std::printf(
+      "\nperf gate vs %s (tolerance %.2fx, min speedup %.2fx, "
+      "min train speedup %.2fx on >= 4 threads)\n",
+      cfg.check.c_str(), cfg.tolerance, cfg.min_speedup,
+      cfg.min_train_speedup);
   std::printf("%-32s %14s %14s %8s\n", "benchmark", "ref ns/iter",
               "now ns/iter", "ratio");
   for (const auto& r : results) {
@@ -402,8 +455,21 @@ int run_gate(const Config& cfg, const std::vector<BenchResult>& results,
       }
     }
   }
+  const unsigned pool_threads = apt::ThreadPool::global().size() + 1;
   for (const auto& [key, value] : derived) {
-    if (key.find("speedup") != std::string::npos && value < cfg.min_speedup) {
+    if (key.find("speedup") == std::string::npos) continue;
+    if (key == "train_step_parallel_speedup_vs_serial") {
+      // Parallel-vs-serial gain needs cores to exist: enforce the floor
+      // only when the pool has >= 4 participating threads; on smaller
+      // runners the value is recorded but not gated.
+      if (pool_threads >= 4 && value < cfg.min_train_speedup) {
+        ++failures;
+        std::printf("%-32s %37.2fx  << below min train speedup (%.2fx)\n",
+                    key.c_str(), value, cfg.min_train_speedup);
+      }
+      continue;
+    }
+    if (value < cfg.min_speedup) {
       ++failures;
       std::printf("%-32s %37.2fx  << below min speedup\n", key.c_str(), value);
     }
@@ -439,6 +505,8 @@ Config parse_args(int argc, char** argv) {
       cfg.tolerance = std::strtod(next().c_str(), nullptr);
     } else if (arg == "--min-speedup") {
       cfg.min_speedup = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--min-train-speedup") {
+      cfg.min_train_speedup = std::strtod(next().c_str(), nullptr);
     } else if (arg == "--filter") {
       cfg.filter = next();
     } else if (arg == "--list") {
@@ -446,8 +514,8 @@ Config parse_args(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_runner [--quick] [--out FILE] [--check REF] "
-                   "[--tolerance X] [--min-speedup X] [--filter SUBSTR] "
-                   "[--list]\n");
+                   "[--tolerance X] [--min-speedup X] [--min-train-speedup X] "
+                   "[--filter SUBSTR] [--list]\n");
       std::exit(arg == "--help" ? 0 : 2);
     }
   }
@@ -504,6 +572,13 @@ int main(int argc, char** argv) {
   const double conv_s8 = find_ns(results, "conv3x3_c64_fwd_s8");
   if (conv_s8 > 0 && conv_packed > 0)
     derived["conv3x3_c64_fwd_s8_ratio_vs_packed"] = conv_packed / conv_s8;
+  // Parallel-vs-serial step: self-relative like the backend speedups, but
+  // gated only on machines with enough cores to make the claim (>= 4
+  // pool threads); see run_gate.
+  const double step_par = find_ns(results, "train_step_parallel");
+  const double step_ser = find_ns(results, "train_step_serial");
+  if (step_par > 0 && step_ser > 0)
+    derived["train_step_parallel_speedup_vs_serial"] = step_ser / step_par;
   for (const auto& [key, value] : derived)
     std::printf("%-40s %6.2fx\n", key.c_str(), value);
 

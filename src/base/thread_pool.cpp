@@ -1,11 +1,38 @@
 #include "base/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 
 namespace apt {
 
+namespace {
+std::atomic<bool> g_force_serial{false};
+}  // namespace
+
+void ThreadPool::set_force_serial(bool on) {
+  g_force_serial.store(on, std::memory_order_relaxed);
+}
+
+bool ThreadPool::force_serial() {
+  return g_force_serial.load(std::memory_order_relaxed);
+}
+
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
+    // APT_NUM_THREADS counts participating threads (caller included), the
+    // convention the CI determinism matrix drives: 1 means no workers at
+    // all, so every parallel_for runs inline on the caller. Clamped so a
+    // typo cannot exhaust OS thread limits at startup.
+    if (const char* env = std::getenv("APT_NUM_THREADS")) {
+      const long n = std::min(std::strtol(env, nullptr, 10), 512L);
+      if (n >= 1) {
+        workers_.reserve(static_cast<size_t>(n - 1));
+        for (long i = 0; i + 1 < n; ++i)
+          workers_.emplace_back([this] { worker_loop(); });
+        return;
+      }
+    }
     const unsigned hw = std::thread::hardware_concurrency();
     threads = hw > 1 ? hw - 1 : 1;
   }
@@ -52,6 +79,10 @@ void ThreadPool::parallel_for(int64_t begin, int64_t end,
                               int64_t grain) {
   const int64_t n = end - begin;
   if (n <= 0) return;
+  if (force_serial()) {
+    fn(begin, end);
+    return;
+  }
   grain = std::max<int64_t>(grain, 1);
   const int64_t nthreads = static_cast<int64_t>(size()) + 1;
   const int64_t chunks = std::min<int64_t>(nthreads, (n + grain - 1) / grain);
@@ -77,6 +108,52 @@ void ThreadPool::parallel_for(int64_t begin, int64_t end,
   // Run the first chunk on the calling thread, then help drain the queue
   // until our own chunks have all completed (makes nesting deadlock-free).
   fn(begin, std::min(end, begin + step));
+  while (state->remaining.load(std::memory_order_acquire) != 0) {
+    if (!try_run_one()) std::this_thread::yield();
+  }
+}
+
+void ThreadPool::parallel_for_chunked(
+    int64_t begin, int64_t end, int64_t num_chunks,
+    const std::function<void(int64_t, int64_t, int64_t)>& fn) {
+  const int64_t n = end - begin;
+  if (n <= 0 || num_chunks <= 0) return;
+  num_chunks = std::min(num_chunks, n);
+  const int64_t step = (n + num_chunks - 1) / num_chunks;
+  if (num_chunks == 1) {
+    fn(0, begin, end);
+    return;
+  }
+  if (force_serial()) {
+    // Same chunks, in order, on the calling thread: identical results.
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      const int64_t b = begin + c * step;
+      const int64_t e = std::min(end, b + step);
+      if (b < e) fn(c, b, e);
+    }
+    return;
+  }
+  // Chunk boundaries depend on (begin, end, num_chunks) only; the wrapper
+  // recovers the chunk index from its begin offset so the existing queue
+  // machinery (which carries ranges, not indices) can run it.
+  const std::function<void(int64_t, int64_t)> run = [&](int64_t b, int64_t e) {
+    fn((b - begin) / step, b, e);
+  };
+
+  auto state = std::make_shared<CallState>();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (int64_t c = 1; c < num_chunks; ++c) {
+      const int64_t b = begin + c * step;
+      const int64_t e = std::min(end, b + step);
+      if (b >= e) continue;
+      queue_.push_back(Task{&run, b, e, state});
+      state->remaining.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  cv_.notify_all();
+
+  run(begin, std::min(end, begin + step));
   while (state->remaining.load(std::memory_order_acquire) != 0) {
     if (!try_run_one()) std::this_thread::yield();
   }

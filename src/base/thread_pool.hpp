@@ -21,8 +21,11 @@ namespace apt {
 
 class ThreadPool {
  public:
-  /// `threads == 0` selects hardware_concurrency() - 1 workers (the caller
-  /// participates in every parallel_for).
+  /// `threads == 0` selects the APT_NUM_THREADS environment variable when
+  /// set (total participating threads: the pool spawns one fewer worker,
+  /// so APT_NUM_THREADS=1 runs everything on the caller), and otherwise
+  /// hardware_concurrency() - 1 workers (the caller participates in every
+  /// parallel_for).
   explicit ThreadPool(unsigned threads = 0);
   ~ThreadPool();
 
@@ -37,6 +40,26 @@ class ThreadPool {
   void parallel_for(int64_t begin, int64_t end,
                     const std::function<void(int64_t, int64_t)>& fn,
                     int64_t grain = 1);
+
+  /// Runs fn(chunk, b, e) over [begin, end) split into exactly
+  /// `num_chunks` equal chunks with boundaries derived from the range
+  /// alone — NOT from the pool size. Callers that reduce per-chunk
+  /// buffers in chunk order therefore get bit-identical results for any
+  /// thread count (parallel_for's chunking varies with the pool size, so
+  /// it must only be used where chunk boundaries cannot affect results).
+  /// Blocks until all chunks complete; chunks may exceed the pool size.
+  void parallel_for_chunked(
+      int64_t begin, int64_t end, int64_t num_chunks,
+      const std::function<void(int64_t, int64_t, int64_t)>& fn);
+
+  /// Process-wide escape hatch: while set, parallel_for /
+  /// parallel_for_chunked run entirely inline on the calling thread.
+  /// Results are identical by the determinism contract (chunk
+  /// decompositions never depend on where chunks execute) — this only
+  /// changes scheduling, so benches can measure a true one-thread
+  /// baseline against the same numerics. Toggle from serial points only.
+  static void set_force_serial(bool on);
+  static bool force_serial();
 
   /// Process-wide pool (lazily constructed).
   static ThreadPool& global();

@@ -1,6 +1,8 @@
 #include "data/loader.hpp"
 
 #include <cstring>
+#include <future>
+#include <utility>
 
 namespace apt::data {
 
@@ -53,10 +55,37 @@ void DataLoader::for_each_batch(
   if (!shuffle_) {
     for (int64_t i = 0; i < size(); ++i) order[static_cast<size_t>(i)] = i;
   }
+  if (!prefetch_) {
+    int64_t index = 0;
+    for (int64_t begin = 0; begin < size(); begin += batch_size_, ++index) {
+      const int64_t end = std::min<int64_t>(size(), begin + batch_size_);
+      fn(index, gather(order, begin, end));
+    }
+    return;
+  }
+
+  // Double-buffered prefetch: while fn consumes batch k, batch k+1 is
+  // assembled on a background task. Gathers never overlap each other —
+  // the next one launches only after the previous was retrieved — so
+  // rng_ is consumed in exactly the synchronous order and the batch
+  // sequence is deterministic regardless of timing. std::async spawns a
+  // thread per batch; that costs tens of microseconds against
+  // millisecond-scale batch assembly and buys clean exception
+  // propagation through the future, so a persistent worker isn't worth
+  // its lifecycle complexity here.
+  auto launch = [&](int64_t begin) {
+    const int64_t end = std::min<int64_t>(size(), begin + batch_size_);
+    return std::async(std::launch::async,
+                      [this, &order, begin, end] {
+                        return gather(order, begin, end);
+                      });
+  };
+  std::future<Batch> next = launch(0);
   int64_t index = 0;
   for (int64_t begin = 0; begin < size(); begin += batch_size_, ++index) {
-    const int64_t end = std::min<int64_t>(size(), begin + batch_size_);
-    fn(index, gather(order, begin, end));
+    const Batch batch = next.get();
+    if (begin + batch_size_ < size()) next = launch(begin + batch_size_);
+    fn(index, batch);
   }
 }
 

@@ -19,6 +19,12 @@ struct Batch {
 /// Iterates (inputs, labels) in shuffled mini-batches. Works for both
 /// image ([N,C,H,W]) and tabular ([N,F]) inputs; augmentation applies only
 /// to rank-4 inputs.
+///
+/// With prefetch enabled (the default) batch k+1 is assembled — shuffled
+/// gather plus augmentation — on a background task while the consumer
+/// runs on batch k (double buffering). Batches are still assembled
+/// strictly in epoch order, one at a time, off a single RNG stream, so
+/// the delivered sequence is byte-identical to the synchronous path.
 class DataLoader {
  public:
   DataLoader(Tensor inputs, std::vector<int32_t> labels, int64_t batch_size,
@@ -28,6 +34,11 @@ class DataLoader {
   /// Number of batches per epoch (last partial batch included).
   int64_t batches_per_epoch() const;
   int64_t size() const { return static_cast<int64_t>(labels_.size()); }
+
+  /// Toggle background batch assembly (on by default; off falls back to
+  /// assembling each batch inline in for_each_batch).
+  void set_prefetch(bool on) { prefetch_ = on; }
+  bool prefetch() const { return prefetch_; }
 
   /// Calls fn(batch_index, batch) for every batch of one epoch.
   void for_each_batch(const std::function<void(int64_t, const Batch&)>& fn);
@@ -42,6 +53,7 @@ class DataLoader {
   bool shuffle_;
   Rng rng_;
   std::optional<AugmentConfig> augment_;
+  bool prefetch_ = true;
 };
 
 }  // namespace apt::data

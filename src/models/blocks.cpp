@@ -1,7 +1,28 @@
 #include "models/blocks.hpp"
 
+#include "nn/shard.hpp"
+
 namespace apt::models {
 namespace {
+
+using ShardVec = std::vector<Tensor>;
+
+// Per-shard y[s] = a[s] + b[s] (the shortcut join, done shard-parallel).
+ShardVec shard_add(const ShardVec& a, const ShardVec& b) {
+  ShardVec out(a.size());
+  nn::shard_parallel(static_cast<int>(a.size()), [&](int s) {
+    out[static_cast<size_t>(s)] =
+        a[static_cast<size_t>(s)] + b[static_cast<size_t>(s)];
+  });
+  return out;
+}
+
+// Per-shard a[s] += b[s] (residual gradient join).
+void shard_add_inplace(ShardVec& a, const ShardVec& b) {
+  nn::shard_parallel(static_cast<int>(a.size()), [&](int s) {
+    a[static_cast<size_t>(s)] += b[static_cast<size_t>(s)];
+  });
+}
 
 nn::Conv2dOptions conv_opts(int64_t in, int64_t out, int64_t k, int64_t stride,
                             int64_t groups = 1) {
@@ -55,6 +76,34 @@ Tensor BasicBlock::backward(const Tensor& grad_out) {
                        ? short_conv_->backward(short_bn_->backward(g))
                        : g;
   return g_main + g_short;
+}
+
+std::vector<Tensor> BasicBlock::forward_sharded(const std::vector<Tensor>& xs,
+                                                bool training) {
+  ShardVec h = relu1_.forward_sharded(
+      bn1_.forward_sharded(conv1_.forward_sharded(xs, training), training),
+      training);
+  ShardVec main = bn2_.forward_sharded(conv2_.forward_sharded(h, training),
+                                       training);
+  ShardVec shortcut =
+      short_conv_ ? short_bn_->forward_sharded(
+                        short_conv_->forward_sharded(xs, training), training)
+                  : xs;
+  return relu2_.forward_sharded(shard_add(main, shortcut), training);
+}
+
+std::vector<Tensor> BasicBlock::backward_sharded(
+    const std::vector<Tensor>& grads_out) {
+  ShardVec g = relu2_.backward_sharded(grads_out);  // splits into branches
+  ShardVec g_main = conv1_.backward_sharded(bn1_.backward_sharded(
+      relu1_.backward_sharded(conv2_.backward_sharded(
+          bn2_.backward_sharded(g)))));
+  ShardVec g_short =
+      short_conv_
+          ? short_conv_->backward_sharded(short_bn_->backward_sharded(g))
+          : g;
+  shard_add_inplace(g_main, g_short);
+  return g_main;
 }
 
 std::vector<nn::Parameter*> BasicBlock::parameters() {
@@ -127,6 +176,36 @@ Tensor InvertedResidual::backward(const Tensor& grad_out) {
   if (expand_conv_)
     g = expand_conv_->backward(expand_bn_->backward(expand_relu_->backward(g)));
   if (use_residual_) g += grad_out;
+  return g;
+}
+
+std::vector<Tensor> InvertedResidual::forward_sharded(
+    const std::vector<Tensor>& xs, bool training) {
+  ShardVec h = xs;
+  if (expand_conv_) {
+    h = expand_relu_->forward_sharded(
+        expand_bn_->forward_sharded(expand_conv_->forward_sharded(h, training),
+                                    training),
+        training);
+  }
+  h = dw_relu_.forward_sharded(
+      dw_bn_.forward_sharded(dw_conv_.forward_sharded(h, training), training),
+      training);
+  h = project_bn_.forward_sharded(project_conv_.forward_sharded(h, training),
+                                  training);
+  return use_residual_ ? shard_add(h, xs) : h;
+}
+
+std::vector<Tensor> InvertedResidual::backward_sharded(
+    const std::vector<Tensor>& grads_out) {
+  ShardVec g = project_conv_.backward_sharded(
+      project_bn_.backward_sharded(grads_out));
+  g = dw_conv_.backward_sharded(
+      dw_bn_.backward_sharded(dw_relu_.backward_sharded(g)));
+  if (expand_conv_)
+    g = expand_conv_->backward_sharded(
+        expand_bn_->backward_sharded(expand_relu_->backward_sharded(g)));
+  if (use_residual_) shard_add_inplace(g, grads_out);
   return g;
 }
 

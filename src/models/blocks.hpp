@@ -24,6 +24,13 @@ class BasicBlock : public nn::Layer {
 
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+  /// Mirrors forward/backward with per-shard tensor vectors so the
+  /// branch topology (shortcut add) stays on the coordinator while the
+  /// sub-layers run their own sharded passes.
+  std::vector<Tensor> forward_sharded(const std::vector<Tensor>& xs,
+                                      bool training) override;
+  std::vector<Tensor> backward_sharded(
+      const std::vector<Tensor>& grads_out) override;
   std::vector<nn::Parameter*> parameters() override;
   std::vector<nn::Layer*> children() override;
   std::string name() const override { return name_; }
@@ -48,6 +55,10 @@ class InvertedResidual : public nn::Layer {
 
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+  std::vector<Tensor> forward_sharded(const std::vector<Tensor>& xs,
+                                      bool training) override;
+  std::vector<Tensor> backward_sharded(
+      const std::vector<Tensor>& grads_out) override;
   std::vector<nn::Parameter*> parameters() override;
   std::vector<nn::Layer*> children() override;
   std::string name() const override { return name_; }

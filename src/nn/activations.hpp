@@ -5,6 +5,7 @@
 
 #include "base/rng.hpp"
 #include "nn/layer.hpp"
+#include "nn/shard.hpp"
 
 namespace apt::nn {
 
@@ -23,15 +24,16 @@ class ReLU : public Layer {
     const int64_t n = x.numel();
     for (int64_t i = 0; i < n; ++i)
       out[i] = in[i] < 0.0f ? 0.0f : (in[i] > cap_ ? cap_ : in[i]);
-    if (training) input_ = x;
+    if (training) input_.cur() = x;
     return y;
   }
 
   Tensor backward(const Tensor& grad_out) override {
-    APT_CHECK(input_.defined() && input_.numel() > 0)
+    const Tensor& input = input_.cur();
+    APT_CHECK(input.defined() && input.numel() > 0)
         << name_ << ": backward before forward";
     Tensor dx(grad_out.shape());
-    const float* in = input_.data();
+    const float* in = input.data();
     const float* dy = grad_out.data();
     float* out = dx.data();
     const int64_t n = grad_out.numel();
@@ -45,7 +47,7 @@ class ReLU : public Layer {
  private:
   std::string name_;
   float cap_;
-  Tensor input_;
+  PerShard<Tensor> input_;
 };
 
 /// Inverted dropout (provided for library completeness; the paper's
@@ -59,20 +61,35 @@ class Dropout : public Layer {
 
   Tensor forward(const Tensor& x, bool training) override {
     if (!training || p_ == 0.0) return x;
-    mask_ = Tensor(x.shape());
+    Tensor mask(x.shape());
     Tensor y(x.shape());
     const float keep = static_cast<float>(1.0 - p_);
     for (int64_t i = 0; i < x.numel(); ++i) {
-      mask_[i] = rng_.bernoulli(1.0 - p_) ? 1.0f / keep : 0.0f;
-      y[i] = x[i] * mask_[i];
+      mask[i] = rng_.bernoulli(1.0 - p_) ? 1.0f / keep : 0.0f;
+      y[i] = x[i] * mask[i];
     }
+    mask_.cur() = std::move(mask);
     return y;
   }
 
   Tensor backward(const Tensor& grad_out) override {
-    APT_CHECK(mask_.defined() && mask_.numel() == grad_out.numel())
+    const Tensor& mask = mask_.cur();
+    APT_CHECK(mask.defined() && mask.numel() == grad_out.numel())
         << name_ << ": backward before forward";
-    return grad_out * mask_;
+    return grad_out * mask;
+  }
+
+  /// Shards run strictly in order on the calling thread: the layer draws
+  /// from one RNG stream, and in-order consumption keeps the stream — and
+  /// therefore the masks — independent of the worker count.
+  std::vector<Tensor> forward_sharded(const std::vector<Tensor>& xs,
+                                      bool training) override {
+    std::vector<Tensor> ys(xs.size());
+    for (size_t s = 0; s < xs.size(); ++s) {
+      ShardScope scope(static_cast<int>(s));
+      ys[s] = forward(xs[s], training);
+    }
+    return ys;
   }
 
   std::string name() const override { return name_; }
@@ -81,7 +98,7 @@ class Dropout : public Layer {
   std::string name_;
   double p_;
   Rng rng_;
-  Tensor mask_;
+  PerShard<Tensor> mask_;
 };
 
 }  // namespace apt::nn

@@ -1,5 +1,6 @@
 #include "nn/batchnorm.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace apt::nn {
@@ -18,6 +19,24 @@ Dims dims_of(const Tensor& x, int64_t channels, const std::string& name) {
       << x.shape().str();
   const int64_t spatial = x.shape().rank() == 4 ? x.dim(2) * x.dim(3) : 1;
   return {x.dim(0), x.dim(1), spatial};
+}
+
+// Per-channel Σx and Σx² of one tensor, accumulated in doubles in sample
+// order (the same order the unsharded forward uses).
+void channel_sums(const Tensor& x, const Dims& d, std::vector<double>* out) {
+  out->assign(static_cast<size_t>(2 * d.c), 0.0);
+  for (int64_t c = 0; c < d.c; ++c) {
+    double sum = 0.0, sq = 0.0;
+    for (int64_t n = 0; n < d.n; ++n) {
+      const float* p = x.data() + (n * d.c + c) * d.spatial;
+      for (int64_t i = 0; i < d.spatial; ++i) {
+        sum += p[i];
+        sq += static_cast<double>(p[i]) * p[i];
+      }
+    }
+    (*out)[static_cast<size_t>(c)] = sum;
+    (*out)[static_cast<size_t>(d.c + c)] = sq;
+  }
 }
 
 }  // namespace
@@ -43,17 +62,12 @@ Tensor BatchNorm::forward(const Tensor& x, bool training) {
 
   Tensor mean(Shape{channels_}), inv_std(Shape{channels_});
   if (training) {
+    std::vector<double>& sums = stat_sums_.cur();
+    channel_sums(x, d, &sums);
     for (int64_t c = 0; c < channels_; ++c) {
-      double sum = 0.0, sq = 0.0;
-      for (int64_t n = 0; n < d.n; ++n) {
-        const float* p = x.data() + (n * channels_ + c) * d.spatial;
-        for (int64_t i = 0; i < d.spatial; ++i) {
-          sum += p[i];
-          sq += static_cast<double>(p[i]) * p[i];
-        }
-      }
-      const double mu = sum / m;
-      const double var = std::max(0.0, sq / m - mu * mu);
+      const double mu = sums[static_cast<size_t>(c)] / m;
+      const double var = std::max(
+          0.0, sums[static_cast<size_t>(channels_ + c)] / m - mu * mu);
       mean[c] = static_cast<float>(mu);
       inv_std[c] = static_cast<float>(1.0 / std::sqrt(var + eps_));
       running_mean_[c] = static_cast<float>(momentum_ * running_mean_[c] +
@@ -87,34 +101,105 @@ Tensor BatchNorm::forward(const Tensor& x, bool training) {
   }
 
   if (training) {
-    input_ = x;
+    input_.cur() = x;
     batch_mean_ = mean;
     batch_inv_std_ = inv_std;
-    x_hat_ = x_hat;
+    x_hat_.cur() = x_hat;
   }
   return y;
 }
 
+std::vector<Tensor> BatchNorm::forward_sharded(const std::vector<Tensor>& xs,
+                                               bool training) {
+  if (!training || !sharding_active())
+    return Layer::forward_sharded(xs, training);
+
+  const int shards = static_cast<int>(xs.size());
+
+  // Pass 1: every shard publishes its per-channel Σx / Σx² (doubles,
+  // sample order within the shard).
+  shard_parallel(shards, [&](int s) {
+    const Tensor& x = xs[static_cast<size_t>(s)];
+    const Dims d = dims_of(x, channels_, name_);
+    shard_m_.at(s) = d.n * d.spatial;
+    channel_sums(x, d, &stat_sums_.at(s));
+  });
+
+  // Serial point: reduce in shard order to whole-batch statistics; the
+  // running estimates update once, from the merged values.
+  int64_t m = 0;
+  for (int s = 0; s < shards; ++s) m += shard_m_.at(s);
+  APT_CHECK(m > 1) << name_ << ": batch too small for BN stats";
+  Tensor mean(Shape{channels_}), inv_std(Shape{channels_});
+  for (int64_t c = 0; c < channels_; ++c) {
+    double sum = 0.0, sq = 0.0;
+    for (int s = 0; s < shards; ++s) {
+      sum += stat_sums_.at(s)[static_cast<size_t>(c)];
+      sq += stat_sums_.at(s)[static_cast<size_t>(channels_ + c)];
+    }
+    const double mu = sum / static_cast<double>(m);
+    const double var = std::max(0.0, sq / static_cast<double>(m) - mu * mu);
+    mean[c] = static_cast<float>(mu);
+    inv_std[c] = static_cast<float>(1.0 / std::sqrt(var + eps_));
+    running_mean_[c] = static_cast<float>(momentum_ * running_mean_[c] +
+                                          (1.0 - momentum_) * mu);
+    running_var_[c] = static_cast<float>(momentum_ * running_var_[c] +
+                                         (1.0 - momentum_) * var);
+  }
+  batch_mean_ = mean;
+  batch_inv_std_ = inv_std;
+
+  // Pass 2: normalise every shard against the merged statistics.
+  std::vector<Tensor> ys(xs.size());
+  shard_parallel(shards, [&](int s) {
+    const Tensor& x = xs[static_cast<size_t>(s)];
+    const Dims d = dims_of(x, channels_, name_);
+    Tensor y(x.shape());
+    Tensor x_hat(x.shape());
+    for (int64_t c = 0; c < channels_; ++c) {
+      const float mu = mean[c], is = inv_std[c];
+      const float g = gamma_.value[c], b = beta_.value[c];
+      for (int64_t n = 0; n < d.n; ++n) {
+        const int64_t base = (n * channels_ + c) * d.spatial;
+        const float* px = x.data() + base;
+        float* ph = x_hat.data() + base;
+        float* py = y.data() + base;
+        for (int64_t i = 0; i < d.spatial; ++i) {
+          ph[i] = (px[i] - mu) * is;
+          py[i] = g * ph[i] + b;
+        }
+      }
+    }
+    input_.at(s) = x;
+    x_hat_.at(s) = x_hat;
+    ys[static_cast<size_t>(s)] = std::move(y);
+  });
+  return ys;
+}
+
 Tensor BatchNorm::backward(const Tensor& grad_out) {
-  APT_CHECK(x_hat_.defined() && x_hat_.numel() > 0)
+  const Tensor& x_hat = x_hat_.cur();
+  APT_CHECK(x_hat.defined() && x_hat.numel() > 0)
       << name_ << ": backward before forward(training=true)";
   const Dims d = dims_of(grad_out, channels_, name_);
   const int64_t m = d.n * d.spatial;
 
   Tensor dx(grad_out.shape());
+  float* dgamma_out = grad_sink(gamma_).data();
+  float* dbeta_out = grad_sink(beta_).data();
   for (int64_t c = 0; c < channels_; ++c) {
     double dgamma = 0.0, dbeta = 0.0;
     for (int64_t n = 0; n < d.n; ++n) {
       const int64_t base = (n * channels_ + c) * d.spatial;
       const float* pdy = grad_out.data() + base;
-      const float* ph = x_hat_.data() + base;
+      const float* ph = x_hat.data() + base;
       for (int64_t i = 0; i < d.spatial; ++i) {
         dgamma += static_cast<double>(pdy[i]) * ph[i];
         dbeta += pdy[i];
       }
     }
-    gamma_.grad[c] += static_cast<float>(dgamma);
-    beta_.grad[c] += static_cast<float>(dbeta);
+    dgamma_out[c] += static_cast<float>(dgamma);
+    dbeta_out[c] += static_cast<float>(dbeta);
 
     // dx = γ·inv_std/m · (m·dY − Σ dY − x̂ · Σ(dY·x̂))
     const float scale =
@@ -122,7 +207,7 @@ Tensor BatchNorm::backward(const Tensor& grad_out) {
     for (int64_t n = 0; n < d.n; ++n) {
       const int64_t base = (n * channels_ + c) * d.spatial;
       const float* pdy = grad_out.data() + base;
-      const float* ph = x_hat_.data() + base;
+      const float* ph = x_hat.data() + base;
       float* pdx = dx.data() + base;
       for (int64_t i = 0; i < d.spatial; ++i) {
         pdx[i] = scale * (static_cast<float>(m) * pdy[i] -
@@ -132,6 +217,86 @@ Tensor BatchNorm::backward(const Tensor& grad_out) {
     }
   }
   return dx;
+}
+
+std::vector<Tensor> BatchNorm::backward_sharded(
+    const std::vector<Tensor>& grads_out) {
+  if (!sharding_active()) return Layer::backward_sharded(grads_out);
+
+  const int shards = static_cast<int>(grads_out.size());
+
+  // Pass 1: per-shard partial Σ(dY·x̂) and Σ dY per channel. These are
+  // the whole-batch reduction terms of the dx formula AND ∂γ/∂β.
+  shard_parallel(shards, [&](int s) {
+    const Tensor& dy = grads_out[static_cast<size_t>(s)];
+    const Dims d = dims_of(dy, channels_, name_);
+    const Tensor& x_hat = x_hat_.at(s);
+    APT_CHECK(x_hat.defined() && x_hat.numel() == dy.numel())
+        << name_ << ": sharded backward before forward(training=true)";
+    std::vector<double>& sums = grad_sums_.at(s);
+    sums.assign(static_cast<size_t>(2 * channels_), 0.0);
+    for (int64_t c = 0; c < channels_; ++c) {
+      double dgamma = 0.0, dbeta = 0.0;
+      for (int64_t n = 0; n < d.n; ++n) {
+        const int64_t base = (n * channels_ + c) * d.spatial;
+        const float* pdy = dy.data() + base;
+        const float* ph = x_hat.data() + base;
+        for (int64_t i = 0; i < d.spatial; ++i) {
+          dgamma += static_cast<double>(pdy[i]) * ph[i];
+          dbeta += pdy[i];
+        }
+      }
+      sums[static_cast<size_t>(c)] = dgamma;
+      sums[static_cast<size_t>(channels_ + c)] = dbeta;
+    }
+  });
+
+  // Serial point: shard-ordered reduction. γ/β gradients land directly on
+  // Parameter::grad — this runs once on the coordinator, so routing them
+  // through a shard sink would only defer the same ordered sum.
+  int64_t m = 0;
+  for (int s = 0; s < shards; ++s) m += shard_m_.at(s);
+  std::vector<double> dgamma_total(static_cast<size_t>(channels_), 0.0);
+  std::vector<double> dbeta_total(static_cast<size_t>(channels_), 0.0);
+  for (int64_t c = 0; c < channels_; ++c) {
+    for (int s = 0; s < shards; ++s) {
+      dgamma_total[static_cast<size_t>(c)] +=
+          grad_sums_.at(s)[static_cast<size_t>(c)];
+      dbeta_total[static_cast<size_t>(c)] +=
+          grad_sums_.at(s)[static_cast<size_t>(channels_ + c)];
+    }
+    gamma_.grad[c] += static_cast<float>(dgamma_total[static_cast<size_t>(c)]);
+    beta_.grad[c] += static_cast<float>(dbeta_total[static_cast<size_t>(c)]);
+  }
+
+  // Pass 2: dx per shard against the whole-batch terms.
+  std::vector<Tensor> dxs(grads_out.size());
+  shard_parallel(shards, [&](int s) {
+    const Tensor& dy = grads_out[static_cast<size_t>(s)];
+    const Dims d = dims_of(dy, channels_, name_);
+    const Tensor& x_hat = x_hat_.at(s);
+    Tensor dx(dy.shape());
+    for (int64_t c = 0; c < channels_; ++c) {
+      const float scale =
+          gamma_.value[c] * batch_inv_std_[c] / static_cast<float>(m);
+      const auto dgamma =
+          static_cast<float>(dgamma_total[static_cast<size_t>(c)]);
+      const auto dbeta =
+          static_cast<float>(dbeta_total[static_cast<size_t>(c)]);
+      for (int64_t n = 0; n < d.n; ++n) {
+        const int64_t base = (n * channels_ + c) * d.spatial;
+        const float* pdy = dy.data() + base;
+        const float* ph = x_hat.data() + base;
+        float* pdx = dx.data() + base;
+        for (int64_t i = 0; i < d.spatial; ++i) {
+          pdx[i] = scale * (static_cast<float>(m) * pdy[i] - dbeta -
+                            ph[i] * dgamma);
+        }
+      }
+    }
+    dxs[static_cast<size_t>(s)] = std::move(dx);
+  });
+  return dxs;
 }
 
 std::vector<Parameter*> BatchNorm::parameters() { return {&gamma_, &beta_}; }

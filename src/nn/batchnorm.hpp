@@ -3,9 +3,21 @@
 // Training uses batch statistics and maintains running estimates for
 // evaluation. γ/β are learnable Parameters (and therefore participate in
 // APT's per-layer precision adaptation like any other learnable tensor).
+//
+// Under the data-parallel step the layer overrides the sharded entry
+// points with a two-pass reduction: every shard first publishes its
+// per-channel sum / sum-of-squares (backward: ∂γ/∂β partial sums), the
+// coordinator reduces them in shard order to the whole-batch statistics,
+// and a second parallel pass normalises (backward: forms dx) against the
+// merged values. Statistics therefore always describe the full minibatch
+// — never a shard — and the shard-ordered reduction keeps results
+// bit-identical for any worker count.
 #pragma once
 
+#include <vector>
+
 #include "nn/layer.hpp"
+#include "nn/shard.hpp"
 
 namespace apt::nn {
 
@@ -16,6 +28,10 @@ class BatchNorm : public Layer {
 
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+  std::vector<Tensor> forward_sharded(const std::vector<Tensor>& xs,
+                                      bool training) override;
+  std::vector<Tensor> backward_sharded(
+      const std::vector<Tensor>& grads_out) override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override { return name_; }
 
@@ -25,6 +41,10 @@ class BatchNorm : public Layer {
   const Tensor& running_var() const { return running_var_; }
   /// Test hook: overwrite running statistics.
   void set_running_stats(const Tensor& mean, const Tensor& var);
+  /// Batch statistics of the last training forward (whole-batch values in
+  /// sharded mode). Exposed for the sharded-statistics tests.
+  const Tensor& batch_mean() const { return batch_mean_; }
+  const Tensor& batch_inv_std() const { return batch_inv_std_; }
 
  private:
   std::string name_;
@@ -33,10 +53,18 @@ class BatchNorm : public Layer {
   Parameter gamma_, beta_;
   Tensor running_mean_, running_var_;
 
-  // Saved by forward(training=true) for backward.
-  Tensor input_;
+  // Saved by forward(training=true) for backward. Input and x̂ are cached
+  // per shard; the batch statistics are whole-batch values shared by all
+  // shards (written only at serial points).
+  PerShard<Tensor> input_;
+  PerShard<Tensor> x_hat_;
   Tensor batch_mean_, batch_inv_std_;
-  Tensor x_hat_;
+
+  // Two-pass reduction scratch: per-shard [2*C] doubles (sum/sumsq in
+  // forward, dgamma/dbeta in backward) plus each shard's element count.
+  PerShard<std::vector<double>> stat_sums_;
+  PerShard<std::vector<double>> grad_sums_;
+  PerShard<int64_t> shard_m_;
 };
 
 }  // namespace apt::nn

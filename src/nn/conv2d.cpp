@@ -1,6 +1,7 @@
 #include "nn/conv2d.hpp"
 
-#include <atomic>
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "base/arena.hpp"
@@ -125,35 +126,47 @@ Tensor Conv2d::forward(const Tensor& x, bool training) {
   APT_CHECK(x.shape().rank() == 4 && x.dim(1) == opts_.in_channels)
       << name_ << ": bad input " << x.shape().str();
   if (training) {
-    input_ = x;
-    act_range_.observe(x);
+    input_.cur() = x;
+    if (sharding_active()) {
+      // Raw extrema per shard; forward_sharded merges them in shard order
+      // so the EMA tracker observes merged batch statistics exactly once.
+      shard_range_.cur() = {x.min(), x.max()};
+    } else {
+      act_range_.observe(x);
+    }
   }
 
   const int64_t N = x.dim(0), OH = out_size(x.dim(2)), OW = out_size(x.dim(3));
   const int64_t G = opts_.groups;
   const int64_t icg = opts_.in_channels / G, ocg = opts_.out_channels / G;
   const int64_t krows = icg * opts_.kernel * opts_.kernel;
-  macs_per_sample_ = opts_.out_channels * OH * OW * krows;
-  out_elems_ = opts_.out_channels * OH * OW;
+  if (current_shard() == 0) {
+    // Shape-derived profile fields are identical across shards; one shard
+    // writes them so concurrent forwards never race on the stores.
+    macs_per_sample_ = opts_.out_channels * OH * OW * krows;
+    out_elems_ = opts_.out_channels * OH * OW;
+  }
 
   Tensor y(Shape{N, opts_.out_channels, OH, OW});
   const quant::QuantizedTensor* wq =
       weight_.rep ? weight_.rep->quantized_view() : nullptr;
-  last_forward_int8_ = gemm_int8_forward_enabled() && wq != nullptr &&
-                       wq->bits() <= 8 && act_range_.initialized();
+  const bool int8_path = gemm_int8_forward_enabled() && wq != nullptr &&
+                         wq->bits() <= 8 && act_range_.initialized();
+  if (current_shard() == 0) last_forward_int8_ = int8_path;
 
-  if (last_forward_int8_) {
+  if (int8_path) {
     // Quantise the whole input once onto the tracked 8-bit grid; the
     // patch gather and the per-group GEMMs then stay on code planes.
     const quant::QuantParams aq =
         quant::choose_params(act_range_.lo(), act_range_.hi(), 8);
     const auto pad_code = static_cast<uint8_t>(aq.zero_point);
-    input_codes_.resize(static_cast<size_t>(x.numel()));
+    std::vector<uint8_t>& codes = input_codes_.cur();
+    codes.resize(static_cast<size_t>(x.numel()));
     ThreadPool::global().parallel_for(
         0, x.numel(),
         [&](int64_t e0, int64_t e1) {
           quant::quantize_codes_u8(x.data() + e0, e1 - e0, aq,
-                                   input_codes_.data() + e0);
+                                   codes.data() + e0);
         },
         1 << 14);
     // Operand order is weights x columns, so A carries the weight grid;
@@ -169,7 +182,7 @@ Tensor Conv2d::forward(const Tensor& x, bool training) {
           scope.alloc_bytes(static_cast<size_t>(krows * OH * OW)));
       for (int64_t n = n0; n < n1; ++n)
         for (int64_t g = 0; g < G; ++g) {
-          im2col_u8(input_codes_.data(), opts_.in_channels, x.dim(2),
+          im2col_u8(codes.data(), opts_.in_channels, x.dim(2),
                     x.dim(3), n, g * icg, icg, opts_.kernel, opts_.stride,
                     opts_.padding, OH, OW, pad_code, cols);
           float* yg =
@@ -218,9 +231,9 @@ Tensor Conv2d::forward(const Tensor& x, bool training) {
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
-  APT_CHECK(input_.defined() && input_.numel() > 0)
+  const Tensor& x = input_.cur();
+  APT_CHECK(x.defined() && x.numel() > 0)
       << name_ << ": backward before forward";
-  const Tensor& x = input_;
   const int64_t N = x.dim(0), OH = grad_out.dim(2), OW = grad_out.dim(3);
   const int64_t G = opts_.groups;
   const int64_t icg = opts_.in_channels / G, ocg = opts_.out_channels / G;
@@ -228,46 +241,53 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
 
   Tensor dx(x.shape());
 
-  // Parameter-gradient accumulation must not race: accumulate per-task
-  // into thread-local buffers, then reduce under a mutex-free scheme by
-  // summing after the parallel section.
-  const unsigned slots = ThreadPool::global().size() + 1;
-  std::vector<std::vector<float>> dw_local(
-      slots, std::vector<float>(static_cast<size_t>(weight_.numel()), 0.0f));
-  std::atomic<unsigned> slot_counter{0};
+  // Parameter-gradient accumulation must not race AND must not depend on
+  // the machine: the chunk count derives from the sample count alone
+  // (parallel_for_chunked splits deterministically), each chunk
+  // accumulates its sample range in order into its own buffer, and the
+  // buffers reduce in chunk order — bit-identical for any pool size.
+  // Inside a shard session the shards already provide the step's
+  // parallelism, so a single in-order chunk per shard avoids multiplying
+  // buffers by shards * chunks.
+  constexpr int64_t kDwChunks = 16;
+  const int64_t chunks =
+      sharding_active() ? 1 : std::min<int64_t>(N, kDwChunks);
+  std::vector<std::vector<float>> dw_chunk(
+      static_cast<size_t>(chunks),
+      std::vector<float>(static_cast<size_t>(weight_.numel()), 0.0f));
 
-  ThreadPool::global().parallel_for(0, N, [&](int64_t n0, int64_t n1) {
-    const unsigned slot = slot_counter.fetch_add(1) % slots;
-    std::vector<float>& dw = dw_local[slot];
-    ScratchArena::Scope scope(ScratchArena::thread_local_arena());
-    float* cols = scope.alloc_floats(static_cast<size_t>(krows * OH * OW));
-    float* dcols = scope.alloc_floats(static_cast<size_t>(krows * OH * OW));
-    for (int64_t n = n0; n < n1; ++n)
-      for (int64_t g = 0; g < G; ++g) {
-        im2col(x, n, g * icg, icg, opts_.kernel, opts_.stride, opts_.padding,
-               OH, OW, cols);
-        const float* dyg =
-            grad_out.data() + ((n * opts_.out_channels + g * ocg) * OH * OW);
-        // dW_g [ocg, krows] += dY_g [ocg, OH*OW] * cols^T [OH*OW, krows]
-        gemm(false, true, ocg, krows, OH * OW, 1.0f, dyg, cols, 1.0f,
-             dw.data() + g * ocg * krows);
-        // dcols [krows, OH*OW] = W_g^T [krows, ocg] * dY_g [ocg, OH*OW]
-        gemm(true, false, krows, OH * OW, ocg, 1.0f,
-             weight_.value.data() + g * ocg * krows, dyg, 0.0f, dcols);
-        col2im(dcols, n, g * icg, icg, opts_.kernel, opts_.stride,
-               opts_.padding, OH, OW, dx);
-      }
-  });
+  ThreadPool::global().parallel_for_chunked(
+      0, N, chunks, [&](int64_t chunk, int64_t n0, int64_t n1) {
+        std::vector<float>& dw = dw_chunk[static_cast<size_t>(chunk)];
+        ScratchArena::Scope scope(ScratchArena::thread_local_arena());
+        float* cols = scope.alloc_floats(static_cast<size_t>(krows * OH * OW));
+        float* dcols = scope.alloc_floats(static_cast<size_t>(krows * OH * OW));
+        for (int64_t n = n0; n < n1; ++n)
+          for (int64_t g = 0; g < G; ++g) {
+            im2col(x, n, g * icg, icg, opts_.kernel, opts_.stride,
+                   opts_.padding, OH, OW, cols);
+            const float* dyg = grad_out.data() +
+                               ((n * opts_.out_channels + g * ocg) * OH * OW);
+            // dW_g [ocg, krows] += dY_g [ocg, OH*OW] * cols^T [OH*OW, krows]
+            gemm(false, true, ocg, krows, OH * OW, 1.0f, dyg, cols, 1.0f,
+                 dw.data() + g * ocg * krows);
+            // dcols [krows, OH*OW] = W_g^T [krows, ocg] * dY_g [ocg, OH*OW]
+            gemm(true, false, krows, OH * OW, ocg, 1.0f,
+                 weight_.value.data() + g * ocg * krows, dyg, 0.0f, dcols);
+            col2im(dcols, n, g * icg, icg, opts_.kernel, opts_.stride,
+                   opts_.padding, OH, OW, dx);
+          }
+      });
 
-  float* dw_out = weight_.grad.data();
-  for (const auto& dw : dw_local)
+  float* dw_out = grad_sink(weight_).data();
+  for (const auto& dw : dw_chunk)
     for (int64_t i = 0; i < weight_.numel(); ++i) dw_out[i] += dw[i];
 
   if (opts_.bias) {
     // Parallelise over channels so each db[c] is owned by one task; the
     // inner n-then-i order is fixed, keeping the reduction deterministic
     // for any pool size.
-    float* db = bias_.grad.data();
+    float* db = grad_sink(bias_).data();
     const int64_t plane = OH * OW;
     ThreadPool::global().parallel_for(
         0, opts_.out_channels,
@@ -285,6 +305,17 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
         std::max<int64_t>(1, (1 << 14) / (N * plane)));
   }
   return dx;
+}
+
+std::vector<Tensor> Conv2d::forward_sharded(const std::vector<Tensor>& xs,
+                                            bool training) {
+  std::vector<Tensor> ys = Layer::forward_sharded(xs, training);
+  if (training && sharding_active()) {
+    act_range_.observe_merged(
+        static_cast<int>(xs.size()),
+        [&](int s) { return shard_range_.at(s); });
+  }
+  return ys;
 }
 
 std::vector<Parameter*> Conv2d::parameters() {

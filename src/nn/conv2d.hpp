@@ -14,10 +14,12 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "base/rng.hpp"
 #include "nn/layer.hpp"
+#include "nn/shard.hpp"
 #include "quant/fake_quant.hpp"
 
 namespace apt::nn {
@@ -38,6 +40,10 @@ class Conv2d : public Layer {
 
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+  /// Default per-shard pass, then one merged activation-range observation
+  /// (min/max over the shards' extrema, reduced in shard order).
+  std::vector<Tensor> forward_sharded(const std::vector<Tensor>& xs,
+                                      bool training) override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override { return name_; }
   int64_t macs_per_sample() const override { return macs_per_sample_; }
@@ -58,13 +64,16 @@ class Conv2d : public Layer {
 
   std::string name_;
   Conv2dOptions opts_;
-  Parameter weight_;  // [OC, IC/G, KH, KW]
-  Parameter bias_;    // [OC]
-  Tensor input_;      // cached for backward
+  Parameter weight_;         // [OC, IC/G, KH, KW]
+  Parameter bias_;           // [OC]
+  PerShard<Tensor> input_;   // cached for backward, one slot per shard
   int64_t macs_per_sample_ = 0;
   int64_t out_elems_ = 0;
   quant::RangeTracker act_range_;
-  std::vector<uint8_t> input_codes_;  // reused int8-path buffer
+  // Raw per-shard [min, max] of the input, merged into act_range_ at the
+  // layer boundary (a serial point) by forward_sharded.
+  PerShard<std::pair<float, float>> shard_range_;
+  PerShard<std::vector<uint8_t>> input_codes_;  // reused int8-path buffers
   bool last_forward_int8_ = false;
 };
 

@@ -24,6 +24,20 @@ class Layer {
   virtual Tensor forward(const Tensor& x, bool training) = 0;
   virtual Tensor backward(const Tensor& grad_out) = 0;
 
+  /// Data-parallel step entry points: `xs[s]` holds shard s's slice of the
+  /// minibatch. The default implementations run `forward`/`backward` for
+  /// every shard under its ShardScope via shard_parallel (see
+  /// nn/shard.hpp), which is correct for any layer whose training caches
+  /// and gradient accumulation are shard-slotted. Layers that need a
+  /// cross-shard reduction mid-pass (BatchNorm's batch statistics) and
+  /// containers that chain children override these; the chaining happens
+  /// on the coordinator thread, so every layer boundary is a
+  /// synchronisation point and reductions there see all shards.
+  virtual std::vector<Tensor> forward_sharded(const std::vector<Tensor>& xs,
+                                              bool training);
+  virtual std::vector<Tensor> backward_sharded(
+      const std::vector<Tensor>& grads_out);
+
   /// Learnable parameters, if any. Pointers remain valid for the layer's
   /// lifetime (layers own their parameters by value).
   virtual std::vector<Parameter*> parameters() { return {}; }

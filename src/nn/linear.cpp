@@ -1,6 +1,7 @@
 #include "nn/linear.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "base/arena.hpp"
 #include "base/thread_pool.hpp"
@@ -25,8 +26,15 @@ Tensor Linear::forward(const Tensor& x, bool training) {
   APT_CHECK(x.shape().rank() == 2 && x.dim(1) == in_)
       << name_ << ": bad input " << x.shape().str();
   if (training) {
-    input_ = x;  // shallow share; batches are freshly allocated
-    act_range_.observe(x);
+    input_.cur() = x;  // shallow share; batches are freshly allocated
+    if (sharding_active()) {
+      // Record raw extrema; forward_sharded merges them in shard order
+      // into act_range_ once per batch (so the EMA sees merged batch
+      // statistics, never per-shard ones, in a deterministic order).
+      shard_range_.cur() = {x.min(), x.max()};
+    } else {
+      act_range_.observe(x);
+    }
   }
   const int64_t n = x.dim(0);
   Tensor y(Shape{n, out_});
@@ -38,9 +46,13 @@ Tensor Linear::forward(const Tensor& x, bool training) {
   // accumulation order.
   const quant::QuantizedTensor* wq =
       weight_.rep ? weight_.rep->quantized_view() : nullptr;
-  last_forward_int8_ = gemm_int8_forward_enabled() && wq != nullptr &&
-                       wq->bits() <= 8 && act_range_.initialized();
-  if (last_forward_int8_) {
+  const bool int8_path = gemm_int8_forward_enabled() && wq != nullptr &&
+                         wq->bits() <= 8 && act_range_.initialized();
+  // The engagement decision is uniform across shards (it reads only the
+  // representation and the tracker, both frozen during the parallel
+  // section); write the flag from one shard to keep the store race-free.
+  if (current_shard() == 0) last_forward_int8_ = int8_path;
+  if (int8_path) {
     const quant::QuantParams aq =
         quant::choose_params(act_range_.lo(), act_range_.hi(), 8);
     ScratchArena::Scope scope(ScratchArena::thread_local_arena());
@@ -79,16 +91,17 @@ Tensor Linear::forward(const Tensor& x, bool training) {
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {
-  APT_CHECK(input_.defined() && input_.numel() > 0)
+  const Tensor& input = input_.cur();
+  APT_CHECK(input.defined() && input.numel() > 0)
       << name_ << ": backward before forward";
   const int64_t n = grad_out.dim(0);
   // dW[out,in] += dY^T[out,N] * X[N,in]
-  gemm(true, false, out_, in_, n, 1.0f, grad_out.data(), input_.data(), 1.0f,
-       weight_.grad.data());
+  gemm(true, false, out_, in_, n, 1.0f, grad_out.data(), input.data(), 1.0f,
+       grad_sink(weight_).data());
   if (has_bias_) {
     // Each feature j is owned by one task and accumulated in a fixed
     // sample order, so the reduction is deterministic for any pool size.
-    float* db = bias_.grad.data();
+    float* db = grad_sink(bias_).data();
     ThreadPool::global().parallel_for(
         0, out_,
         [&](int64_t j0, int64_t j1) {
@@ -106,6 +119,17 @@ Tensor Linear::backward(const Tensor& grad_out) {
   gemm(false, false, n, in_, out_, 1.0f, grad_out.data(), weight_.value.data(),
        0.0f, dx.data());
   return dx;
+}
+
+std::vector<Tensor> Linear::forward_sharded(const std::vector<Tensor>& xs,
+                                            bool training) {
+  std::vector<Tensor> ys = Layer::forward_sharded(xs, training);
+  if (training && sharding_active()) {
+    act_range_.observe_merged(
+        static_cast<int>(xs.size()),
+        [&](int s) { return shard_range_.at(s); });
+  }
+  return ys;
 }
 
 std::vector<Parameter*> Linear::parameters() {

@@ -9,8 +9,11 @@
 // uses fp32 (straight-through on the activation quantiser).
 #pragma once
 
+#include <utility>
+
 #include "base/rng.hpp"
 #include "nn/layer.hpp"
+#include "nn/shard.hpp"
 #include "quant/fake_quant.hpp"
 
 namespace apt::nn {
@@ -23,6 +26,10 @@ class Linear : public Layer {
 
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+  /// Default per-shard pass, then one merged activation-range observation
+  /// (min/max over the shards' extrema, reduced in shard order).
+  std::vector<Tensor> forward_sharded(const std::vector<Tensor>& xs,
+                                      bool training) override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override { return name_; }
   int64_t macs_per_sample() const override { return in_ * out_; }
@@ -42,8 +49,11 @@ class Linear : public Layer {
   bool has_bias_;
   Parameter weight_;
   Parameter bias_;
-  Tensor input_;  // cached for backward
+  PerShard<Tensor> input_;  // cached for backward, one slot per shard
   quant::RangeTracker act_range_;
+  // Raw per-shard [min, max] of the input, merged into act_range_ at the
+  // layer boundary (a serial point) by forward_sharded.
+  PerShard<std::pair<float, float>> shard_range_;
   bool last_forward_int8_ = false;
 };
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "base/tensor.hpp"
+#include "nn/shard.hpp"
 #include "quant/qtensor.hpp"
 
 namespace apt::nn {
@@ -29,6 +30,12 @@ struct Parameter {
   bool decay = true;
   /// Storage representation; nullptr means plain float (fp32) storage.
   std::shared_ptr<Representation> rep;
+  /// Per-shard gradient accumulation buffers for the data-parallel step,
+  /// owned by the step engine: created zeroed, reduced into `grad` in
+  /// shard order after every backward, and drained back to zero by that
+  /// same reduction — so between engine steps they are always zero and
+  /// zero_grad() need not touch them. Empty outside sharded training.
+  std::vector<Tensor> shard_grads;
 
   Parameter() = default;
   Parameter(std::string n, Shape shape, bool decay_ = true)
@@ -37,6 +44,16 @@ struct Parameter {
   void zero_grad() { grad.fill(0.0f); }
   int64_t numel() const { return value.numel(); }
 };
+
+/// Where a layer's backward accumulates this parameter's gradient: the
+/// calling shard's buffer during a multi-shard session, `grad` itself
+/// otherwise (so standalone backward calls and the single-shard path are
+/// byte-for-byte the legacy behaviour).
+inline Tensor& grad_sink(Parameter& p) {
+  if (sharding_active() && !p.shard_grads.empty())
+    return p.shard_grads[static_cast<size_t>(current_shard())];
+  return p.grad;
+}
 
 /// How a parameter's value is stored and how an optimiser step lands on it.
 ///

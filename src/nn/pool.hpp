@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "nn/layer.hpp"
+#include "nn/shard.hpp"
 
 namespace apt::nn {
 
@@ -15,7 +16,7 @@ class GlobalAvgPool : public Layer {
   Tensor forward(const Tensor& x, bool training) override {
     APT_CHECK(x.shape().rank() == 4) << name_ << ": expects NCHW";
     const int64_t N = x.dim(0), C = x.dim(1), S = x.dim(2) * x.dim(3);
-    if (training) in_shape_ = x.shape();
+    if (training) in_shape_.cur() = x.shape();
     Tensor y(Shape{N, C});
     for (int64_t n = 0; n < N; ++n)
       for (int64_t c = 0; c < C; ++c) {
@@ -28,9 +29,10 @@ class GlobalAvgPool : public Layer {
   }
 
   Tensor backward(const Tensor& grad_out) override {
-    const int64_t N = in_shape_[0], C = in_shape_[1],
-                  S = in_shape_[2] * in_shape_[3];
-    Tensor dx(in_shape_);
+    const Shape& in_shape = in_shape_.cur();
+    const int64_t N = in_shape[0], C = in_shape[1],
+                  S = in_shape[2] * in_shape[3];
+    Tensor dx(in_shape);
     for (int64_t n = 0; n < N; ++n)
       for (int64_t c = 0; c < C; ++c) {
         const float g = grad_out.at(n, c) / static_cast<float>(S);
@@ -44,7 +46,7 @@ class GlobalAvgPool : public Layer {
 
  private:
   std::string name_;
-  Shape in_shape_{};
+  PerShard<Shape> in_shape_;
 };
 
 /// Max pooling with square window == stride (non-overlapping).
@@ -59,8 +61,9 @@ class MaxPool2d : public Layer {
     const int64_t OH = H / window_, OW = W / window_;
     APT_CHECK(OH > 0 && OW > 0) << name_ << ": window larger than input";
     Tensor y(Shape{N, C, OH, OW});
-    argmax_.assign(static_cast<size_t>(y.numel()), 0);
-    if (training) in_shape_ = x.shape();
+    std::vector<int64_t>& argmax = argmax_.cur();
+    argmax.assign(static_cast<size_t>(y.numel()), 0);
+    if (training) in_shape_.cur() = x.shape();
     int64_t oi = 0;
     for (int64_t n = 0; n < N; ++n)
       for (int64_t c = 0; c < C; ++c)
@@ -78,15 +81,16 @@ class MaxPool2d : public Layer {
                 }
               }
             y[oi] = best;
-            argmax_[static_cast<size_t>(oi)] = best_idx;
+            argmax[static_cast<size_t>(oi)] = best_idx;
           }
     return y;
   }
 
   Tensor backward(const Tensor& grad_out) override {
-    Tensor dx(in_shape_);
+    const std::vector<int64_t>& argmax = argmax_.cur();
+    Tensor dx(in_shape_.cur());
     for (int64_t i = 0; i < grad_out.numel(); ++i)
-      dx[argmax_[static_cast<size_t>(i)]] += grad_out[i];
+      dx[argmax[static_cast<size_t>(i)]] += grad_out[i];
     return dx;
   }
 
@@ -95,8 +99,8 @@ class MaxPool2d : public Layer {
  private:
   std::string name_;
   int64_t window_;
-  Shape in_shape_{};
-  std::vector<int64_t> argmax_;
+  PerShard<Shape> in_shape_;
+  PerShard<std::vector<int64_t>> argmax_;
 };
 
 /// [N, C, H, W] -> [N, C*H*W] (shares storage both ways).
@@ -105,17 +109,17 @@ class Flatten : public Layer {
   explicit Flatten(std::string name) : name_(std::move(name)) {}
 
   Tensor forward(const Tensor& x, bool training) override {
-    if (training) in_shape_ = x.shape();
+    if (training) in_shape_.cur() = x.shape();
     return x.reshape(Shape{x.dim(0), x.numel() / x.dim(0)});
   }
   Tensor backward(const Tensor& grad_out) override {
-    return grad_out.reshape(in_shape_);
+    return grad_out.reshape(in_shape_.cur());
   }
   std::string name() const override { return name_; }
 
  private:
   std::string name_;
-  Shape in_shape_{};
+  PerShard<Shape> in_shape_;
 };
 
 }  // namespace apt::nn

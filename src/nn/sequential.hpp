@@ -36,6 +36,24 @@ class Sequential : public Layer {
     return g;
   }
 
+  // Sharded passes chain the children on the calling (coordinator)
+  // thread; each child call is a synchronisation point, which is what
+  // lets BatchNorm reduce whole-batch statistics mid-network.
+  std::vector<Tensor> forward_sharded(const std::vector<Tensor>& xs,
+                                      bool training) override {
+    std::vector<Tensor> hs = xs;
+    for (auto& l : layers_) hs = l->forward_sharded(hs, training);
+    return hs;
+  }
+
+  std::vector<Tensor> backward_sharded(
+      const std::vector<Tensor>& grads_out) override {
+    std::vector<Tensor> gs = grads_out;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+      gs = (*it)->backward_sharded(gs);
+    return gs;
+  }
+
   std::vector<Parameter*> parameters() override {
     std::vector<Parameter*> ps;
     for (auto& l : layers_)

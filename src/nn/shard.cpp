@@ -1,0 +1,53 @@
+#include "nn/shard.hpp"
+
+#include <algorithm>
+
+#include "base/thread_pool.hpp"
+#include "nn/layer.hpp"
+
+namespace apt::nn {
+
+void shard_parallel(int shards, const std::function<void(int)>& fn) {
+  APT_CHECK(shards >= 1 && shards <= shard_count())
+      << "shard_parallel over " << shards << " shards in a "
+      << shard_count() << "-shard session";
+  const int cap = shard_detail::g_worker_cap;
+  if (cap <= 1 || shards == 1) {
+    // Serial reference path: same shards, same order, no pool involved.
+    for (int s = 0; s < shards; ++s) {
+      ShardScope scope(s);
+      fn(s);
+    }
+    return;
+  }
+  ThreadPool::global().parallel_for_chunked(
+      0, shards, std::min<int64_t>(cap, shards),
+      [&](int64_t, int64_t b, int64_t e) {
+        for (int64_t s = b; s < e; ++s) {
+          ShardScope scope(static_cast<int>(s));
+          fn(static_cast<int>(s));
+        }
+      });
+}
+
+std::vector<Tensor> Layer::forward_sharded(const std::vector<Tensor>& xs,
+                                           bool training) {
+  std::vector<Tensor> ys(xs.size());
+  shard_parallel(static_cast<int>(xs.size()), [&](int s) {
+    const auto su = static_cast<size_t>(s);
+    ys[su] = forward(xs[su], training);
+  });
+  return ys;
+}
+
+std::vector<Tensor> Layer::backward_sharded(
+    const std::vector<Tensor>& grads_out) {
+  std::vector<Tensor> dxs(grads_out.size());
+  shard_parallel(static_cast<int>(grads_out.size()), [&](int s) {
+    const auto su = static_cast<size_t>(s);
+    dxs[su] = backward(grads_out[su]);
+  });
+  return dxs;
+}
+
+}  // namespace apt::nn

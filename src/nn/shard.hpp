@@ -1,0 +1,114 @@
+// Shard context for the intra-step data-parallel execution engine.
+//
+// A training step may split its minibatch into S contiguous sample shards
+// and run the per-shard forward/backward work concurrently. The key
+// determinism contract: the shard decomposition is a function of the batch
+// size and the configured shard grain ONLY — never of the worker count or
+// the machine's thread count — and every cross-shard reduction (parameter
+// gradients, BatchNorm statistics, losses, activation ranges) runs in
+// fixed shard-index order from per-shard buffers. Results are therefore
+// bit-identical for any number of workers, including the serial reference
+// (one worker walking the same shards in order).
+//
+// Layers learn which shard they are computing for through a thread-local
+// shard id set by `ShardScope`; per-shard training caches live in
+// `PerShard<T>` slots indexed by it. Outside a shard session everything
+// runs on slot 0, so layers used standalone (tests, evaluation, benches)
+// behave exactly as before.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace apt::nn {
+
+/// Upper bound on shards per step; the engine raises the shard grain so
+/// decompositions never exceed it (PerShard slots are sized eagerly).
+inline constexpr int kMaxShards = 32;
+
+namespace shard_detail {
+// Thread-local: which shard the calling thread is computing for.
+inline thread_local int tls_shard = 0;
+// Process-wide session state, mutated only at serial points (the step
+// engine's coordinator thread, with no shard tasks in flight).
+inline int g_shard_count = 1;
+inline int g_worker_cap = 1;
+}  // namespace shard_detail
+
+/// Shard index the calling thread is computing for (0 outside a session).
+inline int current_shard() { return shard_detail::tls_shard; }
+
+/// Number of shards in the active session (1 = no sharding).
+inline int shard_count() { return shard_detail::g_shard_count; }
+
+/// True while a multi-shard session is open: layers must route training
+/// caches through their shard slot and gradients through `grad_sink`.
+inline bool sharding_active() { return shard_detail::g_shard_count > 1; }
+
+/// RAII shard-id binding for the calling thread. Nestable: a pool thread
+/// that helps drain another shard's task while waiting restores its own
+/// id on unwind.
+class ShardScope {
+ public:
+  explicit ShardScope(int shard) : prev_(shard_detail::tls_shard) {
+    shard_detail::tls_shard = shard;
+  }
+  ~ShardScope() { shard_detail::tls_shard = prev_; }
+  ShardScope(const ShardScope&) = delete;
+  ShardScope& operator=(const ShardScope&) = delete;
+
+ private:
+  int prev_;
+};
+
+/// RAII session marker opened by the step engine around one sharded step.
+/// `worker_cap` bounds how many shards run concurrently (1 = the serial
+/// reference path); it never affects numerics, only scheduling.
+class ShardSession {
+ public:
+  ShardSession(int shards, int worker_cap) {
+    APT_CHECK(shards >= 1 && shards <= kMaxShards)
+        << "shard count " << shards << " outside [1, " << kMaxShards << "]";
+    APT_CHECK(shard_detail::g_shard_count == 1)
+        << "nested shard sessions are not supported";
+    shard_detail::g_shard_count = shards;
+    shard_detail::g_worker_cap = worker_cap < 1 ? 1 : worker_cap;
+  }
+  ~ShardSession() {
+    shard_detail::g_shard_count = 1;
+    shard_detail::g_worker_cap = 1;
+  }
+  ShardSession(const ShardSession&) = delete;
+  ShardSession& operator=(const ShardSession&) = delete;
+};
+
+/// Per-shard storage slots. Sized eagerly to kMaxShards so concurrent
+/// shards never trigger a reallocation while another shard holds a
+/// reference into the vector.
+template <typename T>
+class PerShard {
+ public:
+  PerShard() : slots_(static_cast<size_t>(kMaxShards)) {}
+
+  /// The calling thread's slot (slot 0 outside a shard session).
+  T& cur() { return slots_[static_cast<size_t>(current_shard())]; }
+  const T& cur() const { return slots_[static_cast<size_t>(current_shard())]; }
+
+  T& at(int shard) { return slots_[static_cast<size_t>(shard)]; }
+  const T& at(int shard) const { return slots_[static_cast<size_t>(shard)]; }
+
+ private:
+  std::vector<T> slots_;
+};
+
+/// Runs fn(s) for every shard s in [0, shards). With a worker cap of 1
+/// (or one shard) this is a plain in-order loop on the calling thread —
+/// the serial reference path. Otherwise shards are split into at most
+/// `cap` contiguous chunk tasks on the global pool; each task still
+/// visits its shards in ascending order. Chunking never affects results:
+/// every shard writes only its own slots.
+void shard_parallel(int shards, const std::function<void(int)>& fn);
+
+}  // namespace apt::nn

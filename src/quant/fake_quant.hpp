@@ -6,7 +6,9 @@
 // average of observed min/max, as is standard for activation ranges.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "base/tensor.hpp"
 #include "quant/affine.hpp"
@@ -20,7 +22,12 @@ class RangeTracker {
 
   void observe(const Tensor& t) {
     if (t.numel() == 0) return;
-    const float lo = t.min(), hi = t.max();
+    observe(t.min(), t.max());
+  }
+
+  /// Observe a precomputed [lo, hi] — the sharded step merges per-shard
+  /// extrema in shard order and feeds the tracker exactly once per batch.
+  void observe(float lo, float hi) {
     // One batch with a NaN/Inf (a diverging step, a bad sensor frame)
     // must not poison the EMA forever: skip non-finite observations
     // entirely — including for initialisation.
@@ -33,6 +40,23 @@ class RangeTracker {
       lo_ = momentum_ * lo_ + (1.0 - momentum_) * lo;
       hi_ = momentum_ * hi_ + (1.0 - momentum_) * hi;
     }
+  }
+
+  /// Merges `count` per-shard extrema — `range_of(s)` returns shard s's
+  /// raw [lo, hi] pair — in index order and observes the result once.
+  /// Any non-finite shard skips the whole observation, matching the
+  /// whole-batch semantics (NaN must not be silently dropped by
+  /// std::min's ordering).
+  template <typename GetRange>
+  void observe_merged(int count, GetRange&& range_of) {
+    float lo = 0.0f, hi = 0.0f;
+    for (int s = 0; s < count; ++s) {
+      const std::pair<float, float> r = range_of(s);
+      if (!std::isfinite(r.first) || !std::isfinite(r.second)) return;
+      lo = s == 0 ? r.first : std::min(lo, r.first);
+      hi = s == 0 ? r.second : std::max(hi, r.second);
+    }
+    observe(lo, hi);
   }
 
   bool initialized() const { return initialized_; }

@@ -1,6 +1,7 @@
 #include "train/adam.hpp"
 
 #include <cmath>
+#include <cstring>
 
 namespace apt::train {
 
@@ -11,13 +12,24 @@ Adam::Adam(std::vector<nn::Parameter*> params, const AdamConfig& cfg,
       grad_transform_(std::move(grad_transform)) {
   m_.reserve(params_.size());
   v_.reserve(params_.size());
+  grad_scratch_.reserve(params_.size());
+  step_scratch_.reserve(params_.size());
   for (auto* p : params_) {
+    // Shape agreement is an attach-time invariant; checking it here keeps
+    // the per-step loops assertion-free.
+    APT_CHECK(p->grad.shape() == p->value.shape())
+        << p->name << ": grad shape " << p->grad.shape().str()
+        << " != value shape " << p->value.shape().str();
     m_.emplace_back(p->value.shape());
     v_.emplace_back(p->value.shape());
+    grad_scratch_.emplace_back(p->value.shape());
+    step_scratch_.emplace_back(p->value.shape());
   }
 }
 
 void Adam::zero_grad() {
+  // fill() reuses the existing buffer; nothing is reallocated between
+  // steps (shard sinks stay drained by the engine's reduction).
   for (auto* p : params_) p->zero_grad();
 }
 
@@ -29,7 +41,9 @@ quant::UpdateStats Adam::step(double lr) {
   quant::UpdateStats total;
   for (size_t i = 0; i < params_.size(); ++i) {
     nn::Parameter& p = *params_[i];
-    Tensor g = p.grad.clone();
+    Tensor& g = grad_scratch_[i];
+    std::memcpy(g.data(), p.grad.data(),
+                sizeof(float) * static_cast<size_t>(g.numel()));
     if (grad_transform_) grad_transform_(p, g);
     if (cfg_.weight_decay != 0.0 && p.decay) {
       const float wd = static_cast<float>(cfg_.weight_decay);
@@ -41,7 +55,7 @@ quant::UpdateStats Adam::step(double lr) {
     float* md = m_[i].data();
     float* vd = v_[i].data();
     const float* gd = g.data();
-    Tensor delta(g.shape());
+    Tensor& delta = step_scratch_[i];
     float* dd = delta.data();
     const float b1 = static_cast<float>(cfg_.beta1);
     const float b2 = static_cast<float>(cfg_.beta2);

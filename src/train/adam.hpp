@@ -40,6 +40,10 @@ class Adam : public Optimizer {
   AdamConfig cfg_;
   GradTransform grad_transform_;
   std::vector<Tensor> m_, v_;
+  // Per-parameter scratch reused across steps (grad working copy and the
+  // composed step δ): steady-state steps allocate nothing.
+  std::vector<Tensor> grad_scratch_;
+  std::vector<Tensor> step_scratch_;
   int64_t t_ = 0;
 };
 

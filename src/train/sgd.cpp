@@ -1,5 +1,7 @@
 #include "train/sgd.hpp"
 
+#include <cstring>
+
 namespace apt::train {
 
 Sgd::Sgd(std::vector<nn::Parameter*> params, const SgdConfig& cfg,
@@ -8,10 +10,23 @@ Sgd::Sgd(std::vector<nn::Parameter*> params, const SgdConfig& cfg,
       cfg_(cfg),
       grad_transform_(std::move(grad_transform)) {
   velocity_.reserve(params_.size());
-  for (auto* p : params_) velocity_.emplace_back(p->value.shape());
+  grad_scratch_.reserve(params_.size());
+  step_scratch_.reserve(params_.size());
+  for (auto* p : params_) {
+    // Shape agreement is an attach-time invariant; checking it here keeps
+    // the per-step loops assertion-free.
+    APT_CHECK(p->grad.shape() == p->value.shape())
+        << p->name << ": grad shape " << p->grad.shape().str()
+        << " != value shape " << p->value.shape().str();
+    velocity_.emplace_back(p->value.shape());
+    grad_scratch_.emplace_back(p->value.shape());
+    step_scratch_.emplace_back(p->value.shape());
+  }
 }
 
 void Sgd::zero_grad() {
+  // fill() reuses the existing buffer; nothing is reallocated between
+  // steps (shard sinks stay drained by the engine's reduction).
   for (auto* p : params_) p->zero_grad();
 }
 
@@ -19,7 +34,9 @@ quant::UpdateStats Sgd::step(double lr) {
   quant::UpdateStats total;
   for (size_t i = 0; i < params_.size(); ++i) {
     nn::Parameter& p = *params_[i];
-    Tensor g = p.grad.clone();
+    Tensor& g = grad_scratch_[i];
+    std::memcpy(g.data(), p.grad.data(),
+                sizeof(float) * static_cast<size_t>(g.numel()));
     if (grad_transform_) grad_transform_(p, g);
     if (cfg_.weight_decay != 0.0 && p.decay) {
       const float wd = static_cast<float>(cfg_.weight_decay);
@@ -34,7 +51,7 @@ quant::UpdateStats Sgd::step(double lr) {
     const float* gd = g.data();
     for (int64_t j = 0; j < v.numel(); ++j) vd[j] = mu * vd[j] + gd[j];
 
-    Tensor delta(v.shape());
+    Tensor& delta = step_scratch_[i];
     const float flr = static_cast<float>(lr);
     float* dd = delta.data();
     for (int64_t j = 0; j < v.numel(); ++j) dd[j] = flr * vd[j];

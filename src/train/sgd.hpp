@@ -42,6 +42,10 @@ class Sgd : public Optimizer {
   SgdConfig cfg_;
   GradTransform grad_transform_;
   std::vector<Tensor> velocity_;
+  // Per-parameter scratch reused across steps (grad working copy and the
+  // composed step δ): steady-state steps allocate nothing.
+  std::vector<Tensor> grad_scratch_;
+  std::vector<Tensor> step_scratch_;
 };
 
 }  // namespace apt::train

@@ -1,0 +1,72 @@
+// Intra-step data-parallel execution engine.
+//
+// One training step (forward, loss, backward, gradient reduction) over one
+// minibatch, with the batch split into contiguous sample shards that run
+// concurrently through the model's `forward_sharded`/`backward_sharded`
+// entry points (nn/shard.hpp).
+//
+// Determinism contract — bit-identical results for any worker count:
+//  * the shard decomposition is a pure function of the batch size and the
+//    configured shard grain (never of num_workers or the machine);
+//  * every shard accumulates parameter gradients into its own buffers
+//    (Parameter::shard_grads), reduced into Parameter::grad in shard
+//    order after backward;
+//  * losses, hit counts, BatchNorm statistics and activation ranges are
+//    likewise merged from per-shard values in shard order.
+// `num_workers` therefore only schedules: 1 runs the same shards in order
+// on the calling thread (the serial reference path), larger values let up
+// to that many shards run concurrently on the global pool.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/loader.hpp"
+#include "nn/layer.hpp"
+#include "nn/softmax_xent.hpp"
+
+namespace apt::train {
+
+struct ShardedStepConfig {
+  /// Concurrency cap for the step: 0 = one worker per pool thread,
+  /// 1 = the serial reference path. Never affects numerics.
+  int num_workers = 0;
+  /// Target samples per gradient shard. The decomposition knob: shard
+  /// count = ceil(batch / max(shard_grain, ceil(batch / kMaxShards))).
+  /// Changing it changes reduction order (and therefore bits); changing
+  /// num_workers does not.
+  int64_t shard_grain = 8;
+};
+
+class ShardedStep {
+ public:
+  ShardedStep(nn::Layer& model, const ShardedStepConfig& cfg);
+
+  struct Result {
+    double mean_loss = 0.0;  ///< sample-weighted mean over the batch
+    int64_t hits = 0;        ///< argmax(logits) == label count
+  };
+
+  /// Runs one step: forward, (optional) `after_forward` on the
+  /// coordinator, per-shard softmax cross-entropy, backward, and the
+  /// shard-ordered gradient reduction into Parameter::grad. Gradients
+  /// accumulate into whatever Parameter::grad already holds, exactly like
+  /// a plain backward call.
+  Result run(const data::Batch& batch,
+             const std::function<void()>& after_forward = nullptr);
+
+  /// Shard count for a given batch size (exposed for tests/benches).
+  int64_t shards_for(int64_t batch_size) const;
+
+ private:
+  void prepare_sinks(int64_t shards);
+  void reduce_grads(int64_t shards);
+
+  nn::Layer& model_;
+  ShardedStepConfig cfg_;
+  std::vector<nn::Parameter*> params_;
+  std::vector<nn::SoftmaxCrossEntropy> losses_;
+};
+
+}  // namespace apt::train

@@ -52,6 +52,8 @@ Trainer::Trainer(nn::Layer& model, data::DataLoader& loader,
     optimizer_ = std::make_unique<Sgd>(std::move(all), cfg_.sgd,
                                        std::move(grad_transform));
   }
+  step_ = std::make_unique<ShardedStep>(
+      model_, ShardedStepConfig{cfg_.num_workers, cfg_.shard_grain});
 }
 
 void Trainer::build_units() {
@@ -120,26 +122,25 @@ History Trainer::run() {
 
     loader_.for_each_batch([&](int64_t iter, const data::Batch& batch) {
       optimizer_->zero_grad();
-      const Tensor logits = model_.forward(batch.inputs, /*training=*/true);
-      if (!profiles_ready_) {
-        fill_profiles();  // shapes known after the first forward
-      }
-      if (!began) {
-        for (auto* h : hooks_) h->on_train_begin(*this);
-        began = true;
-      }
-      const float batch_loss = loss_.forward(logits, batch.labels);
-      model_.backward(loss_.backward());
+      // The sharded step runs forward + loss + backward and reduces the
+      // per-shard gradients into Parameter::grad in shard order, so the
+      // hooks below observe merged whole-batch gradients exactly once.
+      const ShardedStep::Result res = step_->run(batch, [&] {
+        if (!profiles_ready_) {
+          fill_profiles();  // shapes known after the first forward
+        }
+        if (!began) {
+          for (auto* h : hooks_) h->on_train_begin(*this);
+          began = true;
+        }
+      });
 
       for (auto* h : hooks_) h->on_gradients(*this, iter);
       epoch_stats.accumulate(optimizer_->step(lr_));
 
-      loss_sum += static_cast<double>(batch_loss) * batch.size();
+      loss_sum += res.mean_loss * static_cast<double>(batch.size());
       seen += batch.size();
-      for (int64_t i = 0; i < batch.size(); ++i)
-        if (loss_.predictions()[static_cast<size_t>(i)] ==
-            batch.labels[static_cast<size_t>(i)])
-          ++hits;
+      hits += res.hits;
       energy_pj_ += iteration_energy_pj(batch.size());
     });
 

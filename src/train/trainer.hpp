@@ -14,6 +14,7 @@
 #include "train/metrics.hpp"
 #include "train/schedule.hpp"
 #include "train/sgd.hpp"
+#include "train/sharded_step.hpp"
 
 namespace apt::train {
 
@@ -56,6 +57,16 @@ struct TrainerConfig {
   int64_t eval_batch = 256;
   bool verbose = false;
   cost::EnergyModel energy{};
+  /// Data-parallel step concurrency: 0 = one worker per pool thread
+  /// (default), 1 = the serial reference path that walks the same shards
+  /// in order on the calling thread. Results are bit-identical for every
+  /// value — the shard decomposition below, not the worker count, fixes
+  /// all reduction orders.
+  int num_workers = 0;
+  /// Target samples per gradient shard (see ShardedStepConfig). This is
+  /// the knob that changes numerics; set it >= the batch size to recover
+  /// the single-shard whole-batch step exactly.
+  int64_t shard_grain = 8;
 };
 
 /// Result of an evaluation pass.
@@ -112,7 +123,7 @@ class Trainer {
   TrainerConfig cfg_;
   std::vector<Unit> units_;
   std::unique_ptr<Optimizer> optimizer_;
-  nn::SoftmaxCrossEntropy loss_;
+  std::unique_ptr<ShardedStep> step_;
   std::vector<TrainHook*> hooks_;
 
   int epoch_ = 0;
