@@ -1,0 +1,28 @@
+// Runtime CPU-feature detection shared by the vectorised kernels.
+//
+// Every SIMD fast path in the repo (GEMM micro-kernels, the bulk
+// activation quantiser, tensor reductions) dispatches through this one
+// predicate so "has AVX2+FMA" means the same thing everywhere. Non-x86
+// builds compile the scalar fallbacks only and report false.
+#pragma once
+
+namespace apt {
+
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+#define APT_X86 1
+#else
+#define APT_X86 0
+#endif
+
+/// True when the running CPU supports AVX2 and FMA (checked once).
+inline bool cpu_has_avx2_fma() {
+#if APT_X86
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+}  // namespace apt

@@ -3,7 +3,50 @@
 #include <cmath>
 #include <limits>
 
+#include "base/cpu.hpp"
+
+#if APT_X86
+#include <immintrin.h>
+#endif
+
 namespace apt {
+
+namespace {
+
+#if APT_X86
+// Lane-wise vminps/vmaxps with the accumulator as the SECOND operand:
+// minps(v, m) returns m when v is NaN, matching std::min(m, v)'s
+// NaN-dropping order, so the vector sweep observes exactly the values
+// the scalar one does.
+__attribute__((target("avx2"))) void minmax_avx2(const float* p, int64_t n,
+                                                 float* out_lo,
+                                                 float* out_hi) {
+  __m256 vlo = _mm256_set1_ps(std::numeric_limits<float>::infinity());
+  __m256 vhi = _mm256_set1_ps(-std::numeric_limits<float>::infinity());
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(p + i);
+    vlo = _mm256_min_ps(v, vlo);
+    vhi = _mm256_max_ps(v, vhi);
+  }
+  alignas(32) float lo8[8], hi8[8];
+  _mm256_store_ps(lo8, vlo);
+  _mm256_store_ps(hi8, vhi);
+  float lo = lo8[0], hi = hi8[0];
+  for (int j = 1; j < 8; ++j) {
+    lo = std::min(lo, lo8[j]);
+    hi = std::max(hi, hi8[j]);
+  }
+  for (; i < n; ++i) {
+    lo = std::min(lo, p[i]);
+    hi = std::max(hi, p[i]);
+  }
+  *out_lo = lo;
+  *out_hi = hi;
+}
+#endif  // APT_X86
+
+}  // namespace
 
 float Tensor::min() const {
   APT_CHECK(numel() > 0) << "min() on empty tensor";
@@ -17,6 +60,26 @@ float Tensor::max() const {
   float m = -std::numeric_limits<float>::infinity();
   for (float v : span()) m = std::max(m, v);
   return m;
+}
+
+std::pair<float, float> Tensor::minmax() const {
+  APT_CHECK(numel() > 0) << "minmax() on empty tensor";
+  const float* p = data();
+  const int64_t n = numel();
+#if APT_X86
+  if (cpu_has_avx2_fma()) {
+    float lo, hi;
+    minmax_avx2(p, n, &lo, &hi);
+    return {lo, hi};
+  }
+#endif
+  float lo = std::numeric_limits<float>::infinity();
+  float hi = -std::numeric_limits<float>::infinity();
+  for (int64_t i = 0; i < n; ++i) {
+    lo = std::min(lo, p[i]);
+    hi = std::max(hi, p[i]);
+  }
+  return {lo, hi};
 }
 
 float Tensor::abs_max() const {

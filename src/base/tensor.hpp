@@ -11,6 +11,7 @@
 #include <cstring>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "base/check.hpp"
@@ -147,6 +148,9 @@ class Tensor {
   }
   float min() const;
   float max() const;
+  /// {min(), max()} in one sweep (AVX2 when available). NaN elements are
+  /// dropped exactly like min()/max()'s std::min/std::max ordering does.
+  std::pair<float, float> minmax() const;
   float abs_max() const;
   /// L2 norm, accumulated in double for stability.
   float norm() const;

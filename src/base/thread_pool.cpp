@@ -10,6 +10,8 @@ namespace {
 std::atomic<bool> g_force_serial{false};
 }  // namespace
 
+thread_local int ThreadPool::tls_inline_depth_ = 0;
+
 void ThreadPool::set_force_serial(bool on) {
   g_force_serial.store(on, std::memory_order_relaxed);
 }
@@ -34,7 +36,11 @@ ThreadPool::ThreadPool(unsigned threads) {
       }
     }
     const unsigned hw = std::thread::hardware_concurrency();
-    threads = hw > 1 ? hw - 1 : 1;
+    // A single-core machine gets zero workers: every parallel_for runs
+    // inline on the caller, which is strictly faster than timeslicing a
+    // phantom worker against it (and identical in results by the
+    // determinism contract).
+    threads = hw > 1 ? hw - 1 : 0;
   }
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i)
@@ -57,6 +63,7 @@ bool ThreadPool::try_run_one() {
     if (queue_.empty()) return false;
     task = std::move(queue_.back());
     queue_.pop_back();
+    pending_.fetch_sub(1, std::memory_order_relaxed);
   }
   (*task.fn)(task.begin, task.end);
   task.state->remaining.fetch_sub(1, std::memory_order_acq_rel);
@@ -65,12 +72,40 @@ bool ThreadPool::try_run_one() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
+    while (try_run_one()) {
+    }
+    // Bounded spin on the lock-free pending counter before sleeping: a
+    // training step dispatches at every layer boundary, and eating the
+    // futex sleep/wake pair per boundary costs more than the step's
+    // per-shard compute. A short pause burst catches back-to-back
+    // dispatch; the yields after it keep an oversubscribed worker (more
+    // threads than cores) from stealing cycles the producer needs to
+    // reach the next dispatch at all.
+    bool woke = false;
+    for (int spin = 0; spin < 96 && !woke; ++spin) {
+      if (pending_.load(std::memory_order_relaxed) > 0) {
+        woke = true;
+        break;
+      }
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#else
+      std::this_thread::yield();
+#endif
+    }
+    for (int spin = 0; spin < 8 && !woke; ++spin) {
+      if (pending_.load(std::memory_order_relaxed) > 0) {
+        woke = true;
+        break;
+      }
+      std::this_thread::yield();
+    }
+    if (woke) continue;
     {
       std::unique_lock<std::mutex> lk(mu_);
       cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
     }
-    try_run_one();
   }
 }
 
@@ -79,7 +114,7 @@ void ThreadPool::parallel_for(int64_t begin, int64_t end,
                               int64_t grain) {
   const int64_t n = end - begin;
   if (n <= 0) return;
-  if (force_serial()) {
+  if (force_serial() || inline_scoped() || workers_.empty()) {
     fn(begin, end);
     return;
   }
@@ -93,6 +128,7 @@ void ThreadPool::parallel_for(int64_t begin, int64_t end,
   const int64_t step = (n + chunks - 1) / chunks;
 
   auto state = std::make_shared<CallState>();
+  int64_t queued = 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
     for (int64_t c = 1; c < chunks; ++c) {
@@ -101,9 +137,17 @@ void ThreadPool::parallel_for(int64_t begin, int64_t end,
       if (b >= e) continue;
       queue_.push_back(Task{&fn, b, e, state});
       state->remaining.fetch_add(1, std::memory_order_relaxed);
+      ++queued;
     }
+    pending_.fetch_add(queued, std::memory_order_relaxed);
   }
-  cv_.notify_all();
+  // A single queued task needs a single worker: notify_all here would
+  // wake the whole pool to race for it and go straight back to sleep.
+  if (queued == 1) {
+    cv_.notify_one();
+  } else if (queued > 1) {
+    cv_.notify_all();
+  }
 
   // Run the first chunk on the calling thread, then help drain the queue
   // until our own chunks have all completed (makes nesting deadlock-free).
@@ -124,7 +168,7 @@ void ThreadPool::parallel_for_chunked(
     fn(0, begin, end);
     return;
   }
-  if (force_serial()) {
+  if (force_serial() || inline_scoped() || workers_.empty()) {
     // Same chunks, in order, on the calling thread: identical results.
     for (int64_t c = 0; c < num_chunks; ++c) {
       const int64_t b = begin + c * step;
@@ -141,6 +185,7 @@ void ThreadPool::parallel_for_chunked(
   };
 
   auto state = std::make_shared<CallState>();
+  int64_t queued = 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
     for (int64_t c = 1; c < num_chunks; ++c) {
@@ -149,9 +194,15 @@ void ThreadPool::parallel_for_chunked(
       if (b >= e) continue;
       queue_.push_back(Task{&run, b, e, state});
       state->remaining.fetch_add(1, std::memory_order_relaxed);
+      ++queued;
     }
+    pending_.fetch_add(queued, std::memory_order_relaxed);
   }
-  cv_.notify_all();
+  if (queued == 1) {
+    cv_.notify_one();
+  } else if (queued > 1) {
+    cv_.notify_all();
+  }
 
   run(begin, std::min(end, begin + step));
   while (state->remaining.load(std::memory_order_acquire) != 0) {

@@ -61,6 +61,23 @@ class ThreadPool {
   static void set_force_serial(bool on);
   static bool force_serial();
 
+  /// Thread-local, nestable variant of the same escape hatch: while an
+  /// InlineScope is alive on a thread, that thread's parallel_for /
+  /// parallel_for_chunked calls run inline (other threads are
+  /// unaffected). The shard engine opens one inside each concurrently
+  /// scheduled shard task: the shards already occupy the pool, so
+  /// nested kernel dispatch would only add queue/wake churn. Purely a
+  /// scheduling change — results are identical by the determinism
+  /// contract.
+  class InlineScope {
+   public:
+    InlineScope() { ++tls_inline_depth_; }
+    ~InlineScope() { --tls_inline_depth_; }
+    InlineScope(const InlineScope&) = delete;
+    InlineScope& operator=(const InlineScope&) = delete;
+  };
+  static bool inline_scoped() { return tls_inline_depth_ > 0; }
+
   /// Process-wide pool (lazily constructed).
   static ThreadPool& global();
 
@@ -78,10 +95,16 @@ class ThreadPool {
   void worker_loop();
   bool try_run_one();
 
+  static thread_local int tls_inline_depth_;
+
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::vector<Task> queue_;
+  /// Lock-free mirror of queue_.size(), polled by the workers' bounded
+  /// pre-sleep spin so an idle worker can pick up the next dispatch
+  /// without a futex round-trip.
+  std::atomic<int64_t> pending_{0};
   bool stop_ = false;
 };
 

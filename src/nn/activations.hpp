@@ -1,6 +1,7 @@
 // Elementwise activation layers.
 #pragma once
 
+#include <cmath>
 #include <limits>
 
 #include "base/rng.hpp"
@@ -11,6 +12,15 @@ namespace apt::nn {
 
 /// ReLU with an optional ceiling (cap = 6 gives MobileNetV2's ReLU6;
 /// cap = +inf gives plain ReLU).
+///
+/// In the code-passing dataflow (DESIGN.md §11) ReLU is a *transparent*
+/// layer: an affine code plane v = S(q - Z) with S > 0 satisfies
+/// max(v, 0) = S(max(q, Z) - Z) exactly, so the whole forward is one
+/// byte clamp on the codes and no fp32 materialisation happens. A
+/// finite cap clamps to the largest code not exceeding it — the capped
+/// value lands on the grid point at or just below the cap. Backward
+/// masks from the cached input codes: v > 0 iff q > Z, v < cap iff
+/// q < ceil(cap/S) + Z.
 class ReLU : public Layer {
  public:
   explicit ReLU(std::string name,
@@ -24,11 +34,80 @@ class ReLU : public Layer {
     const int64_t n = x.numel();
     for (int64_t i = 0; i < n; ++i)
       out[i] = in[i] < 0.0f ? 0.0f : (in[i] > cap_ ? cap_ : in[i]);
-    if (training) input_.cur() = x;
+    if (training) {
+      input_.cur() = x;
+      input_qa_.cur().reset();
+    }
     return y;
   }
 
+  bool accepts_codes() const override { return true; }
+  bool codes_transparent() const override { return true; }
+
+  Tensor forward_flow(const Tensor& x, const QuantizedActivation* qx,
+                      bool training, bool want_codes,
+                      QuantizedActivation* qy) override {
+    if (qy != nullptr) qy->reset();
+    if (qx == nullptr || !qx->valid()) return forward(x, training);
+    const quant::QuantParams& p = qx->params;
+    const auto z = static_cast<uint8_t>(p.zero_point);
+    const uint8_t qmax = static_cast<uint8_t>(quant::max_code(p.bits));
+    uint8_t hi = qmax;
+    if (std::isfinite(cap_)) {
+      const double hc =
+          std::floor(static_cast<double>(cap_) / p.scale) +
+          static_cast<double>(p.zero_point);
+      hi = static_cast<uint8_t>(std::min<double>(
+          qmax, std::max<double>(static_cast<double>(z), hc)));
+    }
+    QuantizedActivation out;
+    out.params = p;
+    out.shape = qx->shape;
+    out.codes.resize(qx->codes.size());
+    const uint8_t* in = qx->codes.data();
+    uint8_t* o = out.codes.data();
+    const int64_t n = static_cast<int64_t>(qx->codes.size());
+    for (int64_t i = 0; i < n; ++i)
+      o[i] = in[i] < z ? z : (in[i] > hi ? hi : in[i]);
+    if (training) {
+      input_qa_.cur() = *qx;
+      input_.cur() = Tensor();
+    }
+    if (want_codes && qy != nullptr) {
+      *qy = std::move(out);
+      return Tensor();
+    }
+    return out.dequantize();
+  }
+
+  std::vector<Tensor> forward_flow_sharded(
+      const std::vector<Tensor>& xs,
+      const std::vector<QuantizedActivation>* qxs, bool training,
+      bool want_codes, std::vector<QuantizedActivation>* qys) override {
+    return flow_shard_each(xs, qxs, training, want_codes, qys);
+  }
+
   Tensor backward(const Tensor& grad_out) override {
+    const QuantizedActivation& qa = input_qa_.cur();
+    if (qa.valid()) {
+      // Code-domain mask (see class comment).
+      const quant::QuantParams& p = qa.params;
+      const int64_t z = p.zero_point;
+      int64_t qhi = quant::max_code(p.bits) + 1;  // exclusive
+      if (std::isfinite(cap_))
+        qhi = std::min<int64_t>(
+            qhi, static_cast<int64_t>(
+                     std::ceil(static_cast<double>(cap_) / p.scale)) +
+                     p.zero_point);
+      Tensor dx(grad_out.shape());
+      const uint8_t* in = qa.codes.data();
+      const float* dy = grad_out.data();
+      float* out = dx.data();
+      const int64_t n = grad_out.numel();
+      for (int64_t i = 0; i < n; ++i)
+        out[i] = (in[i] > z && in[i] < qhi) ? dy[i] : 0.0f;
+      return dx;
+    }
     const Tensor& input = input_.cur();
     APT_CHECK(input.defined() && input.numel() > 0)
         << name_ << ": backward before forward";
@@ -48,6 +127,7 @@ class ReLU : public Layer {
   std::string name_;
   float cap_;
   PerShard<Tensor> input_;
+  PerShard<QuantizedActivation> input_qa_;
 };
 
 /// Inverted dropout (provided for library completeness; the paper's

@@ -11,6 +11,15 @@
 // codes (byte im2col, padding = the grid's zero-point code, which
 // dequantises to exactly 0), and each group GEMM runs gemm_s8 straight
 // on the code planes. Backward always uses fp32.
+//
+// The layer participates fully in the code-passing dataflow (DESIGN.md
+// §11): it consumes a QuantizedActivation input without any fp32
+// materialisation (the incoming grid replaces the tracked one, byte
+// im2col — or a direct pointer for 1x1/stride-1/no-pad convs — feeds the
+// packing), and when asked it emits its output as codes through the
+// fused requantising GEMM epilogue (bias folded in, output grid chosen
+// from an EMA of the exact pre-requant range the epilogue observes).
+// Backward dequantises a cached code input on demand.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +53,15 @@ class Conv2d : public Layer {
   /// (min/max over the shards' extrema, reduced in shard order).
   std::vector<Tensor> forward_sharded(const std::vector<Tensor>& xs,
                                       bool training) override;
+  /// Code-flow entry points (see the header comment / DESIGN.md §11).
+  bool accepts_codes() const override;
+  Tensor forward_flow(const Tensor& x, const QuantizedActivation* qx,
+                      bool training, bool want_codes,
+                      QuantizedActivation* qy) override;
+  std::vector<Tensor> forward_flow_sharded(
+      const std::vector<Tensor>& xs,
+      const std::vector<QuantizedActivation>* qxs, bool training,
+      bool want_codes, std::vector<QuantizedActivation>* qys) override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override { return name_; }
   int64_t macs_per_sample() const override { return macs_per_sample_; }
@@ -54,13 +72,42 @@ class Conv2d : public Layer {
 
   /// EMA range of the layer's input, feeding the activation quantiser.
   const quant::RangeTracker& activation_range() const { return act_range_; }
-  /// True when the last forward ran through the integer kernel.
-  bool last_forward_was_int8() const { return last_forward_int8_; }
+  /// EMA range of the layer's pre-requantisation output (bias folded
+  /// in), observed exactly by the fused epilogue on every int8 forward;
+  /// it chooses the grid the layer emits codes on.
+  const quant::RangeTracker& output_range() const { return out_range_; }
+  /// Int8-path telemetry for the calling shard's last forward (each
+  /// shard owns its slot, so the stores never race under
+  /// forward_sharded; outside a shard session this is slot 0).
+  bool last_forward_was_int8() const { return telem_.cur().int8_path; }
+  bool last_forward_consumed_codes() const { return telem_.cur().consumed; }
+  bool last_forward_emitted_codes() const { return telem_.cur().emitted; }
+  /// Same telemetry for an explicit shard slot (tests).
+  bool last_forward_was_int8(int shard) const {
+    return telem_.at(shard).int8_path;
+  }
+  bool last_forward_consumed_codes(int shard) const {
+    return telem_.at(shard).consumed;
+  }
+  bool last_forward_emitted_codes(int shard) const {
+    return telem_.at(shard).emitted;
+  }
 
  private:
   int64_t out_size(int64_t in) const {
     return (in + 2 * opts_.padding - opts_.kernel) / opts_.stride + 1;
   }
+
+  // The whole int8 forward: code input (or bulk-quantised fp32 input),
+  // byte patch gather, fused-epilogue GEMMs, optional code emission.
+  Tensor forward_int8(const Tensor& x, const QuantizedActivation* qx,
+                      bool training, bool emit, QuantizedActivation* qy);
+
+  struct Telemetry {
+    bool int8_path = false;
+    bool consumed = false;  // input arrived as codes
+    bool emitted = false;   // output left as codes
+  };
 
   std::string name_;
   Conv2dOptions opts_;
@@ -70,11 +117,17 @@ class Conv2d : public Layer {
   int64_t macs_per_sample_ = 0;
   int64_t out_elems_ = 0;
   quant::RangeTracker act_range_;
-  // Raw per-shard [min, max] of the input, merged into act_range_ at the
-  // layer boundary (a serial point) by forward_sharded.
+  quant::RangeTracker out_range_;
+  // Raw per-shard [min, max] of the input / epilogue-observed output,
+  // merged into the trackers at the layer boundary (a serial point) by
+  // forward_flow_sharded. NaN marks "nothing observed this pass".
   PerShard<std::pair<float, float>> shard_range_;
-  PerShard<std::vector<uint8_t>> input_codes_;  // reused int8-path buffers
-  bool last_forward_int8_ = false;
+  PerShard<std::pair<float, float>> shard_out_range_;
+  PerShard<std::vector<uint8_t>> input_codes_;  // reused quantise buffers
+  // Consumed-codes cache for backward (dequantised on demand); the fp32
+  // input_ slot is reset while this one is live.
+  PerShard<QuantizedActivation> input_qa_;
+  PerShard<Telemetry> telem_;
 };
 
 /// Extracts convolution patches of `x[n]` (group `g`) into `cols`, a
@@ -86,10 +139,30 @@ void im2col(const Tensor& x, int64_t n, int64_t c_begin, int64_t c_count,
 /// Byte-plane im2col over unsigned activation codes (x is [N,C,H,W] dims
 /// passed explicitly). Spatial padding is filled with `pad_code` — the
 /// activation grid's zero-point, so padding dequantises to exactly 0.
+/// Gathers through a per-channel zero-padded staging image, so every
+/// output row is one branch-free contiguous copy.
 void im2col_u8(const uint8_t* x, int64_t C, int64_t H, int64_t W, int64_t n,
                int64_t c_begin, int64_t c_count, int64_t kernel,
                int64_t stride, int64_t padding, int64_t oh, int64_t ow,
                uint8_t pad_code, uint8_t* cols);
+
+/// Pool-parallel im2col_u8: channels split across the global thread pool
+/// (each channel's kernel*kernel rows are written by exactly one task,
+/// so the output is bit-identical to the serial call for any pool size).
+void im2col_u8_pooled(const uint8_t* x, int64_t C, int64_t H, int64_t W,
+                      int64_t n, int64_t c_begin, int64_t c_count,
+                      int64_t kernel, int64_t stride, int64_t padding,
+                      int64_t oh, int64_t ow, uint8_t pad_code,
+                      uint8_t* cols);
+
+/// Stages `c_count` contiguous channel planes into a
+/// [c_count][(H+2p)][(W+2p)] image whose pad border is `pad_code` — the
+/// form the integer GEMM's implicit conv B operand (GemmS8ConvB)
+/// gathers from. `pooled` splits channels across the global pool
+/// (disjoint writes: bit-identical for any pool size).
+void stage_padded_u8(const uint8_t* planes, int64_t c_count, int64_t H,
+                     int64_t W, int64_t padding, uint8_t pad_code,
+                     uint8_t* out, bool pooled);
 
 /// Scatter-adds a [icg*k*k, oh*ow] column matrix back into dx[n] (group
 /// channel range [c_begin, c_begin+c_count)). Inverse of im2col.

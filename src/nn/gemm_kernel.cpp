@@ -1,17 +1,17 @@
 #include "nn/gemm_kernel.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "base/arena.hpp"
 #include "base/check.hpp"
+#include "base/cpu.hpp"
 #include "base/thread_pool.hpp"
 
-#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
-#define APT_GEMM_X86 1
+#define APT_GEMM_X86 APT_X86
+#if APT_GEMM_X86
 #include <immintrin.h>
-#else
-#define APT_GEMM_X86 0
 #endif
 
 namespace apt::nn {
@@ -423,6 +423,170 @@ __attribute__((target("avx2"))) void micro_kernel_s8_quads(
 }
 #endif  // APT_GEMM_X86
 
+// --------------------------------------------- implicit conv B packing
+//
+// Packs strips of the VIRTUAL im2col matrix B[p, j] straight from the
+// padding-staged code image (see GemmS8ConvB in the header). The packed
+// bytes are identical to running the explicit im2col + pack pipeline,
+// so outputs are bit-identical; only the k*oh*ow column-matrix
+// round-trip disappears.
+
+// Start of virtual row p inside the staged image: channel c's plane,
+// offset by the kernel tap (kh, kw). Element (p, j) then lives at
+// row[(y*stride)*pw + xo*stride].
+inline const uint8_t* convb_row(const GemmS8ConvB& cb, int64_t p) {
+  const int64_t kk = cb.kernel * cb.kernel;
+  const int64_t c = p / kk, r = p % kk;
+  return cb.padded + c * cb.ph * cb.pw + (r / cb.kernel) * cb.pw +
+         (r % cb.kernel);
+}
+
+// Fills rows[i] = convb_row(cb, p0 + i) for i in [0, kc) by walking the
+// (c, kh, kw) counters incrementally — the divisions in convb_row are
+// too hot for the per-(strip, p) inner loops (kernel is runtime, so the
+// compiler cannot strength-reduce them).
+inline void convb_row_table(const GemmS8ConvB& cb, int64_t p0, int64_t kc,
+                            const uint8_t** rows) {
+  const int64_t kk = cb.kernel * cb.kernel;
+  int64_t kh = (p0 % kk) / cb.kernel;
+  int64_t kw = p0 % cb.kernel;
+  const uint8_t* base = convb_row(cb, p0);
+  for (int64_t i = 0; i < kc; ++i) {
+    rows[i] = base;
+    ++base;
+    if (++kw == cb.kernel) {
+      kw = 0;
+      base += cb.pw - cb.kernel;
+      if (++kh == cb.kernel) {
+        kh = 0;
+        base += cb.ph * cb.pw - cb.kernel * cb.pw;
+      }
+    }
+  }
+}
+
+// Image offsets of one strip's columns, shared by every virtual row.
+inline void convb_strip_offsets(const GemmS8ConvB& cb, int64_t jbase,
+                                int64_t cols, int64_t* off) {
+  for (int64_t c = 0; c < cols; ++c) {
+    const int64_t j = jbase + c;
+    off[c] = (j / cb.ow) * cb.stride * cb.pw + (j % cb.ow) * cb.stride;
+  }
+}
+
+void gemm_s8_pack_b_pairs_conv(const GemmS8ConvB& cb, int64_t p0, int64_t kc,
+                               int64_t j0, int64_t nc, int16_t* dst,
+                               int32_t* colsum) {
+  const int64_t kp_count = (kc + 1) / 2;
+  const uint8_t* rows[kGemmKC];
+  convb_row_table(cb, p0, kc, rows);
+  int64_t off[kGemmNR];
+  for (int64_t s = 0; s < nc; s += kGemmNR, dst += kGemmNR * 2 * kp_count) {
+    const int64_t cols = std::min(kGemmNR, nc - s);
+    convb_strip_offsets(cb, j0 + s, cols, off);
+    for (int64_t kp = 0; kp < kp_count; ++kp) {
+      const int64_t p = p0 + 2 * kp;
+      const bool pair = p + 1 < p0 + kc;
+      const uint8_t* r0 = rows[p - p0];
+      const uint8_t* r1 = pair ? rows[p + 1 - p0] : nullptr;
+      int16_t* out = dst + kp * kGemmNR * 2;
+      for (int64_t c = 0; c < cols; ++c) {
+        const int32_t q0 = r0[off[c]];
+        const int32_t q1 = r1 != nullptr ? r1[off[c]] : 0;
+        out[c * 2 + 0] = static_cast<int16_t>(q0);
+        out[c * 2 + 1] = static_cast<int16_t>(q1);
+        if (colsum != nullptr) colsum[s + c] += q0 + q1;
+      }
+      for (int64_t c = cols; c < kGemmNR; ++c) {
+        out[c * 2 + 0] = 0;
+        out[c * 2 + 1] = 0;
+      }
+    }
+  }
+}
+
+#if APT_GEMM_X86
+void gemm_s8_pack_b_quads_conv(const GemmS8ConvB& cb, int64_t p0, int64_t kc,
+                               int64_t j0, int64_t nc, uint8_t* dst,
+                               int32_t* colsum) {
+  const int64_t kq_count = (kc + 3) / 4;
+  const int64_t kq_full = kc / 4;
+  // Full-width strips that sit inside one output row are contiguous
+  // image bytes (stride 1, ow a multiple of NR, strips NR-aligned) and
+  // take the same SSE2 4x16 interleave as the explicit fast path.
+  const bool fast = cb.stride == 1 && (cb.ow % kGemmNR) == 0;
+  const uint8_t* rows[kGemmS8KCQuad];
+  convb_row_table(cb, p0, kc, rows);
+  int64_t off[kGemmNR];
+  for (int64_t s = 0; s < nc; s += kGemmNR, dst += kGemmNR * 4 * kq_count) {
+    const int64_t cols = std::min(kGemmNR, nc - s);
+    const int64_t jbase = j0 + s;
+    const int64_t fast_off =
+        fast ? (jbase / cb.ow) * cb.pw + (jbase % cb.ow) : 0;
+    if (!(fast && cols == kGemmNR)) convb_strip_offsets(cb, jbase, cols, off);
+    if (colsum != nullptr) {
+      int32_t sums[kGemmNR] = {};
+      for (int64_t i = 0; i < kc; ++i) {
+        const uint8_t* row = rows[i];
+        if (fast && cols == kGemmNR) {
+          const uint8_t* src = row + fast_off;
+          for (int64_t c = 0; c < kGemmNR; ++c) sums[c] += src[c];
+        } else {
+          for (int64_t c = 0; c < cols; ++c) sums[c] += row[off[c]];
+        }
+      }
+      for (int64_t c = 0; c < cols; ++c) colsum[s + c] += sums[c];
+    }
+    int64_t kq_begin = 0;
+    if (fast && cols == kGemmNR) {
+      for (int64_t kq = 0; kq < kq_full; ++kq) {
+        const uint8_t* r0 = rows[4 * kq + 0] + fast_off;
+        const uint8_t* r1 = rows[4 * kq + 1] + fast_off;
+        const uint8_t* r2 = rows[4 * kq + 2] + fast_off;
+        const uint8_t* r3 = rows[4 * kq + 3] + fast_off;
+        const __m128i x0 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(r0));
+        const __m128i x1 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(r1));
+        const __m128i x2 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(r2));
+        const __m128i x3 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(r3));
+        const __m128i t0 = _mm_unpacklo_epi8(x0, x1);
+        const __m128i t1 = _mm_unpackhi_epi8(x0, x1);
+        const __m128i u0 = _mm_unpacklo_epi8(x2, x3);
+        const __m128i u1 = _mm_unpackhi_epi8(x2, x3);
+        __m128i* out = reinterpret_cast<__m128i*>(dst + kq * kGemmNR * 4);
+        _mm_storeu_si128(out + 0, _mm_unpacklo_epi16(t0, u0));
+        _mm_storeu_si128(out + 1, _mm_unpackhi_epi16(t0, u0));
+        _mm_storeu_si128(out + 2, _mm_unpacklo_epi16(t1, u1));
+        _mm_storeu_si128(out + 3, _mm_unpackhi_epi16(t1, u1));
+      }
+      kq_begin = kq_full;
+    }
+    for (int64_t kq = kq_begin; kq < kq_count; ++kq) {
+      uint8_t* out = dst + kq * kGemmNR * 4;
+      for (int64_t t = 0; t < 4; ++t) {
+        const int64_t p = p0 + 4 * kq + t;
+        if (p >= p0 + kc) {
+          for (int64_t c = 0; c < cols; ++c) out[c * 4 + t] = 0;
+          continue;
+        }
+        const uint8_t* row = rows[p - p0];
+        if (fast && cols == kGemmNR) {
+          const uint8_t* src = row + fast_off;
+          for (int64_t c = 0; c < kGemmNR; ++c) out[c * 4 + t] = src[c];
+        } else {
+          for (int64_t c = 0; c < cols; ++c) out[c * 4 + t] = row[off[c]];
+        }
+      }
+      for (int64_t c = cols; c < kGemmNR; ++c)
+        std::memset(out + c * 4, 0, 4);
+    }
+  }
+}
+#endif  // APT_GEMM_X86
+
 // Unified byte-typed plumbing so one driver loop serves both layouts.
 // Both pack 4 bytes per row/column per k-group (pairs: 2 int16 per 2 k;
 // quads: 4 bytes per 4 k), so buffer sizing is layout-independent.
@@ -543,6 +707,183 @@ void store_tile_s8_final(float* c, int64_t ldc, const int32_t* raw,
   }
 }
 
+// ------------------------------------------------ fused epilogue stores
+//
+// Per-tile arguments of the fused final store: channel vectors already
+// sliced to the tile's rows/columns, plus the scalar knobs. The scalar
+// and AVX2 variants run the identical IEEE double op sequence per
+// element — mul, add-bias, relu clamp, (requant: mul, add, floor(q+.5)
+// behind a >= 0 mask, min) — so their outputs are bit-identical, and
+// both match an int64/double reference (t is an exact integer < 2^53).
+struct EpiStoreArgs {
+  const double* scale_r = nullptr;  // [mr] per-row channel scale
+  const double* scale_c = nullptr;  // [nr] per-col channel scale
+  const float* bias_r = nullptr;    // [mr]
+  const float* bias_c = nullptr;    // [nr]
+  double sab = 1.0;                 // uniform scale when no channel vector
+  bool relu = false;
+  double cap = 0.0;
+  bool requant = false;  // write u8 codes instead of fp32
+  double inv_out = 1.0;
+  double zout = 0.0;
+  double qmax = 255.0;
+  double* lo = nullptr;  // optional y-range accumulators (task slot)
+  double* hi = nullptr;
+};
+
+void store_tile_s8_epi_scalar(float* cf, uint8_t* cu, int64_t ldc,
+                              const int32_t* raw, int64_t ldraw, int64_t mr,
+                              int64_t nr, const int32_t* acc,
+                              const double* row_corr, const double* col_corr,
+                              const EpiStoreArgs& ea) {
+  double lo = ea.lo ? *ea.lo : 0.0, hi = ea.hi ? *ea.hi : 0.0;
+  for (int64_t i = 0; i < mr; ++i) {
+    const int32_t* ri = raw ? raw + i * ldraw : nullptr;
+    const int32_t* ai = acc + i * kGemmNR;
+    const double rc = row_corr[i];
+    const double sr = ea.scale_r ? ea.scale_r[i] : ea.sab;
+    const double br = ea.bias_r ? static_cast<double>(ea.bias_r[i]) : 0.0;
+    for (int64_t j = 0; j < nr; ++j) {
+      const double t =
+          static_cast<double>(ai[j]) + (ri ? ri[j] : 0) + rc - col_corr[j];
+      double y = (ea.scale_c ? ea.scale_c[j] : sr) * t;
+      y += ea.bias_c ? static_cast<double>(ea.bias_c[j]) : br;
+      if (ea.relu) y = std::min(std::max(y, 0.0), ea.cap);
+      if (ea.lo) {
+        lo = std::min(lo, y);
+        hi = std::max(hi, y);
+      }
+      if (!ea.requant) {
+        cf[i * ldc + j] = static_cast<float>(y);
+      } else {
+        double q = y * ea.inv_out + ea.zout;
+        q = q >= 0.0 ? std::floor(q + 0.5) : 0.0;
+        if (q > ea.qmax) q = ea.qmax;
+        cu[i * ldc + j] = static_cast<uint8_t>(q);
+      }
+    }
+  }
+  if (ea.lo) {
+    *ea.lo = lo;
+    *ea.hi = hi;
+  }
+}
+
+#if APT_GEMM_X86
+// Same math, 4 doubles per step. Min/max are order-independent, so the
+// lane-then-horizontal observation reduces to the same values the
+// scalar loop sees; every other op is element-independent.
+__attribute__((target("avx2"))) void store_tile_s8_epi_avx2(
+    float* cf, uint8_t* cu, int64_t ldc, const int32_t* raw, int64_t ldraw,
+    int64_t mr, int64_t nr, const int32_t* acc, const double* row_corr,
+    const double* col_corr, const EpiStoreArgs& ea) {
+  const int64_t nr4 = nr & ~int64_t{3};
+  __m256d vlo = _mm256_set1_pd(ea.lo ? *ea.lo : 0.0);
+  __m256d vhi = _mm256_set1_pd(ea.hi ? *ea.hi : 0.0);
+  double lo = ea.lo ? *ea.lo : 0.0, hi = ea.hi ? *ea.hi : 0.0;
+  const __m256d vzero = _mm256_setzero_pd();
+  const __m256d vcap = _mm256_set1_pd(ea.cap);
+  const __m256d vinv = _mm256_set1_pd(ea.inv_out);
+  const __m256d vzout = _mm256_set1_pd(ea.zout);
+  const __m256d vqmax = _mm256_set1_pd(ea.qmax);
+  const __m256d vhalf = _mm256_set1_pd(0.5);
+  for (int64_t i = 0; i < mr; ++i) {
+    const int32_t* ri = raw ? raw + i * ldraw : nullptr;
+    const int32_t* ai = acc + i * kGemmNR;
+    const double rc_s = row_corr[i];
+    const double sr_s = ea.scale_r ? ea.scale_r[i] : ea.sab;
+    const double br_s = ea.bias_r ? static_cast<double>(ea.bias_r[i]) : 0.0;
+    const __m256d rc = _mm256_set1_pd(rc_s);
+    const __m256d sr = _mm256_set1_pd(sr_s);
+    const __m256d br = _mm256_set1_pd(br_s);
+    int64_t j = 0;
+    for (; j < nr4; j += 4) {
+      __m256d t = _mm256_cvtepi32_pd(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(ai + j)));
+      if (ri) {
+        t = _mm256_add_pd(t, _mm256_cvtepi32_pd(_mm_loadu_si128(
+                                 reinterpret_cast<const __m128i*>(ri + j))));
+      }
+      t = _mm256_sub_pd(_mm256_add_pd(t, rc), _mm256_loadu_pd(col_corr + j));
+      const __m256d sc =
+          ea.scale_c ? _mm256_loadu_pd(ea.scale_c + j) : sr;
+      __m256d y = _mm256_mul_pd(sc, t);
+      const __m256d bc =
+          ea.bias_c ? _mm256_cvtps_pd(_mm_loadu_ps(ea.bias_c + j)) : br;
+      y = _mm256_add_pd(y, bc);
+      // Operand order matters for NaN agreement with the scalar store:
+      // min/maxpd return the SECOND operand on NaN, so max(0, y) /
+      // min(cap, ·) keep a NaN y exactly like std::max(y,0)/std::min
+      // do, and the observation's min(y, acc) drops it like
+      // std::min(acc, y) does.
+      if (ea.relu) y = _mm256_min_pd(vcap, _mm256_max_pd(vzero, y));
+      if (ea.lo) {
+        vlo = _mm256_min_pd(y, vlo);
+        vhi = _mm256_max_pd(y, vhi);
+      }
+      if (!ea.requant) {
+        _mm_storeu_ps(cf + i * ldc + j, _mm256_cvtpd_ps(y));
+      } else {
+        __m256d q = _mm256_add_pd(_mm256_mul_pd(y, vinv), vzout);
+        const __m256d ge = _mm256_cmp_pd(q, vzero, _CMP_GE_OQ);
+        q = _mm256_and_pd(ge, _mm256_floor_pd(_mm256_add_pd(q, vhalf)));
+        q = _mm256_min_pd(q, vqmax);
+        const __m128i qi = _mm256_cvttpd_epi32(q);
+        const __m128i w = _mm_packus_epi32(qi, qi);
+        const __m128i bytes = _mm_packus_epi16(w, w);
+        const int32_t quad = _mm_cvtsi128_si32(bytes);
+        std::memcpy(cu + i * ldc + j, &quad, sizeof(quad));
+      }
+    }
+    for (; j < nr; ++j) {  // scalar tail: same op sequence
+      const double t =
+          static_cast<double>(ai[j]) + (ri ? ri[j] : 0) + rc_s - col_corr[j];
+      double y = (ea.scale_c ? ea.scale_c[j] : sr_s) * t;
+      y += ea.bias_c ? static_cast<double>(ea.bias_c[j]) : br_s;
+      if (ea.relu) y = std::min(std::max(y, 0.0), ea.cap);
+      if (ea.lo) {
+        lo = std::min(lo, y);
+        hi = std::max(hi, y);
+      }
+      if (!ea.requant) {
+        cf[i * ldc + j] = static_cast<float>(y);
+      } else {
+        double q = y * ea.inv_out + ea.zout;
+        q = q >= 0.0 ? std::floor(q + 0.5) : 0.0;
+        if (q > ea.qmax) q = ea.qmax;
+        cu[i * ldc + j] = static_cast<uint8_t>(q);
+      }
+    }
+  }
+  if (ea.lo) {
+    alignas(32) double l4[4], h4[4];
+    _mm256_store_pd(l4, vlo);
+    _mm256_store_pd(h4, vhi);
+    for (int t = 0; t < 4; ++t) {
+      lo = std::min(lo, l4[t]);
+      hi = std::max(hi, h4[t]);
+    }
+    *ea.lo = lo;
+    *ea.hi = hi;
+  }
+}
+#endif  // APT_GEMM_X86
+
+using EpiStoreFn = void (*)(float*, uint8_t*, int64_t, const int32_t*,
+                            int64_t, int64_t, int64_t, const int32_t*,
+                            const double*, const double*,
+                            const EpiStoreArgs&);
+
+EpiStoreFn resolve_epi_store(GemmKernel which) {
+#if APT_GEMM_X86
+  if (which != GemmKernel::kScalar && gemm_cpu_has_avx2_fma())
+    return store_tile_s8_epi_avx2;
+#else
+  (void)which;
+#endif
+  return store_tile_s8_epi_scalar;
+}
+
 // Applies one k-panel's contribution to an mr x nr corner of C. The
 // first panel owns beta: beta == 0 overwrites without reading C (so
 // garbage, including NaN, in the output buffer cannot leak through).
@@ -572,15 +913,7 @@ void scale_c(int64_t m, int64_t n, float beta, float* c) {
 
 }  // namespace
 
-bool gemm_cpu_has_avx2_fma() {
-#if APT_GEMM_X86
-  static const bool ok =
-      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
-  return ok;
-#else
-  return false;
-#endif
-}
+bool gemm_cpu_has_avx2_fma() { return cpu_has_avx2_fma(); }
 
 void gemm_pack_a(bool trans_a, const float* a, int64_t m, int64_t k,
                  int64_t i0, int64_t mc, int64_t p0, int64_t kc, float* dst) {
@@ -742,12 +1075,77 @@ void gemm_s8_pack_b(bool trans_b, const uint8_t* b, int64_t k, int64_t n,
   }
 }
 
-void gemm_s8(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
-             const uint8_t* a, const uint8_t* b, const GemmS8Params& params,
-             float* c, const GemmOptions& opts) {
+namespace {
+
+// Shared gemm_s8 driver. With `epi == nullptr` it reproduces the plain
+// dequantising store (`cf` output) bit for bit; with an epilogue it
+// routes the final-panel tiles through the fused store, writing either
+// fp32 (`cf`) or requantised u8 codes (`cu`).
+void gemm_s8_driver(bool trans_a, bool trans_b, int64_t m, int64_t n,
+                    int64_t k, const uint8_t* a, const uint8_t* b,
+                    const GemmS8ConvB* convb, const GemmS8Params& params,
+                    const GemmS8Epilogue* epi, float* cf, uint8_t* cu,
+                    const GemmOptions& opts) {
   if (m <= 0 || n <= 0) return;
-  if (k <= 0) {  // empty reduction: every (qa-Za)(qb-Zb) sum is 0
-    std::fill(c, c + m * n, 0.0f);
+  if (convb != nullptr) {
+    APT_CHECK(!trans_b && n == convb->oh * convb->ow &&
+              convb->kernel > 0 && k % (convb->kernel * convb->kernel) == 0)
+        << "gemm_s8: inconsistent implicit conv B descriptor";
+  }
+  const double sab = params.scale_a * params.scale_b;
+
+  EpiStoreArgs ea;
+  const EpiStoreFn epi_store = resolve_epi_store(opts.kernel);
+  if (epi != nullptr) {
+    APT_CHECK(epi->observe_lo == nullptr || epi->observe_hi != nullptr)
+        << "gemm_s8: observe_lo and observe_hi come as a pair";
+    ea.sab = sab;
+    ea.relu = epi->relu;
+    ea.cap = static_cast<double>(epi->relu_cap);
+    ea.requant = cu != nullptr;
+    if (ea.requant) {
+      APT_CHECK(epi->out_scale > 0.0 && epi->out_zero >= 0 &&
+                epi->out_max >= epi->out_zero && epi->out_max <= 255)
+          << "gemm_s8_requant: bad output grid";
+      ea.inv_out = 1.0 / epi->out_scale;
+      ea.zout = static_cast<double>(epi->out_zero);
+      ea.qmax = static_cast<double>(epi->out_max);
+    }
+  }
+
+  if (k <= 0) {
+    // Empty reduction: every exact code sum t is 0; the epilogue still
+    // applies (bias, relu, requantisation of y = bias[c]).
+    if (epi == nullptr) {
+      std::fill(cf, cf + m * n, 0.0f);
+      return;
+    }
+    double lo = std::numeric_limits<double>::infinity(), hi = -lo;
+    alignas(64) int32_t zacc[kGemmMR * kGemmNR] = {};
+    const double zero_corr[kGemmNR] = {};
+    double row_zero[kGemmMR] = {};
+    ea.lo = epi->observe_lo ? &lo : nullptr;
+    ea.hi = epi->observe_lo ? &hi : nullptr;
+    for (int64_t i0 = 0; i0 < m; i0 += kGemmMR)
+      for (int64_t j0 = 0; j0 < n; j0 += kGemmNR) {
+        const int64_t mr = std::min(kGemmMR, m - i0);
+        const int64_t nr = std::min(kGemmNR, n - j0);
+        EpiStoreArgs tile = ea;
+        if (epi->channel_is_row) {
+          tile.scale_r = epi->scale ? epi->scale + i0 : nullptr;
+          tile.bias_r = epi->bias ? epi->bias + i0 : nullptr;
+        } else {
+          tile.scale_c = epi->scale ? epi->scale + j0 : nullptr;
+          tile.bias_c = epi->bias ? epi->bias + j0 : nullptr;
+        }
+        epi_store(cf ? cf + i0 * n + j0 : nullptr,
+                  cu ? cu + i0 * n + j0 : nullptr, n, nullptr, 0, mr, nr,
+                  zacc, row_zero, zero_corr, tile);
+      }
+    if (epi->observe_lo) {
+      *epi->observe_lo = static_cast<float>(lo);
+      *epi->observe_hi = static_cast<float>(hi);
+    }
     return;
   }
   APT_CHECK(k <= kGemmS8MaxK)
@@ -758,13 +1156,15 @@ void gemm_s8(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
       << "gemm_s8: zero-points must be 8-bit codes";
   const S8Path path = resolve_s8_path(opts.kernel, params);
   const int64_t za = params.zero_a, zb = params.zero_b;
-  const double sab = params.scale_a * params.scale_b;
+  // The byte-quad layout packs quarter-width strips, so it affords a
+  // deeper k panel (one panel for a 3x3 conv over 64 channels).
+  const int64_t kc_max = path.group == 4 ? kGemmS8KCQuad : kGemmKC;
 
   ScratchArena::Scope outer(ScratchArena::thread_local_arena());
   // Raw code-product plane (int32, only touched when k spans several
   // panels), the zero-point correction sums, and the per-column
   // correction staged as doubles for the fused final store.
-  const bool multi_panel = k > kGemmKC;
+  const bool multi_panel = k > kc_max;
   auto* raw =
       multi_panel ? static_cast<int32_t*>(outer.alloc_bytes(
                         static_cast<size_t>(m * n) * sizeof(int32_t)))
@@ -779,15 +1179,32 @@ void gemm_s8(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
   std::fill(colsum, colsum + n, 0);
   const double kzazb = static_cast<double>(k * za * zb);
 
+  // Per-M-panel observation slots for the epilogue's exact y-range
+  // probe: each MC panel owns its pair (tasks write disjoint slots; a
+  // panel revisited across column panels runs serially), and the final
+  // merge is a min/max sweep — order-independent, so the observed range
+  // is identical for any pool size.
+  const int64_t m_blocks_total = (m + kGemmMC - 1) / kGemmMC;
+  double* obs = nullptr;
+  const bool observing = epi != nullptr && epi->observe_lo != nullptr;
+  if (observing) {
+    obs = static_cast<double*>(outer.alloc_bytes(
+        static_cast<size_t>(2 * m_blocks_total) * sizeof(double)));
+    for (int64_t mb = 0; mb < m_blocks_total; ++mb) {
+      obs[2 * mb] = std::numeric_limits<double>::infinity();
+      obs[2 * mb + 1] = -std::numeric_limits<double>::infinity();
+    }
+  }
+
   for (int64_t j0 = 0; j0 < n; j0 += kGemmNC) {
     const int64_t nc = std::min(kGemmNC, n - j0);
     const int64_t n_strips = (nc + kGemmNR - 1) / kGemmNR;
-    for (int64_t p0 = 0; p0 < k; p0 += kGemmKC) {
-      const int64_t kc = std::min(kGemmKC, k - p0);
+    for (int64_t p0 = 0; p0 < k; p0 += kc_max) {
+      const int64_t kc = std::min(kc_max, k - p0);
       // Both layouts pack 4 bytes per row/column per k-group.
       const int64_t groups = (kc + path.group - 1) / path.group;
       const bool first_panel = p0 == 0;
-      const bool last_panel = p0 + kGemmKC >= k;
+      const bool last_panel = p0 + kc_max >= k;
 
       ScratchArena::Scope panel_scope(ScratchArena::thread_local_arena());
       auto* packb = static_cast<std::byte*>(panel_scope.alloc_bytes(
@@ -796,7 +1213,25 @@ void gemm_s8(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
       // exactly once per (j0, p0), so accumulating here counts each code
       // once. Rows are packed once per (p0, MC panel) only while j0 == 0,
       // giving the same once-per-code guarantee for rowsum below.
-      path.pack_b(trans_b, b, k, n, p0, kc, j0, nc, packb, colsum + j0);
+      if (convb != nullptr) {
+#if APT_GEMM_X86
+        if (path.group == 4) {
+          gemm_s8_pack_b_quads_conv(*convb, p0, kc, j0, nc,
+                                    reinterpret_cast<uint8_t*>(packb),
+                                    colsum + j0);
+        } else {
+          gemm_s8_pack_b_pairs_conv(*convb, p0, kc, j0, nc,
+                                    reinterpret_cast<int16_t*>(packb),
+                                    colsum + j0);
+        }
+#else
+        gemm_s8_pack_b_pairs_conv(*convb, p0, kc, j0, nc,
+                                  reinterpret_cast<int16_t*>(packb),
+                                  colsum + j0);
+#endif
+      } else {
+        path.pack_b(trans_b, b, k, n, p0, kc, j0, nc, packb, colsum + j0);
+      }
       if (last_panel)  // column sums for this panel are now complete
         for (int64_t j = 0; j < nc; ++j)
           col_corr[j0 + j] = static_cast<double>(za) * colsum[j0 + j];
@@ -827,11 +1262,32 @@ void gemm_s8(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
               const int64_t tile_i = i0 + si * kGemmMR;
               const int64_t tile_j = j0 + sj * kGemmNR;
               if (last_panel) {
-                store_tile_s8_final(
-                    c + tile_i * n + tile_j, n,
-                    first_panel ? nullptr : raw + tile_i * n + tile_j, n,
-                    mr, nr, acc, row_corr + si * kGemmMR,
-                    col_corr + tile_j, sab);
+                const int32_t* raw_tile =
+                    first_panel ? nullptr : raw + tile_i * n + tile_j;
+                if (epi == nullptr) {
+                  store_tile_s8_final(cf + tile_i * n + tile_j, n, raw_tile,
+                                      n, mr, nr, acc,
+                                      row_corr + si * kGemmMR,
+                                      col_corr + tile_j, sab);
+                } else {
+                  EpiStoreArgs tile = ea;
+                  if (epi->channel_is_row) {
+                    tile.scale_r = epi->scale ? epi->scale + tile_i : nullptr;
+                    tile.bias_r = epi->bias ? epi->bias + tile_i : nullptr;
+                  } else {
+                    tile.scale_c = epi->scale ? epi->scale + tile_j : nullptr;
+                    tile.bias_c = epi->bias ? epi->bias + tile_j : nullptr;
+                  }
+                  if (observing) {
+                    tile.lo = obs + 2 * mb;
+                    tile.hi = obs + 2 * mb + 1;
+                  }
+                  epi_store(cf ? cf + tile_i * n + tile_j : nullptr,
+                            cu ? cu + tile_i * n + tile_j : nullptr, n,
+                            raw_tile, n, mr, nr, acc,
+                            row_corr + si * kGemmMR, col_corr + tile_j,
+                            tile);
+                }
               } else {
                 store_tile_s8(raw + tile_i * n + tile_j, n, mr, nr, acc,
                               first_panel);
@@ -849,6 +1305,59 @@ void gemm_s8(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
       }
     }
   }
+
+  if (observing) {
+    double lo = std::numeric_limits<double>::infinity(), hi = -lo;
+    for (int64_t mb = 0; mb < m_blocks_total; ++mb) {
+      lo = std::min(lo, obs[2 * mb]);
+      hi = std::max(hi, obs[2 * mb + 1]);
+    }
+    // double->float nearest is monotone, so these equal the min/max of
+    // the float-cast outputs the fused store would have written.
+    *epi->observe_lo = static_cast<float>(lo);
+    *epi->observe_hi = static_cast<float>(hi);
+  }
+}
+
+}  // namespace
+
+void gemm_s8(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+             const uint8_t* a, const uint8_t* b, const GemmS8Params& params,
+             float* c, const GemmOptions& opts) {
+  gemm_s8_driver(trans_a, trans_b, m, n, k, a, b, nullptr, params, nullptr,
+                 c, nullptr, opts);
+}
+
+void gemm_s8_fused(bool trans_a, bool trans_b, int64_t m, int64_t n,
+                   int64_t k, const uint8_t* a, const uint8_t* b,
+                   const GemmS8Params& params, const GemmS8Epilogue& epi,
+                   float* c, const GemmOptions& opts) {
+  gemm_s8_driver(trans_a, trans_b, m, n, k, a, b, nullptr, params, &epi, c,
+                 nullptr, opts);
+}
+
+void gemm_s8_requant(bool trans_a, bool trans_b, int64_t m, int64_t n,
+                     int64_t k, const uint8_t* a, const uint8_t* b,
+                     const GemmS8Params& params, const GemmS8Epilogue& epi,
+                     uint8_t* c, const GemmOptions& opts) {
+  gemm_s8_driver(trans_a, trans_b, m, n, k, a, b, nullptr, params, &epi,
+                 nullptr, c, opts);
+}
+
+void gemm_s8_fused_conv(int64_t m, int64_t n, int64_t k, const uint8_t* a,
+                        const GemmS8ConvB& b, const GemmS8Params& params,
+                        const GemmS8Epilogue& epi, float* c,
+                        const GemmOptions& opts) {
+  gemm_s8_driver(false, false, m, n, k, a, nullptr, &b, params, &epi, c,
+                 nullptr, opts);
+}
+
+void gemm_s8_requant_conv(int64_t m, int64_t n, int64_t k, const uint8_t* a,
+                          const GemmS8ConvB& b, const GemmS8Params& params,
+                          const GemmS8Epilogue& epi, uint8_t* c,
+                          const GemmOptions& opts) {
+  gemm_s8_driver(false, false, m, n, k, a, nullptr, &b, params, &epi,
+                 nullptr, c, opts);
 }
 
 }  // namespace apt::nn

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 namespace apt::nn {
 
@@ -101,6 +102,14 @@ void gemm_pack_b(bool trans_b, const float* b, int64_t k, int64_t n,
 inline constexpr int64_t kGemmS8MaxK = INT32_MAX / (255 * 255);
 inline constexpr int32_t kGemmS8QuadMaxCode = 64;
 
+/// Deeper k panel for the byte-quad strategy: its packed strips are raw
+/// bytes (quarter the fp32 footprint), so a 768-deep B strip still fits
+/// L1 — and a 3x3 conv over 64 channels (k = 576) then runs in a single
+/// panel, skipping the int32 raw-plane round-trip entirely. The int16
+/// pair strategy keeps kGemmKC. Exactness is unaffected: the int32
+/// accumulator bound depends on total k, not the panel split.
+inline constexpr int64_t kGemmS8KCQuad = 768;
+
 struct GemmS8Params {
   double scale_a = 1.0;  ///< Sa
   double scale_b = 1.0;  ///< Sb
@@ -119,6 +128,108 @@ struct GemmS8Params {
 void gemm_s8(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
              const uint8_t* a, const uint8_t* b, const GemmS8Params& params,
              float* c, const GemmOptions& opts = {});
+
+// -- fused epilogues --------------------------------------------------------
+//
+// Both fused entry points apply, per output element inside the final
+// k-panel's tile store (so the int32 accumulator plane never takes an
+// extra sweep):
+//
+//   y[i,j] = S_c * t[i,j] + bias[c]        t = exact corrected code sum
+//   y      = clamp(y, 0, relu_cap)         when relu is set
+//
+// where c is the element's output channel — the C row for the conv
+// layout (A carries the weight grid) or the C column for the linear
+// layout (B carries it) — and S_c is the per-channel scale (Sa*Sb when
+// no per-channel vector is given). Everything runs in double: t is an
+// exact integer < 2^53, so the arithmetic is reproducible to the bit on
+// the scalar and AVX2 stores for any thread count, and tests pin it
+// against an int64/double reference.
+//
+// gemm_s8_fused writes float(y) — a dequantised fp32 plane with the
+// bias/ReLU already folded in. gemm_s8_requant instead emits unsigned
+// output CODES on a caller-chosen affine grid:
+//
+//   q = y / S_out + Z_out,  rounded half-up on doubles
+//   q < 0 saturates to 0, q > out_max saturates to out_max
+//
+// which is what lets one quantised layer hand its activation stream to
+// the next with no fp32 round-trip. The optional observe_lo/observe_hi
+// pointers receive the exact min/max of y over the whole output (after
+// bias/ReLU, before requantisation) — min/max is order-independent, so
+// the probe is deterministic for any pool size; it feeds the producing
+// layer's output RangeTracker so the requant grid can follow the data.
+struct GemmS8Epilogue {
+  /// Per-channel output scale, length = m (channel_is_row) or n. Null
+  /// means the uniform Sa*Sb from GemmS8Params.
+  const double* scale = nullptr;
+  /// Per-channel bias added after scaling; null means 0.
+  const float* bias = nullptr;
+  /// Whether the output channel axis is C's rows (conv: C = W x cols)
+  /// or its columns (linear: C = X x W^T).
+  bool channel_is_row = true;
+  bool relu = false;
+  float relu_cap = std::numeric_limits<float>::infinity();
+  /// Requantisation grid for gemm_s8_requant: S_out, Z_out and the
+  /// largest valid code (2^bits - 1 of the output grid).
+  double out_scale = 1.0;
+  int32_t out_zero = 0;
+  int32_t out_max = 255;
+  /// Optional exact output-range probe (see above); both or neither.
+  float* observe_lo = nullptr;
+  float* observe_hi = nullptr;
+};
+
+/// C (fp32) = epilogue(exact code-sum GEMM); see GemmS8Epilogue.
+void gemm_s8_fused(bool trans_a, bool trans_b, int64_t m, int64_t n,
+                   int64_t k, const uint8_t* a, const uint8_t* b,
+                   const GemmS8Params& params, const GemmS8Epilogue& epi,
+                   float* c, const GemmOptions& opts = {});
+
+/// C (u8 codes on the epilogue's output grid) = requantised epilogue.
+void gemm_s8_requant(bool trans_a, bool trans_b, int64_t m, int64_t n,
+                     int64_t k, const uint8_t* a, const uint8_t* b,
+                     const GemmS8Params& params, const GemmS8Epilogue& epi,
+                     uint8_t* c, const GemmOptions& opts = {});
+
+// -- implicit (im2col-free) conv B operand ----------------------------------
+//
+// For the conv forward, the B operand is the im2col patch matrix
+// B[p, j] with p = (c, kh, kw) and j = (y, xo) — every element of which
+// is just a byte of the (padding-staged) input image. Materialising it
+// costs a k*oh*ow write plus an immediate re-read by the packing; the
+// conv entry points below instead hand the driver this descriptor and
+// the packing gathers B's strips STRAIGHT from the staged image:
+//
+//   B[(c*kernel + kh)*kernel + kw, y*ow + xo]
+//     = padded[c][y*stride + kh][xo*stride + kw]
+//
+// The image (channels * ph * pw bytes, pad rows/columns pre-filled with
+// the activation zero-point code) is ~7x smaller than the column matrix
+// for a 3x3 conv and stays cache-hot across the whole GEMM. The packed
+// strips are byte-identical to packing a materialised im2col matrix, so
+// results are bit-identical to the explicit path. When stride == 1 and
+// ow is a multiple of the register width, strip gathering reuses the
+// same SSE2 4x16 interleave as the contiguous fast path.
+struct GemmS8ConvB {
+  const uint8_t* padded = nullptr;  ///< [channels][ph][pw], pad pre-filled
+  int64_t ph = 0, pw = 0;           ///< staged spatial dims (H+2p, W+2p)
+  int64_t kernel = 0, stride = 1;
+  int64_t oh = 0, ow = 0;           ///< output spatial dims (n = oh*ow)
+};
+
+/// gemm_s8_fused with B described implicitly (A = weights, row-major;
+/// k = channels * kernel^2, n = oh * ow).
+void gemm_s8_fused_conv(int64_t m, int64_t n, int64_t k, const uint8_t* a,
+                        const GemmS8ConvB& b, const GemmS8Params& params,
+                        const GemmS8Epilogue& epi, float* c,
+                        const GemmOptions& opts = {});
+
+/// gemm_s8_requant with an implicit conv B operand.
+void gemm_s8_requant_conv(int64_t m, int64_t n, int64_t k, const uint8_t* a,
+                          const GemmS8ConvB& b, const GemmS8Params& params,
+                          const GemmS8Epilogue& epi, uint8_t* c,
+                          const GemmOptions& opts = {});
 
 // -- s8 packing primitives, exposed for tests -------------------------------
 //

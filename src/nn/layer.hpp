@@ -5,17 +5,55 @@
 // the gradient w.r.t. the layer's output, *accumulates* parameter
 // gradients into Parameter::grad, and returns the gradient w.r.t. the
 // layer's input.
+//
+// Beyond the plain fp32 forward, layers participate in a code-passing
+// dataflow (DESIGN.md §11): an int8-eligible producer can hand its
+// output as a `QuantizedActivation` — raw u8 codes plus the affine grid
+// they live on — straight to an int8-eligible consumer, eliminating the
+// fp32 materialise/re-quantise round-trip between quantised layers.
+// Containers drive the handoff through `forward_flow`; layers that know
+// nothing about codes inherit defaults that dequantise on demand, so
+// the dataflow is always safe to attempt.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/tensor.hpp"
 #include "nn/parameter.hpp"
+#include "quant/affine.hpp"
 
 namespace apt::nn {
+
+/// A quantised activation plane in flight between layers: unsigned 8-bit
+/// codes plus the affine parameters that decode them (value = S(q - Z)).
+/// The fp32 view is available on demand — `dequantize()` reproduces the
+/// exact values a consumer kernel would compute from the codes.
+struct QuantizedActivation {
+  std::vector<uint8_t> codes;
+  quant::QuantParams params;
+  Shape shape{0};
+
+  bool valid() const { return !codes.empty(); }
+  void reset() { codes.clear(); }
+
+  Tensor dequantize() const {
+    APT_CHECK(valid()) << "dequantize() on an empty QuantizedActivation";
+    Tensor t(shape);
+    quant::dequantize_codes_u8(codes.data(), t.numel(), params, t.data());
+    return t;
+  }
+
+  /// Exact [min, max] of the dequantised values (one byte sweep).
+  std::pair<float, float> value_range() const {
+    const auto [lo, hi] =
+        quant::minmax_u8(codes.data(), static_cast<int64_t>(codes.size()));
+    return {params.dequantize(lo), params.dequantize(hi)};
+  }
+};
 
 class Layer {
  public:
@@ -23,6 +61,36 @@ class Layer {
 
   virtual Tensor forward(const Tensor& x, bool training) = 0;
   virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Code-flow capabilities, re-evaluated every forward (they depend on
+  /// the backend selection and the weight representation, which the APT
+  /// controller moves at runtime). `accepts_codes` means forward_flow
+  /// can consume a QuantizedActivation input without materialising
+  /// fp32; `codes_transparent` marks cheap code-domain transforms
+  /// (ReLU) that only pay off when a downstream sink consumes codes —
+  /// containers use it to propagate demand through them.
+  virtual bool accepts_codes() const { return false; }
+  virtual bool codes_transparent() const { return false; }
+
+  /// Code-flow forward. When `qx` is non-null and valid it carries the
+  /// input instead of `x` (which may then be undefined). When
+  /// `want_codes` is set AND the layer can oblige, it fills `*qy` with
+  /// its output codes and may return an undefined Tensor; otherwise it
+  /// returns the fp32 output as usual and leaves `*qy` reset. The
+  /// default dequantises a code input and delegates to `forward` —
+  /// correct for every layer, never emits.
+  virtual Tensor forward_flow(const Tensor& x, const QuantizedActivation* qx,
+                              bool training, bool want_codes,
+                              QuantizedActivation* qy);
+
+  /// Sharded code-flow forward: `qxs`/`qys` (when non-null) hold one
+  /// slot per shard. The default materialises any pending shard codes
+  /// and takes the regular `forward_sharded` path (preserving
+  /// cross-shard overrides like BatchNorm's), never emits.
+  virtual std::vector<Tensor> forward_flow_sharded(
+      const std::vector<Tensor>& xs,
+      const std::vector<QuantizedActivation>* qxs, bool training,
+      bool want_codes, std::vector<QuantizedActivation>* qys);
 
   /// Data-parallel step entry points: `xs[s]` holds shard s's slice of the
   /// minibatch. The default implementations run `forward`/`backward` for
@@ -62,6 +130,15 @@ class Layer {
     for (auto* p : parameters()) n += p->numel();
     return n;
   }
+
+ protected:
+  /// Per-shard forward_flow dispatch with the qxs/qys slot plumbing —
+  /// the body every code-flow-aware leaf shares. Callers append any
+  /// cross-shard merging (tracker EMAs) after it.
+  std::vector<Tensor> flow_shard_each(
+      const std::vector<Tensor>& xs,
+      const std::vector<QuantizedActivation>* qxs, bool training,
+      bool want_codes, std::vector<QuantizedActivation>* qys);
 };
 
 using LayerPtr = std::unique_ptr<Layer>;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "base/arena.hpp"
 #include "base/thread_pool.hpp"
@@ -22,56 +23,80 @@ Linear::Linear(std::string name, int64_t in_features, int64_t out_features,
   he_normal(weight_.value, in_, rng);
 }
 
+bool Linear::accepts_codes() const {
+  const quant::QuantizedTensor* wq =
+      weight_.rep ? weight_.rep->quantized_view() : nullptr;
+  return gemm_int8_forward_enabled() && wq != nullptr && wq->bits() <= 8;
+}
+
 Tensor Linear::forward(const Tensor& x, bool training) {
-  APT_CHECK(x.shape().rank() == 2 && x.dim(1) == in_)
-      << name_ << ": bad input " << x.shape().str();
+  return forward_flow(x, nullptr, training, false, nullptr);
+}
+
+Tensor Linear::forward_flow(const Tensor& x, const QuantizedActivation* qx,
+                            bool training, bool want_codes,
+                            QuantizedActivation* qy) {
+  if (qy != nullptr) qy->reset();
+  const bool has_qx = qx != nullptr && qx->valid();
+  const Shape& in_shape = has_qx ? qx->shape : x.shape();
+  APT_CHECK(in_shape.rank() == 2 && in_shape[1] == in_)
+      << name_ << ": bad input " << in_shape.str();
+
+  Telemetry& tl = telem_.cur();
+  tl = {};
+  constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+  if (sharding_active()) shard_out_range_.cur() = {kNaN, kNaN};
+
   if (training) {
-    input_.cur() = x;  // shallow share; batches are freshly allocated
-    if (sharding_active()) {
-      // Record raw extrema; forward_sharded merges them in shard order
-      // into act_range_ once per batch (so the EMA sees merged batch
-      // statistics, never per-shard ones, in a deterministic order).
-      shard_range_.cur() = {x.min(), x.max()};
+    const std::pair<float, float> in_range =
+        has_qx ? qx->value_range() : x.minmax();
+    if (has_qx) {
+      input_qa_.cur() = *qx;  // backward dequantises on demand
+      input_.cur() = Tensor();
     } else {
-      act_range_.observe(x);
+      input_.cur() = x;  // shallow share; batches are freshly allocated
+      input_qa_.cur().reset();
+    }
+    if (sharding_active()) {
+      // Record raw extrema; forward_flow_sharded merges them in shard
+      // order into act_range_ once per batch (so the EMA sees merged
+      // batch statistics, never per-shard ones, in a deterministic
+      // order).
+      shard_range_.cur() = in_range;
+    } else {
+      act_range_.observe(in_range.first, in_range.second);
     }
   }
-  const int64_t n = x.dim(0);
-  Tensor y(Shape{n, out_});
 
   // Integer path: weight codes stay packed (no dequantised multiply) and
-  // the input is quantised onto the tracked 8-bit activation grid. The
-  // weight's float view equals S(q - Z) exactly, so this differs from
-  // the fp32 path only by activation rounding and exact-vs-float
-  // accumulation order.
+  // the input is quantised onto the tracked 8-bit activation grid — or
+  // arrives as codes outright. The weight's float view equals S(q - Z)
+  // exactly, so this differs from the fp32 path only by activation
+  // rounding and exact-vs-float accumulation order.
   const quant::QuantizedTensor* wq =
       weight_.rep ? weight_.rep->quantized_view() : nullptr;
   const bool int8_path = gemm_int8_forward_enabled() && wq != nullptr &&
-                         wq->bits() <= 8 && act_range_.initialized();
-  // The engagement decision is uniform across shards (it reads only the
-  // representation and the tracker, both frozen during the parallel
-  // section); write the flag from one shard to keep the store race-free.
-  if (current_shard() == 0) last_forward_int8_ = int8_path;
+                         wq->bits() <= 8 &&
+                         (has_qx || act_range_.initialized());
+  tl.int8_path = int8_path;
   if (int8_path) {
-    const quant::QuantParams aq =
-        quant::choose_params(act_range_.lo(), act_range_.hi(), 8);
-    ScratchArena::Scope scope(ScratchArena::thread_local_arena());
-    auto* xq = static_cast<uint8_t*>(
-        scope.alloc_bytes(static_cast<size_t>(x.numel())));
-    quant::quantize_codes_u8(x.data(), x.numel(), aq, xq);
-    GemmS8Params qp{aq.scale, wq->params().scale,
-                    static_cast<int32_t>(aq.zero_point),
-                    static_cast<int32_t>(wq->params().zero_point)};
-    // Declaring the weight grid's code ceiling lets <= 6-bit layers take
-    // the saturation-free vpmaddubsw fast path.
-    qp.max_b = static_cast<int32_t>(quant::max_code(wq->bits()));
-    // y[N,out] = deq(Xq[N,in]) * deq(Wq)^T[in,out]
-    gemm_s8(false, true, n, out_, in_, xq, wq->codes_u8(), qp, y.data());
-  } else {
-    // y[N,out] = x[N,in] * W^T[in,out]
-    gemm(false, true, n, out_, in_, 1.0f, x.data(), weight_.value.data(),
-         0.0f, y.data());
+    tl.consumed = has_qx;
+    const bool emit =
+        want_codes && qy != nullptr && out_range_.initialized();
+    tl.emitted = emit;
+    return forward_int8(x, has_qx ? qx : nullptr, training, emit, qy);
   }
+
+  Tensor xin = has_qx ? qx->dequantize() : x;
+  if (training && has_qx) {
+    input_.cur() = xin;
+    input_qa_.cur().reset();
+  }
+  const int64_t n = in_shape[0];
+  Tensor y(Shape{n, out_});
+  // y[N,out] = x[N,in] * W^T[in,out]
+  gemm(false, true, n, out_, in_, 1.0f, xin.data(), weight_.value.data(),
+       0.0f, y.data());
 
   if (has_bias_) {
     // Rows are independent; batch them through the pool with a grain that
@@ -90,10 +115,83 @@ Tensor Linear::forward(const Tensor& x, bool training) {
   return y;
 }
 
+Tensor Linear::forward_int8(const Tensor& x, const QuantizedActivation* qx,
+                            bool training, bool emit,
+                            QuantizedActivation* qy) {
+  const Shape& in_shape = qx != nullptr ? qx->shape : x.shape();
+  const int64_t n = in_shape[0];
+  const quant::QuantizedTensor* wq = weight_.rep->quantized_view();
+
+  quant::QuantParams aq;
+  const uint8_t* xcodes;
+  ScratchArena::Scope scope(ScratchArena::thread_local_arena());
+  if (qx != nullptr) {
+    aq = qx->params;
+    xcodes = qx->codes.data();
+  } else {
+    aq = quant::choose_params(act_range_.lo(), act_range_.hi(), 8);
+    auto* buf = static_cast<uint8_t*>(
+        scope.alloc_bytes(static_cast<size_t>(x.numel())));
+    quant::quantize_codes_u8(x.data(), x.numel(), aq, buf);
+    xcodes = buf;
+  }
+
+  GemmS8Params qp{aq.scale, wq->params().scale,
+                  static_cast<int32_t>(aq.zero_point),
+                  static_cast<int32_t>(wq->params().zero_point)};
+  // Declaring the weight grid's code ceiling lets <= 6-bit layers take
+  // the saturation-free vpmaddubsw fast path.
+  qp.max_b = static_cast<int32_t>(quant::max_code(wq->bits()));
+
+  // Fused epilogue: output channels are C's columns in this layout
+  // (y = Xq * Wq^T), bias folded into the final tile store, exact
+  // output-range probe feeding the emission tracker.
+  GemmS8Epilogue epi;
+  epi.channel_is_row = false;
+  epi.bias = has_bias_ ? bias_.value.data() : nullptr;
+  float obs_lo = 0.0f, obs_hi = 0.0f;
+  epi.observe_lo = &obs_lo;
+  epi.observe_hi = &obs_hi;
+
+  Tensor y;
+  if (emit) {
+    const quant::QuantParams oq =
+        quant::choose_params(out_range_.lo(), out_range_.hi(), 8);
+    qy->codes.resize(static_cast<size_t>(n * out_));
+    qy->params = oq;
+    qy->shape = Shape{n, out_};
+    epi.out_scale = oq.scale;
+    epi.out_zero = static_cast<int32_t>(oq.zero_point);
+    epi.out_max = static_cast<int32_t>(quant::max_code(oq.bits));
+    gemm_s8_requant(false, true, n, out_, in_, xcodes, wq->codes_u8(), qp,
+                    epi, qy->codes.data());
+  } else {
+    y = Tensor(Shape{n, out_});
+    gemm_s8_fused(false, true, n, out_, in_, xcodes, wq->codes_u8(), qp, epi,
+                  y.data());
+  }
+
+  if (training) {
+    if (sharding_active()) {
+      shard_out_range_.cur() = {obs_lo, obs_hi};
+    } else {
+      out_range_.observe(obs_lo, obs_hi);
+    }
+  }
+  if (emit) return Tensor();
+  return y;
+}
+
 Tensor Linear::backward(const Tensor& grad_out) {
-  const Tensor& input = input_.cur();
-  APT_CHECK(input.defined() && input.numel() > 0)
-      << name_ << ": backward before forward";
+  Tensor xbuf;
+  const Tensor* xp = &input_.cur();
+  if (!xp->defined() || xp->numel() == 0) {
+    const QuantizedActivation& qa = input_qa_.cur();
+    APT_CHECK(qa.valid()) << name_ << ": backward before forward";
+    xbuf = qa.dequantize();
+    xp = &xbuf;
+  }
+  const Tensor& input = *xp;
   const int64_t n = grad_out.dim(0);
   // dW[out,in] += dY^T[out,N] * X[N,in]
   gemm(true, false, out_, in_, n, 1.0f, grad_out.data(), input.data(), 1.0f,
@@ -123,11 +221,20 @@ Tensor Linear::backward(const Tensor& grad_out) {
 
 std::vector<Tensor> Linear::forward_sharded(const std::vector<Tensor>& xs,
                                             bool training) {
-  std::vector<Tensor> ys = Layer::forward_sharded(xs, training);
+  return forward_flow_sharded(xs, nullptr, training, false, nullptr);
+}
+
+std::vector<Tensor> Linear::forward_flow_sharded(
+    const std::vector<Tensor>& xs, const std::vector<QuantizedActivation>* qxs,
+    bool training, bool want_codes, std::vector<QuantizedActivation>* qys) {
+  const int shards = static_cast<int>(xs.size());
+  std::vector<Tensor> ys =
+      flow_shard_each(xs, qxs, training, want_codes, qys);
   if (training && sharding_active()) {
-    act_range_.observe_merged(
-        static_cast<int>(xs.size()),
-        [&](int s) { return shard_range_.at(s); });
+    act_range_.observe_merged(shards,
+                              [&](int s) { return shard_range_.at(s); });
+    out_range_.observe_merged(shards,
+                              [&](int s) { return shard_out_range_.at(s); });
   }
   return ys;
 }

@@ -30,6 +30,18 @@ class Linear : public Layer {
   /// (min/max over the shards' extrema, reduced in shard order).
   std::vector<Tensor> forward_sharded(const std::vector<Tensor>& xs,
                                       bool training) override;
+  /// Code-flow entry points (DESIGN.md §11): consumes a
+  /// QuantizedActivation input directly and, when asked, emits output
+  /// codes through the fused requantising GEMM epilogue (bias folded
+  /// in, per-column channels).
+  bool accepts_codes() const override;
+  Tensor forward_flow(const Tensor& x, const QuantizedActivation* qx,
+                      bool training, bool want_codes,
+                      QuantizedActivation* qy) override;
+  std::vector<Tensor> forward_flow_sharded(
+      const std::vector<Tensor>& xs,
+      const std::vector<QuantizedActivation>* qxs, bool training,
+      bool want_codes, std::vector<QuantizedActivation>* qys) override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override { return name_; }
   int64_t macs_per_sample() const override { return in_ * out_; }
@@ -40,10 +52,34 @@ class Linear : public Layer {
 
   /// EMA range of the layer's input, feeding the activation quantiser.
   const quant::RangeTracker& activation_range() const { return act_range_; }
-  /// True when the last forward ran through the integer kernel.
-  bool last_forward_was_int8() const { return last_forward_int8_; }
+  /// EMA range of the pre-requantisation output (epilogue-observed);
+  /// chooses the grid the layer emits codes on.
+  const quant::RangeTracker& output_range() const { return out_range_; }
+  /// Int8-path telemetry for the calling shard's last forward (per-shard
+  /// slots: the stores never race under forward_sharded).
+  bool last_forward_was_int8() const { return telem_.cur().int8_path; }
+  bool last_forward_consumed_codes() const { return telem_.cur().consumed; }
+  bool last_forward_emitted_codes() const { return telem_.cur().emitted; }
+  bool last_forward_was_int8(int shard) const {
+    return telem_.at(shard).int8_path;
+  }
+  bool last_forward_consumed_codes(int shard) const {
+    return telem_.at(shard).consumed;
+  }
+  bool last_forward_emitted_codes(int shard) const {
+    return telem_.at(shard).emitted;
+  }
 
  private:
+  Tensor forward_int8(const Tensor& x, const QuantizedActivation* qx,
+                      bool training, bool emit, QuantizedActivation* qy);
+
+  struct Telemetry {
+    bool int8_path = false;
+    bool consumed = false;
+    bool emitted = false;
+  };
+
   std::string name_;
   int64_t in_, out_;
   bool has_bias_;
@@ -51,10 +87,16 @@ class Linear : public Layer {
   Parameter bias_;
   PerShard<Tensor> input_;  // cached for backward, one slot per shard
   quant::RangeTracker act_range_;
-  // Raw per-shard [min, max] of the input, merged into act_range_ at the
-  // layer boundary (a serial point) by forward_sharded.
+  quant::RangeTracker out_range_;
+  // Raw per-shard [min, max] of the input / epilogue-observed output,
+  // merged into the trackers at the layer boundary (a serial point) by
+  // forward_flow_sharded. NaN marks "nothing observed this pass".
   PerShard<std::pair<float, float>> shard_range_;
-  bool last_forward_int8_ = false;
+  PerShard<std::pair<float, float>> shard_out_range_;
+  // Consumed-codes cache for backward (dequantised on demand); the fp32
+  // input_ slot is reset while this one is live.
+  PerShard<QuantizedActivation> input_qa_;
+  PerShard<Telemetry> telem_;
 };
 
 }  // namespace apt::nn

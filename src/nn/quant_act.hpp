@@ -6,6 +6,7 @@
 #pragma once
 
 #include "nn/layer.hpp"
+#include "nn/shard.hpp"
 #include "quant/fake_quant.hpp"
 
 namespace apt::nn {
@@ -31,6 +32,35 @@ class QuantAct : public Layer {
   Tensor backward(const Tensor& grad_out) override {
     if (bits_ >= 32 || mask_.numel() == 0) return grad_out;
     return grad_out * mask_;
+  }
+
+  /// A disabled QuantAct (bits >= 32) is a pure identity, so it must
+  /// not break a code-passing chain: it forwards codes untouched. An
+  /// enabled one re-quantises on its own grid and therefore falls back
+  /// to the fp32 path.
+  bool accepts_codes() const override { return bits_ >= 32; }
+  bool codes_transparent() const override { return bits_ >= 32; }
+
+  Tensor forward_flow(const Tensor& x, const QuantizedActivation* qx,
+                      bool training, bool want_codes,
+                      QuantizedActivation* qy) override {
+    if (qx == nullptr || !qx->valid() || bits_ < 32)
+      return Layer::forward_flow(x, qx, training, want_codes, qy);
+    if (qy != nullptr) qy->reset();
+    if (want_codes && qy != nullptr) {
+      *qy = *qx;
+      return Tensor();
+    }
+    return qx->dequantize();
+  }
+
+  std::vector<Tensor> forward_flow_sharded(
+      const std::vector<Tensor>& xs,
+      const std::vector<QuantizedActivation>* qxs, bool training,
+      bool want_codes, std::vector<QuantizedActivation>* qys) override {
+    if (bits_ < 32)
+      return Layer::forward_flow_sharded(xs, qxs, training, want_codes, qys);
+    return flow_shard_each(xs, qxs, training, want_codes, qys);
   }
 
   std::string name() const override { return name_; }

@@ -24,9 +24,7 @@ class Sequential : public Layer {
   void append(LayerPtr layer) { layers_.push_back(std::move(layer)); }
 
   Tensor forward(const Tensor& x, bool training) override {
-    Tensor h = x;
-    for (auto& l : layers_) h = l->forward(h, training);
-    return h;
+    return forward_flow(x, nullptr, training, false, nullptr);
   }
 
   Tensor backward(const Tensor& grad_out) override {
@@ -36,14 +34,106 @@ class Sequential : public Layer {
     return g;
   }
 
+  /// The container does the code-passing (DESIGN.md §11): each child is
+  /// asked to emit codes exactly when a downstream sink will consume
+  /// them, with transparent layers (ReLU) forwarding the demand. A
+  /// child that cannot oblige simply returns fp32 and the chain resumes
+  /// at the next opportunity — the plan is advisory, never load-bearing.
+  Tensor forward_flow(const Tensor& x, const QuantizedActivation* qx,
+                      bool training, bool want_codes,
+                      QuantizedActivation* qy) override {
+    if (qy != nullptr) qy->reset();
+    const std::vector<uint8_t> want = plan_code_flow(want_codes);
+    Tensor h = x;
+    QuantizedActivation qcur;
+    const QuantizedActivation* qin =
+        qx != nullptr && qx->valid() ? qx : nullptr;
+    for (size_t i = 0; i < layers_.size(); ++i) {
+      Layer& l = *layers_[i];
+      if (qin != nullptr && !l.accepts_codes()) {
+        h = qin->dequantize();  // safety net; the plan avoids this
+        qin = nullptr;
+      }
+      QuantizedActivation qout;
+      h = l.forward_flow(h, qin, training, want[i] != 0, &qout);
+      if (qout.valid()) {
+        qcur = std::move(qout);
+        qin = &qcur;
+      } else {
+        qin = nullptr;
+      }
+    }
+    if (qin != nullptr) {
+      if (want_codes && qy != nullptr) {
+        // qin aliases qcur unless the input passed through untouched.
+        if (qin == &qcur) {
+          *qy = std::move(qcur);
+        } else {
+          *qy = *qin;
+        }
+        return Tensor();
+      }
+      return qin->dequantize();
+    }
+    return h;
+  }
+
   // Sharded passes chain the children on the calling (coordinator)
   // thread; each child call is a synchronisation point, which is what
   // lets BatchNorm reduce whole-batch statistics mid-network.
   std::vector<Tensor> forward_sharded(const std::vector<Tensor>& xs,
                                       bool training) override {
+    return forward_flow_sharded(xs, nullptr, training, false, nullptr);
+  }
+
+  std::vector<Tensor> forward_flow_sharded(
+      const std::vector<Tensor>& xs,
+      const std::vector<QuantizedActivation>* qxs, bool training,
+      bool want_codes, std::vector<QuantizedActivation>* qys) override {
+    const size_t shards = xs.size();
+    if (qys != nullptr)
+      for (auto& q : *qys) q.reset();
+    const std::vector<uint8_t> want = plan_code_flow(want_codes);
     std::vector<Tensor> hs = xs;
-    for (auto& l : layers_) hs = l->forward_sharded(hs, training);
+    std::vector<QuantizedActivation> qcur(shards);
+    bool codes_live = false;
+    if (qxs != nullptr)
+      for (size_t s = 0; s < shards; ++s)
+        if ((*qxs)[s].valid()) {
+          qcur[s] = (*qxs)[s];  // copy: the caller keeps its slots
+          codes_live = true;
+        }
+    for (size_t i = 0; i < layers_.size(); ++i) {
+      Layer& l = *layers_[i];
+      if (codes_live && !l.accepts_codes()) {
+        for (size_t s = 0; s < shards; ++s)
+          if (qcur[s].valid()) {
+            hs[s] = qcur[s].dequantize();
+            qcur[s].reset();
+          }
+        codes_live = false;
+      }
+      std::vector<QuantizedActivation> qout(shards);
+      hs = l.forward_flow_sharded(hs, codes_live ? &qcur : nullptr, training,
+                                  want[i] != 0, &qout);
+      codes_live = false;
+      for (const auto& q : qout) codes_live |= q.valid();
+      qcur = std::move(qout);
+    }
+    if (codes_live) {
+      if (want_codes && qys != nullptr) {
+        *qys = std::move(qcur);
+        return hs;  // undefined tensors for the emitted shards
+      }
+      for (size_t s = 0; s < shards; ++s)
+        if (qcur[s].valid()) hs[s] = qcur[s].dequantize();
+    }
     return hs;
+  }
+
+  /// The first child decides whether the container can start from codes.
+  bool accepts_codes() const override {
+    return !layers_.empty() && layers_.front()->accepts_codes();
   }
 
   std::vector<Tensor> backward_sharded(
@@ -81,6 +171,23 @@ class Sequential : public Layer {
   const std::vector<LayerPtr>& layers() const { return layers_; }
 
  private:
+  /// Per-child emit demand, derived back to front: child i should emit
+  /// codes iff its successor consumes them — directly (a code-accepting
+  /// sink) or by passing them through a transparent layer whose own
+  /// successor does. `tail_want` is the demand beyond the last child
+  /// (the container's own want_codes).
+  std::vector<uint8_t> plan_code_flow(bool tail_want) const {
+    std::vector<uint8_t> want(layers_.size(), 0);
+    bool next_want = tail_want;
+    for (size_t i = layers_.size(); i-- > 0;) {
+      want[i] = next_want ? 1 : 0;
+      const Layer& l = *layers_[i];
+      next_want =
+          l.accepts_codes() && (l.codes_transparent() ? want[i] != 0 : true);
+    }
+    return want;
+  }
+
   std::string name_;
   std::vector<LayerPtr> layers_;
 };

@@ -2,8 +2,103 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+
+#include "base/cpu.hpp"
+
+#if APT_X86
+#include <immintrin.h>
+#endif
 
 namespace apt::quant {
+
+namespace {
+
+#if APT_X86
+// Per element, the exact op sequence of quantize_codes_u8_scalar:
+// mul, add (deliberately unfused — the target attribute carries no
+// "fma", so the compiler cannot contract them either here or in the
+// scalar loop), +0.5 behind a >= 0 mask (NaN fails the compare and
+// saturates to 0), min with qmax, truncate. Identical IEEE ops in the
+// same order means identical bits for every input.
+__attribute__((target("avx2"))) void quantize_codes_u8_avx2(
+    const float* src, int64_t n, float inv, float z, float qmax,
+    uint8_t* dst) {
+  const __m256 vinv = _mm256_set1_ps(inv);
+  const __m256 vz = _mm256_set1_ps(z);
+  const __m256 vhalf = _mm256_set1_ps(0.5f);
+  const __m256 vqmax = _mm256_set1_ps(qmax);
+  const __m256 vzero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 q = _mm256_add_ps(_mm256_mul_ps(_mm256_loadu_ps(src + i), vinv),
+                             vz);
+    const __m256 ge = _mm256_cmp_ps(q, vzero, _CMP_GE_OQ);
+    q = _mm256_and_ps(ge, _mm256_add_ps(q, vhalf));
+    q = _mm256_min_ps(q, vqmax);
+    const __m256i qi = _mm256_cvttps_epi32(q);
+    // 8 int32 codes in [0, 255] -> 8 bytes (pack via int16).
+    const __m128i lo = _mm256_castsi256_si128(qi);
+    const __m128i hi = _mm256_extracti128_si256(qi, 1);
+    const __m128i w = _mm_packus_epi32(lo, hi);
+    const __m128i b = _mm_packus_epi16(w, w);
+    std::memcpy(dst + i, &b, 8);
+  }
+  for (; i < n; ++i) {
+    float q = src[i] * inv + z;
+    q = q >= 0.0f ? q + 0.5f : 0.0f;
+    if (q > qmax) q = qmax;
+    dst[i] = static_cast<uint8_t>(q);
+  }
+}
+
+__attribute__((target("avx2"))) void dequantize_codes_u8_avx2(
+    const uint8_t* src, int64_t n, double scale, int32_t zero, float* dst) {
+  const __m256d vs = _mm256_set1_pd(scale);
+  const __m128i vz = _mm_set1_epi32(zero);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    int32_t quad;
+    std::memcpy(&quad, src + i, sizeof(quad));
+    const __m128i q = _mm_cvtepu8_epi32(_mm_cvtsi32_si128(quad));
+    const __m256d d = _mm256_cvtepi32_pd(_mm_sub_epi32(q, vz));
+    const __m128 f = _mm256_cvtpd_ps(_mm256_mul_pd(vs, d));
+    _mm_storeu_ps(dst + i, f);
+  }
+  for (; i < n; ++i)
+    dst[i] = static_cast<float>(scale * static_cast<double>(src[i] - zero));
+}
+
+__attribute__((target("avx2"))) void minmax_u8_avx2(const uint8_t* src,
+                                                    int64_t n, uint8_t* out_lo,
+                                                    uint8_t* out_hi) {
+  __m256i vlo = _mm256_set1_epi8(static_cast<char>(0xFF));
+  __m256i vhi = _mm256_setzero_si256();
+  int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    vlo = _mm256_min_epu8(vlo, v);
+    vhi = _mm256_max_epu8(vhi, v);
+  }
+  alignas(32) uint8_t lo32[32], hi32[32];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lo32), vlo);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(hi32), vhi);
+  uint8_t lo = 0xFF, hi = 0;
+  for (int j = 0; j < 32; ++j) {
+    lo = std::min(lo, lo32[j]);
+    hi = std::max(hi, hi32[j]);
+  }
+  for (; i < n; ++i) {
+    lo = std::min(lo, src[i]);
+    hi = std::max(hi, src[i]);
+  }
+  *out_lo = lo;
+  *out_hi = hi;
+}
+#endif  // APT_X86
+
+}  // namespace
 
 QuantParams choose_params(float lo, float hi, int bits) {
   APT_CHECK(bits >= 2 && bits <= 32) << "bitwidth out of range: " << bits;
@@ -50,8 +145,8 @@ int64_t round_steps(double x, RoundMode mode, double u01) {
   return 0;  // unreachable
 }
 
-void quantize_codes_u8(const float* src, int64_t n, const QuantParams& p,
-                       uint8_t* dst) {
+void quantize_codes_u8_scalar(const float* src, int64_t n,
+                              const QuantParams& p, uint8_t* dst) {
   APT_CHECK(p.bits <= 8)
       << "quantize_codes_u8 needs an 8-bit-or-narrower grid, got " << p.bits;
   const float inv = static_cast<float>(1.0 / p.scale);
@@ -65,6 +160,53 @@ void quantize_codes_u8(const float* src, int64_t n, const QuantParams& p,
     if (q > qmax) q = qmax;  // above-range and +Inf saturate
     dst[i] = static_cast<uint8_t>(q);
   }
+}
+
+void quantize_codes_u8(const float* src, int64_t n, const QuantParams& p,
+                       uint8_t* dst) {
+#if APT_X86
+  if (cpu_has_avx2_fma()) {
+    APT_CHECK(p.bits <= 8)
+        << "quantize_codes_u8 needs an 8-bit-or-narrower grid, got "
+        << p.bits;
+    quantize_codes_u8_avx2(src, n, static_cast<float>(1.0 / p.scale),
+                           static_cast<float>(p.zero_point),
+                           static_cast<float>(max_code(p.bits)), dst);
+    return;
+  }
+#endif
+  quantize_codes_u8_scalar(src, n, p, dst);
+}
+
+void dequantize_codes_u8(const uint8_t* src, int64_t n, const QuantParams& p,
+                         float* dst) {
+#if APT_X86
+  if (cpu_has_avx2_fma()) {
+    dequantize_codes_u8_avx2(src, n, p.scale,
+                             static_cast<int32_t>(p.zero_point), dst);
+    return;
+  }
+#endif
+  for (int64_t i = 0; i < n; ++i)
+    dst[i] = static_cast<float>(p.scale *
+                                static_cast<double>(src[i] - p.zero_point));
+}
+
+std::pair<uint8_t, uint8_t> minmax_u8(const uint8_t* src, int64_t n) {
+  APT_CHECK(n > 0) << "minmax_u8 over an empty plane";
+#if APT_X86
+  if (cpu_has_avx2_fma()) {
+    uint8_t lo, hi;
+    minmax_u8_avx2(src, n, &lo, &hi);
+    return {lo, hi};
+  }
+#endif
+  uint8_t lo = src[0], hi = src[0];
+  for (int64_t i = 1; i < n; ++i) {
+    lo = std::min(lo, src[i]);
+    hi = std::max(hi, src[i]);
+  }
+  return {lo, hi};
 }
 
 int64_t quantize_value(float r, const QuantParams& p, RoundMode mode) {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 #include "base/tensor.hpp"
 
@@ -72,10 +73,29 @@ int64_t quantize_value(float r, const QuantParams& p,
 /// Bulk-quantises `n` values onto p's grid as unsigned 8-bit codes
 /// (requires p.bits <= 8) — the activation-side feeder of the integer
 /// GEMM. Rounds half away from zero like quantize_value(kNearest) but in
-/// float precision with a precomputed reciprocal scale so the loop
-/// vectorises; out-of-range and non-finite inputs saturate (NaN to 0).
+/// float precision with a precomputed reciprocal scale; out-of-range and
+/// non-finite inputs saturate (NaN to 0). Dispatches to an AVX2 kernel
+/// when the CPU has one; its bits are identical to the scalar reference
+/// below for every input (same IEEE op sequence per element).
 void quantize_codes_u8(const float* src, int64_t n, const QuantParams& p,
                        uint8_t* dst);
+
+/// Portable reference implementation of quantize_codes_u8, exposed so
+/// tests can pin the vector kernel's bit-identity.
+void quantize_codes_u8_scalar(const float* src, int64_t n,
+                              const QuantParams& p, uint8_t* dst);
+
+/// Bulk-dequantises `n` unsigned 8-bit codes: dst[i] = S * (q[i] - Z),
+/// computed in double like QuantizedTensor::dequantize (one float
+/// rounding per element; AVX2-dispatched, bit-identical to the scalar
+/// loop). The consumer side of the code-passing activation dataflow.
+void dequantize_codes_u8(const uint8_t* src, int64_t n, const QuantParams& p,
+                         float* dst);
+
+/// {min, max} code over a byte plane in one sweep (n > 0). Feeds range
+/// observation on code-passing inputs: dequantising the two extreme
+/// codes gives the plane's exact value range without an fp32 pass.
+std::pair<uint8_t, uint8_t> minmax_u8(const uint8_t* src, int64_t n);
 
 /// Rounds `x` according to `mode`. `u01` supplies the uniform sample used by
 /// stochastic rounding (ignored by the other modes).

@@ -87,6 +87,12 @@ void QuantizedTensor::dequantize_into(Tensor& out) const {
   float* o = out.data();
   const double s = params_.scale;
   const int64_t z = params_.zero_point;
+  if (storage_bits() == 8) {
+    // Byte-stored codes take the vectorised bulk path (identical bits:
+    // same one-float-rounding-per-element double math).
+    dequantize_codes_u8(codes8_.data(), numel(), params_, o);
+    return;
+  }
   auto run = [&](const auto& codes) {
     for (size_t i = 0; i < codes.size(); ++i)
       o[i] = static_cast<float>(

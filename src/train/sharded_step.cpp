@@ -43,24 +43,29 @@ void ShardedStep::reduce_grads(int64_t shards) {
   for (nn::Parameter* p : params_) {
     float* grad = p->grad.data();
     const int64_t numel = p->numel();
-    // Element-wise sums over the shard buffers in shard order: chunking
+    // Element-wise sums over the shard buffers in shard order, draining
+    // each sink in the same pass (so a following run() accumulates
+    // afresh, matching plain backward's "accumulate into grad"
+    // semantics, without a second sweep over every buffer). Chunking
     // across elements cannot change any element's summation order, so
-    // this parallel_for is deterministic for any pool size.
-    ThreadPool::global().parallel_for(
-        0, numel,
-        [&](int64_t e0, int64_t e1) {
-          for (int64_t e = e0; e < e1; ++e) {
-            float acc = grad[e];
-            for (int64_t s = 0; s < shards; ++s)
-              acc += p->shard_grads[static_cast<size_t>(s)][e];
-            grad[e] = acc;
-          }
-        },
-        1 << 12);
-    // Drain the sinks so a following run() accumulates afresh (matching
-    // plain backward's "accumulate into grad" semantics).
-    for (int64_t s = 0; s < shards; ++s)
-      p->shard_grads[static_cast<size_t>(s)].fill(0.0f);
+    // this is deterministic for any pool size.
+    auto reduce_range = [&](int64_t e0, int64_t e1) {
+      for (int64_t s = 0; s < shards; ++s) {
+        float* sg = p->shard_grads[static_cast<size_t>(s)].data();
+        for (int64_t e = e0; e < e1; ++e) {
+          grad[e] += sg[e];
+          sg[e] = 0.0f;
+        }
+      }
+    };
+    // Small parameters (the common case: conv filters, biases) skip the
+    // pool dispatch entirely — one queue round-trip per parameter per
+    // step costs more than the reduction itself.
+    if (numel < (1 << 12)) {
+      reduce_range(0, numel);
+    } else {
+      ThreadPool::global().parallel_for(0, numel, reduce_range, 1 << 12);
+    }
   }
 }
 

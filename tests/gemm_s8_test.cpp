@@ -548,5 +548,493 @@ TEST(Im2colU8, MatchesFloatGatherOnCodes) {
     ASSERT_EQ(cols_f[i], static_cast<float>(cols_q[i])) << "i=" << i;
 }
 
+// ------------------------------------------------------ fused epilogues
+//
+// The epilogue contract: per element, y = S_c * t + bias[c] (t the exact
+// int64 code sum), optional clamp to [0, cap], then either float(y) or
+// the half-up requantised code — all double arithmetic, bit-identical to
+// this reference for any kernel, thread count, or panel split.
+struct EpiRef {
+  std::vector<double> scale;  // per-channel; empty -> Sa*Sb
+  std::vector<float> bias;    // per-channel; empty -> 0
+  bool channel_is_row = true;
+  bool relu = false;
+  float cap = std::numeric_limits<float>::infinity();
+  double out_scale = 0.004;
+  int32_t out_zero = 30;
+  int32_t out_max = 255;
+};
+
+void epilogue_reference(bool ta, bool tb, int64_t m, int64_t n, int64_t k,
+                        const uint8_t* a, const uint8_t* b,
+                        const GemmS8Params& qp, const EpiRef& er,
+                        float* cf, uint8_t* cu, float* lo_out,
+                        float* hi_out) {
+  const double sab = qp.scale_a * qp.scale_b;
+  double lo = std::numeric_limits<double>::infinity(), hi = -lo;
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) {
+      int64_t acc = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        const int64_t qa = ta ? a[p * m + i] : a[i * k + p];
+        const int64_t qb = tb ? b[j * k + p] : b[p * n + j];
+        acc += (qa - qp.zero_a) * (qb - qp.zero_b);
+      }
+      const int64_t c = er.channel_is_row ? i : j;
+      double y = (er.scale.empty() ? sab : er.scale[static_cast<size_t>(c)]) *
+                 static_cast<double>(acc);
+      if (!er.bias.empty())
+        y += static_cast<double>(er.bias[static_cast<size_t>(c)]);
+      if (er.relu) y = std::min(std::max(y, 0.0), static_cast<double>(er.cap));
+      lo = std::min(lo, y);
+      hi = std::max(hi, y);
+      if (cf != nullptr) cf[i * n + j] = static_cast<float>(y);
+      if (cu != nullptr) {
+        double q = y * (1.0 / er.out_scale) + static_cast<double>(er.out_zero);
+        q = q >= 0.0 ? std::floor(q + 0.5) : 0.0;
+        if (q > er.out_max) q = er.out_max;
+        cu[i * n + j] = static_cast<uint8_t>(q);
+      }
+    }
+  if (lo_out != nullptr) {
+    *lo_out = static_cast<float>(lo);
+    *hi_out = static_cast<float>(hi);
+  }
+}
+
+GemmS8Epilogue to_epilogue(const EpiRef& er, float* lo, float* hi) {
+  GemmS8Epilogue epi;
+  epi.scale = er.scale.empty() ? nullptr : er.scale.data();
+  epi.bias = er.bias.empty() ? nullptr : er.bias.data();
+  epi.channel_is_row = er.channel_is_row;
+  epi.relu = er.relu;
+  epi.relu_cap = er.cap;
+  epi.out_scale = er.out_scale;
+  epi.out_zero = er.out_zero;
+  epi.out_max = er.out_max;
+  epi.observe_lo = lo;
+  epi.observe_hi = hi;
+  return epi;
+}
+
+class EpilogueExact : public ::testing::TestWithParam<S8Case> {};
+
+TEST_P(EpilogueExact, FusedAndRequantMatchReference) {
+  const S8Case tc = GetParam();
+  std::vector<uint8_t> a(static_cast<size_t>(tc.m * tc.k));
+  std::vector<uint8_t> b(static_cast<size_t>(tc.k * tc.n));
+  fill_codes(a, 11, 0, tc.max_a);
+  fill_codes(b, 12, 0, tc.max_b);
+  GemmS8Params qp{0.013, 0.021, tc.za, tc.zb};
+  qp.max_a = tc.max_a;
+  qp.max_b = tc.max_b;
+  for (const bool row_ch : {true, false}) {
+    for (const bool relu : {false, true}) {
+      EpiRef er;
+      er.channel_is_row = row_ch;
+      er.relu = relu;
+      er.cap = 3.0f;
+      const int64_t ch = row_ch ? tc.m : tc.n;
+      Rng rng(13);
+      er.scale.resize(static_cast<size_t>(ch));
+      er.bias.resize(static_cast<size_t>(ch));
+      for (auto& s : er.scale) s = rng.uniform(0.001, 0.05);
+      for (auto& v : er.bias) v = static_cast<float>(rng.uniform(-2, 2));
+      std::vector<float> want_f(static_cast<size_t>(tc.m * tc.n));
+      std::vector<uint8_t> want_u(want_f.size());
+      float want_lo, want_hi;
+      epilogue_reference(tc.ta, tc.tb, tc.m, tc.n, tc.k, a.data(), b.data(),
+                         qp, er, want_f.data(), want_u.data(), &want_lo,
+                         &want_hi);
+      std::vector<float> got_f(want_f.size(), -1e30f);
+      std::vector<uint8_t> got_u(want_f.size(), 77);
+      float lo = 0, hi = 0;
+      GemmS8Epilogue epi = to_epilogue(er, &lo, &hi);
+      gemm_s8_fused(tc.ta, tc.tb, tc.m, tc.n, tc.k, a.data(), b.data(), qp,
+                    epi, got_f.data());
+      for (size_t i = 0; i < want_f.size(); ++i)
+        ASSERT_EQ(want_f[i], got_f[i]) << "fused i=" << i;
+      EXPECT_EQ(want_lo, lo);
+      EXPECT_EQ(want_hi, hi);
+      gemm_s8_requant(tc.ta, tc.tb, tc.m, tc.n, tc.k, a.data(), b.data(), qp,
+                      epi, got_u.data());
+      for (size_t i = 0; i < want_u.size(); ++i)
+        ASSERT_EQ(want_u[i], got_u[i]) << "requant i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EpilogueExact,
+    ::testing::Values(
+        // Four transpose combos on an odd shape (both strategies).
+        S8Case{false, false, 13, 29, 37, 17, 9},
+        S8Case{true, false, 13, 29, 37, 3, 250},
+        S8Case{false, true, 13, 29, 37, 128, 31, 255, 63},
+        S8Case{true, true, 13, 29, 37, 255, 0},
+        // Conv shape: single quad panel (k=576 <= kGemmS8KCQuad).
+        S8Case{false, false, 64, 256, 576, 31, 128, 63, 255},
+        // Multi-panel on both strategies (quads: k > 768; pairs: k > 256).
+        S8Case{false, false, 7, 40, 900, 11, 200, 63, 255},
+        S8Case{false, true, 7, 40, 300, 11, 200}));
+
+TEST(EpilogueExact, ReluClampEdges) {
+  // One-element products engineered to land exactly at 0, at the cap,
+  // and beyond it: the clamp is [0, cap] inclusive on doubles.
+  const GemmS8Params qp{1.0, 1.0, 0, 0};
+  const uint8_t a[3] = {0, 2, 6};   // column vector (m=3, k=1)
+  const uint8_t b[1] = {1};         // 1 x 1
+  EpiRef er;
+  er.relu = true;
+  er.cap = 4.0f;
+  er.bias = {-1.0f, -1.0f, -1.0f};  // y = q - 1 -> {-1, 1, 5}
+  std::vector<float> want(3);
+  std::vector<uint8_t> want_u(3);
+  float want_lo, want_hi;
+  epilogue_reference(false, false, 3, 1, 1, a, b, qp, er, want.data(),
+                     want_u.data(), &want_lo, &want_hi);
+  EXPECT_EQ(want[0], 0.0f);  // clamped up
+  EXPECT_EQ(want[1], 1.0f);  // untouched
+  EXPECT_EQ(want[2], 4.0f);  // clamped to the cap
+  float got[3], lo, hi;
+  GemmS8Epilogue epi = to_epilogue(er, &lo, &hi);
+  gemm_s8_fused(false, false, 3, 1, 1, a, b, qp, epi, got);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(want[i], got[i]);
+  EXPECT_EQ(0.0f, lo);
+  EXPECT_EQ(4.0f, hi);
+}
+
+TEST(EpilogueExact, PerChannelScaleExtremes) {
+  // Tiny, huge, and zero per-channel scales must flow through the double
+  // path unharmed (zero scale zeroes the product but keeps the bias).
+  std::vector<uint8_t> a(static_cast<size_t>(4 * 16));
+  std::vector<uint8_t> b(static_cast<size_t>(16 * 5));
+  fill_codes(a, 21);
+  fill_codes(b, 22);
+  GemmS8Params qp{1.0, 1.0, 7, 13};
+  EpiRef er;
+  er.scale = {1e-30, 1e+20, 0.0, 1.0};
+  er.bias = {0.5f, -0.5f, 2.0f, 0.0f};
+  std::vector<float> want(4 * 5);
+  std::vector<uint8_t> want_u(4 * 5);
+  epilogue_reference(false, false, 4, 5, 16, a.data(), b.data(), qp, er,
+                     want.data(), want_u.data(), nullptr, nullptr);
+  std::vector<float> got(want.size());
+  std::vector<uint8_t> got_u(want.size());
+  GemmS8Epilogue epi = to_epilogue(er, nullptr, nullptr);
+  gemm_s8_fused(false, false, 4, 5, 16, a.data(), b.data(), qp, epi,
+                got.data());
+  gemm_s8_requant(false, false, 4, 5, 16, a.data(), b.data(), qp, epi,
+                  got_u.data());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(want[i], got[i]) << i;
+    ASSERT_EQ(want_u[i], got_u[i]) << i;
+  }
+  // Row 2 (zero scale): every element is exactly the bias.
+  for (int64_t j = 0; j < 5; ++j) EXPECT_EQ(2.0f, got[2 * 5 + j]);
+}
+
+TEST(EpilogueExact, RequantSaturatesToOutputGrid) {
+  // A 6-bit output grid: codes clamp to [0, 63].
+  std::vector<uint8_t> a(static_cast<size_t>(2 * 8));
+  std::vector<uint8_t> b(static_cast<size_t>(8 * 3));
+  fill_codes(a, 31);
+  fill_codes(b, 32);
+  GemmS8Params qp{0.5, 0.5, 0, 255};
+  EpiRef er;
+  er.out_scale = 0.01;
+  er.out_zero = 32;
+  er.out_max = 63;
+  std::vector<uint8_t> want_u(2 * 3), got_u(2 * 3);
+  epilogue_reference(false, false, 2, 3, 8, a.data(), b.data(), qp, er,
+                     nullptr, want_u.data(), nullptr, nullptr);
+  GemmS8Epilogue epi = to_epilogue(er, nullptr, nullptr);
+  gemm_s8_requant(false, false, 2, 3, 8, a.data(), b.data(), qp, epi,
+                  got_u.data());
+  for (size_t i = 0; i < want_u.size(); ++i) {
+    ASSERT_EQ(want_u[i], got_u[i]) << i;
+    ASSERT_LE(got_u[i], 63);
+  }
+}
+
+TEST(EpilogueExact, Avx2AndScalarStoresBitIdentical) {
+  if (!gemm_cpu_has_avx2_fma()) GTEST_SKIP() << "no AVX2 on this machine";
+  std::vector<uint8_t> a(static_cast<size_t>(23 * 300));
+  std::vector<uint8_t> b(static_cast<size_t>(300 * 37));
+  fill_codes(a, 41);
+  fill_codes(b, 42, 0, 63);
+  GemmS8Params qp{0.02, 0.01, 100, 20};
+  qp.max_b = 63;
+  EpiRef er;
+  er.relu = true;
+  er.cap = 6.0f;
+  Rng rng(43);
+  er.scale.resize(23);
+  er.bias.resize(23);
+  for (auto& s : er.scale) s = rng.uniform(0.0001, 0.01);
+  for (auto& v : er.bias) v = static_cast<float>(rng.uniform(-1, 1));
+  std::vector<uint8_t> u_scalar(23 * 37), u_avx(23 * 37);
+  std::vector<float> f_scalar(23 * 37), f_avx(23 * 37);
+  float lo_s, hi_s, lo_v, hi_v;
+  GemmS8Epilogue epi = to_epilogue(er, &lo_s, &hi_s);
+  GemmOptions scalar_opts;
+  scalar_opts.kernel = GemmKernel::kScalar;
+  gemm_s8_requant(false, false, 23, 37, 300, a.data(), b.data(), qp, epi,
+                  u_scalar.data(), scalar_opts);
+  gemm_s8_fused(false, false, 23, 37, 300, a.data(), b.data(), qp, epi,
+                f_scalar.data(), scalar_opts);
+  epi.observe_lo = &lo_v;
+  epi.observe_hi = &hi_v;
+  gemm_s8_requant(false, false, 23, 37, 300, a.data(), b.data(), qp, epi,
+                  u_avx.data());
+  gemm_s8_fused(false, false, 23, 37, 300, a.data(), b.data(), qp, epi,
+                f_avx.data());
+  EXPECT_EQ(0, std::memcmp(u_scalar.data(), u_avx.data(), u_scalar.size()));
+  EXPECT_EQ(0, std::memcmp(f_scalar.data(), f_avx.data(),
+                           f_scalar.size() * sizeof(float)));
+  EXPECT_EQ(lo_s, lo_v);
+  EXPECT_EQ(hi_s, hi_v);
+}
+
+TEST(EpilogueExact, NanBiasFlowsIdenticallyThroughBothStores) {
+  // A NaN bias (a diverging step) must behave the same on the scalar
+  // and AVX2 stores, including across a tile's vector-body/scalar-tail
+  // column split: the ReLU clamp keeps NaN (std::min/std::max operand
+  // semantics), the fp32 output is NaN, requantisation saturates it to
+  // code 0 (q >= 0 fails), and the range observation drops it.
+  std::vector<uint8_t> a(static_cast<size_t>(3 * 20));
+  std::vector<uint8_t> b(static_cast<size_t>(20 * 37));  // 5-wide tail tile
+  fill_codes(a, 61);
+  fill_codes(b, 62);
+  GemmS8Params qp{0.1, 0.1, 5, 9};
+  EpiRef er;
+  er.relu = true;
+  er.cap = 6.0f;
+  er.bias = {0.5f, std::numeric_limits<float>::quiet_NaN(), -0.5f};
+  std::vector<float> f_scalar(3 * 37), f_auto(3 * 37);
+  std::vector<uint8_t> u_scalar(3 * 37), u_auto(3 * 37);
+  float lo_s, hi_s, lo_a, hi_a;
+  GemmS8Epilogue epi = to_epilogue(er, &lo_s, &hi_s);
+  GemmOptions scalar_opts;
+  scalar_opts.kernel = GemmKernel::kScalar;
+  gemm_s8_fused(false, false, 3, 37, 20, a.data(), b.data(), qp, epi,
+                f_scalar.data(), scalar_opts);
+  gemm_s8_requant(false, false, 3, 37, 20, a.data(), b.data(), qp, epi,
+                  u_scalar.data(), scalar_opts);
+  epi.observe_lo = &lo_a;
+  epi.observe_hi = &hi_a;
+  gemm_s8_fused(false, false, 3, 37, 20, a.data(), b.data(), qp, epi,
+                f_auto.data());
+  gemm_s8_requant(false, false, 3, 37, 20, a.data(), b.data(), qp, epi,
+                  u_auto.data());
+  EXPECT_EQ(0, std::memcmp(f_scalar.data(), f_auto.data(),
+                           f_scalar.size() * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(u_scalar.data(), u_auto.data(), u_scalar.size()));
+  EXPECT_EQ(lo_s, lo_a);
+  EXPECT_EQ(hi_s, hi_a);
+  for (int64_t j = 0; j < 37; ++j) {
+    EXPECT_TRUE(std::isnan(f_auto[static_cast<size_t>(37 + j)])) << j;
+    EXPECT_EQ(0, u_auto[static_cast<size_t>(37 + j)]) << j;
+  }
+  // The NaN row was dropped from the observation: both bounds finite.
+  EXPECT_TRUE(std::isfinite(lo_a) && std::isfinite(hi_a));
+}
+
+TEST(EpilogueExact, ParallelAndSerialBitIdentical) {
+  // Tall m forces several MC panels so the parallel driver really
+  // partitions; the observed range must also come out identical.
+  std::vector<uint8_t> a(static_cast<size_t>(300 * 64));
+  std::vector<uint8_t> b(static_cast<size_t>(64 * 48));
+  fill_codes(a, 51);
+  fill_codes(b, 52);
+  GemmS8Params qp{0.01, 0.03, 50, 60};
+  EpiRef er;
+  er.bias.assign(300, 0.25f);
+  std::vector<uint8_t> u_par(300 * 48), u_ser(300 * 48);
+  float lo_p, hi_p, lo_s, hi_s;
+  GemmS8Epilogue epi = to_epilogue(er, &lo_p, &hi_p);
+  gemm_s8_requant(false, false, 300, 48, 64, a.data(), b.data(), qp, epi,
+                  u_par.data());
+  GemmOptions serial;
+  serial.parallel = false;
+  epi.observe_lo = &lo_s;
+  epi.observe_hi = &hi_s;
+  gemm_s8_requant(false, false, 300, 48, 64, a.data(), b.data(), qp, epi,
+                  u_ser.data(), serial);
+  EXPECT_EQ(0, std::memcmp(u_par.data(), u_ser.data(), u_par.size()));
+  EXPECT_EQ(lo_p, lo_s);
+  EXPECT_EQ(hi_p, hi_s);
+}
+
+// ------------------------------------------- implicit conv B operand
+
+TEST(GemmS8ConvBOperand, MatchesExplicitIm2colBitForBit) {
+  // Across kernel/stride/padding shapes — including ow not a multiple
+  // of the register width (generic gather) and the staged-vs-direct
+  // padding split — the implicit operand must reproduce the explicit
+  // im2col + gemm_s8_fused pipeline exactly.
+  struct ConvCase {
+    int64_t C, H, W, OC, kernel, stride, padding;
+  };
+  const ConvCase cases[] = {
+      {8, 16, 16, 10, 3, 1, 1},   // fast path (ow = 16)
+      {4, 9, 7, 6, 3, 1, 1},      // odd ow -> generic gather
+      {4, 8, 8, 6, 3, 2, 1},      // strided
+      {3, 10, 10, 5, 5, 1, 2},    // big kernel, wide padding
+      {6, 12, 12, 8, 3, 1, 0},    // padding 0: zero staging
+      {8, 6, 6, 4, 1, 1, 0},      // 1x1 direct
+  };
+  for (const auto& cc : cases) {
+    const int64_t oh = (cc.H + 2 * cc.padding - cc.kernel) / cc.stride + 1;
+    const int64_t ow = (cc.W + 2 * cc.padding - cc.kernel) / cc.stride + 1;
+    const int64_t krows = cc.C * cc.kernel * cc.kernel;
+    std::vector<uint8_t> codes(static_cast<size_t>(cc.C * cc.H * cc.W));
+    std::vector<uint8_t> w(static_cast<size_t>(cc.OC * krows));
+    fill_codes(codes, 61);
+    fill_codes(w, 62, 0, 63);
+    const uint8_t pad_code = 37;
+    GemmS8Params qp{0.01, 0.02, 31, pad_code};
+    qp.max_a = 63;
+    EpiRef er;
+    er.bias.assign(static_cast<size_t>(cc.OC), -0.125f);
+
+    // Explicit pipeline.
+    std::vector<uint8_t> cols(static_cast<size_t>(krows * oh * ow));
+    im2col_u8(codes.data(), cc.C, cc.H, cc.W, 0, 0, cc.C, cc.kernel,
+              cc.stride, cc.padding, oh, ow, pad_code, cols.data());
+    std::vector<float> want(static_cast<size_t>(cc.OC * oh * ow));
+    float want_lo, want_hi;
+    GemmS8Epilogue epi = to_epilogue(er, &want_lo, &want_hi);
+    gemm_s8_fused(false, false, cc.OC, oh * ow, krows, w.data(), cols.data(),
+                  qp, epi, want.data());
+
+    // Implicit operand from the staged image.
+    GemmS8ConvB cb;
+    cb.kernel = cc.kernel;
+    cb.stride = cc.stride;
+    cb.oh = oh;
+    cb.ow = ow;
+    std::vector<uint8_t> stage;
+    if (cc.padding > 0) {
+      cb.ph = cc.H + 2 * cc.padding;
+      cb.pw = cc.W + 2 * cc.padding;
+      stage.resize(static_cast<size_t>(cc.C * cb.ph * cb.pw));
+      stage_padded_u8(codes.data(), cc.C, cc.H, cc.W, cc.padding, pad_code,
+                      stage.data(), /*pooled=*/false);
+      cb.padded = stage.data();
+    } else {
+      cb.padded = codes.data();
+      cb.ph = cc.H;
+      cb.pw = cc.W;
+    }
+    std::vector<float> got(want.size(), -1e30f);
+    float lo, hi;
+    epi.observe_lo = &lo;
+    epi.observe_hi = &hi;
+    gemm_s8_fused_conv(cc.OC, oh * ow, krows, w.data(), cb, qp, epi,
+                       got.data());
+    for (size_t i = 0; i < want.size(); ++i)
+      ASSERT_EQ(want[i], got[i])
+          << "k=" << cc.kernel << " s=" << cc.stride << " p=" << cc.padding
+          << " i=" << i;
+    EXPECT_EQ(want_lo, lo);
+    EXPECT_EQ(want_hi, hi);
+
+    // Requant flavour on the fast-path shape too.
+    std::vector<uint8_t> want_u(want.size()), got_u(want.size());
+    gemm_s8_requant(false, false, cc.OC, oh * ow, krows, w.data(),
+                    cols.data(), qp, epi, want_u.data());
+    gemm_s8_requant_conv(cc.OC, oh * ow, krows, w.data(), cb, qp, epi,
+                         got_u.data());
+    EXPECT_EQ(0, std::memcmp(want_u.data(), got_u.data(), want_u.size()));
+  }
+}
+
+TEST(GemmS8ConvBOperand, PairStrategyAlsoMatches) {
+  // Full-range weight codes disable the quad strategy, so the pair-layout
+  // conv packer is exercised.
+  const int64_t C = 8, H = 16, W = 16, OC = 10, kernel = 3;
+  const int64_t oh = H, ow = W, krows = C * kernel * kernel;
+  std::vector<uint8_t> codes(static_cast<size_t>(C * H * W));
+  std::vector<uint8_t> w(static_cast<size_t>(OC * krows));
+  fill_codes(codes, 71);
+  fill_codes(w, 72);  // 0..255: pair strategy
+  const uint8_t pad_code = 9;
+  GemmS8Params qp{0.01, 0.02, 100, pad_code};
+  std::vector<uint8_t> cols(static_cast<size_t>(krows * oh * ow));
+  im2col_u8(codes.data(), C, H, W, 0, 0, C, kernel, 1, 1, oh, ow, pad_code,
+            cols.data());
+  std::vector<float> want(static_cast<size_t>(OC * oh * ow));
+  gemm_s8(false, false, OC, oh * ow, krows, w.data(), cols.data(), qp,
+          want.data());
+  GemmS8ConvB cb;
+  cb.kernel = kernel;
+  cb.stride = 1;
+  cb.oh = oh;
+  cb.ow = ow;
+  cb.ph = H + 2;
+  cb.pw = W + 2;
+  std::vector<uint8_t> stage(static_cast<size_t>(C * cb.ph * cb.pw));
+  stage_padded_u8(codes.data(), C, H, W, 1, pad_code, stage.data(), false);
+  cb.padded = stage.data();
+  std::vector<float> got(want.size());
+  GemmS8Epilogue epi;  // plain dequantising epilogue (no bias/relu)
+  gemm_s8_fused_conv(OC, oh * ow, krows, w.data(), cb, qp, epi, got.data());
+  for (size_t i = 0; i < want.size(); ++i) ASSERT_EQ(want[i], got[i]) << i;
+}
+
+// -------------------------------------- bulk quantiser / dequantiser
+
+TEST(QuantizeCodesU8, DispatchBitIdenticalToScalar) {
+  const quant::QuantParams p = quant::choose_params(-1.7f, 2.3f, 8);
+  Rng rng(81);
+  std::vector<float> v(4099);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-3.0, 4.0));
+  // Knife edges and specials in the tail (also exercises the remainder
+  // loop of the vector kernel).
+  v.push_back(0.0f);
+  v.push_back(std::numeric_limits<float>::quiet_NaN());
+  v.push_back(std::numeric_limits<float>::infinity());
+  v.push_back(-std::numeric_limits<float>::infinity());
+  for (int q = 0; q < 16; ++q)
+    v.push_back(static_cast<float>((q - 4.5) * p.scale));
+  std::vector<uint8_t> got(v.size()), want(v.size());
+  quant::quantize_codes_u8(v.data(), static_cast<int64_t>(v.size()), p,
+                           got.data());
+  quant::quantize_codes_u8_scalar(v.data(), static_cast<int64_t>(v.size()),
+                                  p, want.data());
+  EXPECT_EQ(0, std::memcmp(want.data(), got.data(), want.size()));
+}
+
+TEST(DequantizeCodesU8, MatchesDoubleReference) {
+  const quant::QuantParams p = quant::choose_params(-0.9f, 1.4f, 8);
+  std::vector<uint8_t> codes(1031);
+  fill_codes(codes, 91);
+  std::vector<float> out(codes.size());
+  quant::dequantize_codes_u8(codes.data(), static_cast<int64_t>(codes.size()),
+                             p, out.data());
+  for (size_t i = 0; i < codes.size(); ++i)
+    ASSERT_EQ(out[i],
+              static_cast<float>(
+                  p.scale * static_cast<double>(codes[i] - p.zero_point)))
+        << i;
+}
+
+TEST(MinmaxU8, MatchesScalarSweep) {
+  Rng rng(101);
+  for (const int64_t n : {1, 7, 31, 32, 33, 1000}) {
+    std::vector<uint8_t> v(static_cast<size_t>(n));
+    fill_codes(v, static_cast<uint64_t>(200 + n), 3, 200);
+    uint8_t lo = 255, hi = 0;
+    for (uint8_t q : v) {
+      lo = std::min(lo, q);
+      hi = std::max(hi, q);
+    }
+    const auto [glo, ghi] = quant::minmax_u8(v.data(), n);
+    EXPECT_EQ(lo, glo) << n;
+    EXPECT_EQ(hi, ghi) << n;
+  }
+}
+
 }  // namespace
 }  // namespace apt::nn
