@@ -18,8 +18,22 @@ if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
   if(APT_NATIVE)
     target_compile_options(apt_cxx_options INTERFACE -march=native)
   endif()
-  if(APT_SANITIZE)
-    set(_apt_san_flags -fsanitize=address,undefined -fno-omit-frame-pointer
+  # Sanitizer selection: ASan and UBSan compose into one -fsanitize list;
+  # TSan is its own runtime (mutual exclusion with ASan is enforced at
+  # configure time in the root CMakeLists).
+  set(_apt_san "")
+  if(APT_ASAN)
+    list(APPEND _apt_san address)
+  endif()
+  if(APT_UBSAN)
+    list(APPEND _apt_san undefined)
+  endif()
+  if(APT_TSAN)
+    list(APPEND _apt_san thread)
+  endif()
+  if(_apt_san)
+    list(JOIN _apt_san "," _apt_san_list)
+    set(_apt_san_flags -fsanitize=${_apt_san_list} -fno-omit-frame-pointer
                        -fno-sanitize-recover=all)
     target_compile_options(apt_cxx_options INTERFACE ${_apt_san_flags})
     target_link_options(apt_cxx_options INTERFACE ${_apt_san_flags})
@@ -29,7 +43,7 @@ elseif(MSVC)
   if(APT_WERROR)
     target_compile_options(apt_cxx_options INTERFACE /WX)
   endif()
-  if(APT_SANITIZE)
+  if(APT_ASAN)
     target_compile_options(apt_cxx_options INTERFACE /fsanitize=address)
   endif()
 endif()

@@ -26,6 +26,9 @@ ThreadPool::ThreadPool(unsigned threads) {
     // convention the CI determinism matrix drives: 1 means no workers at
     // all, so every parallel_for runs inline on the caller. Clamped so a
     // typo cannot exhaust OS thread limits at startup.
+    // getenv is mt-unsafe only against concurrent setenv; this runs once
+    // during the pool's lazy construction, before any worker exists.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char* env = std::getenv("APT_NUM_THREADS")) {
       const long n = std::min(std::strtol(env, nullptr, 10), 512L);
       if (n >= 1) {
@@ -80,7 +83,9 @@ void ThreadPool::worker_loop() {
     // per-shard compute. A short pause burst catches back-to-back
     // dispatch; the yields after it keep an oversubscribed worker (more
     // threads than cores) from stealing cycles the producer needs to
-    // reach the next dispatch at all.
+    // reach the next dispatch at all. Relaxed loads are sufficient here
+    // by pending_'s hint-only contract (see thread_pool.hpp): the spin
+    // never consumes a task, it only decides whether to try the lock.
     bool woke = false;
     for (int spin = 0; spin < 96 && !woke; ++spin) {
       if (pending_.load(std::memory_order_relaxed) > 0) {
@@ -143,6 +148,11 @@ void ThreadPool::parallel_for(int64_t begin, int64_t end,
   }
   // A single queued task needs a single worker: notify_all here would
   // wake the whole pool to race for it and go straight back to sleep.
+  // This cannot lose the wakeup: notify-with-no-waiters is only possible
+  // when every worker is either running a task or inside the pre-sleep
+  // spin, and a spinning worker re-reads pending_ (> 0 since the
+  // fetch_add above) before committing to cv_.wait — whose predicate
+  // re-checks queue_ under mu_ anyway.
   if (queued == 1) {
     cv_.notify_one();
   } else if (queued > 1) {
@@ -151,6 +161,8 @@ void ThreadPool::parallel_for(int64_t begin, int64_t end,
 
   // Run the first chunk on the calling thread, then help drain the queue
   // until our own chunks have all completed (makes nesting deadlock-free).
+  // The acquire load pairs with the workers' release fetch_sub: once it
+  // reads 0, every task's writes are visible to the caller.
   fn(begin, std::min(end, begin + step));
   while (state->remaining.load(std::memory_order_acquire) != 0) {
     if (!try_run_one()) std::this_thread::yield();

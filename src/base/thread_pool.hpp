@@ -69,6 +69,11 @@ class ThreadPool {
   /// nested kernel dispatch would only add queue/wake churn. Purely a
   /// scheduling change — results are identical by the determinism
   /// contract.
+  /// Ordering note (TSan-audited): the depth counter is thread_local and
+  /// only ever touched by its owning thread — a pool worker opens the
+  /// scope inside its own task and closes it before the task's completion
+  /// decrement is published — so a plain int is race-free by
+  /// construction; no atomic is required.
   class InlineScope {
    public:
     InlineScope() { ++tls_inline_depth_; }
@@ -83,6 +88,12 @@ class ThreadPool {
 
  private:
   struct CallState {
+    /// Open-task count for one parallel_for call. Required ordering: the
+    /// worker's final fetch_sub is the RELEASE that publishes every byte
+    /// the task wrote; the dispatcher's ACQUIRE load of 0 is what makes
+    /// those writes visible before parallel_for returns. Increments may
+    /// be relaxed — they happen under mu_ before any worker can pop the
+    /// task, so the queue mutex already orders them.
     std::atomic<int> remaining{0};
   };
   struct Task {
@@ -103,7 +114,13 @@ class ThreadPool {
   std::vector<Task> queue_;
   /// Lock-free mirror of queue_.size(), polled by the workers' bounded
   /// pre-sleep spin so an idle worker can pick up the next dispatch
-  /// without a futex round-trip.
+  /// without a futex round-trip. Required ordering: relaxed on every
+  /// access — this counter is a WAKEUP HINT only, never a publication
+  /// channel. A spinning worker that sees it > 0 still takes mu_ before
+  /// touching queue_, and that lock acquisition is the happens-before
+  /// edge for the task contents; a stale read merely costs one more spin
+  /// iteration or a futex sleep, never a missed task (cv_.wait re-checks
+  /// the queue under the lock).
   std::atomic<int64_t> pending_{0};
   bool stop_ = false;
 };

@@ -75,7 +75,12 @@ void DataLoader::for_each_batch(
   // its lifecycle complexity here.
   auto launch = [&](int64_t begin) {
     const int64_t end = std::min<int64_t>(size(), begin + batch_size_);
-    return std::async(std::launch::async,
+    // Determinism is upheld without the pool: gathers never overlap (the
+    // next launches only after the previous get()), the future's
+    // get/launch pair is the synchronisation edge for rng_ and order,
+    // and routing this through ThreadPool would deadlock-prone couple
+    // batch assembly to kernel dispatch.
+    return std::async(std::launch::async,  // apt-lint: allow(thread)
                       [this, &order, begin, end] {
                         return gather(order, begin, end);
                       });

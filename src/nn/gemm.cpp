@@ -16,6 +16,9 @@ namespace {
 std::atomic<GemmBackend> g_backend{GemmBackend::kAuto};
 
 GemmBackend backend_from_env() {
+  // getenv is mt-unsafe only against concurrent setenv; this is read once
+  // to seed g_backend, at a serial point before kernels dispatch.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("APT_GEMM_BACKEND");
   if (env != nullptr) {
     if (std::strcmp(env, "scalar") == 0) return GemmBackend::kPackedScalar;

@@ -5,6 +5,8 @@
 // saturation masking. Disabled (bits == 32) layers pass through untouched.
 #pragma once
 
+#include <utility>
+
 #include "nn/layer.hpp"
 #include "nn/shard.hpp"
 #include "quant/fake_quant.hpp"
@@ -22,16 +24,41 @@ class QuantAct : public Layer {
 
   Tensor forward(const Tensor& x, bool training) override {
     if (bits_ >= 32) return x;
-    if (training) tracker_.observe(x);
+    if (training) {
+      if (sharding_active()) {
+        // Concurrent shard tasks must not touch the EMA tracker (a data
+        // race, and the result would depend on shard interleaving).
+        // Record raw extrema per shard; forward_sharded merges them in
+        // shard order at the layer boundary — a serial point — so every
+        // shard quantises on the same session-entry grid and results
+        // are bit-identical for any worker count.
+        shard_range_.cur() = x.minmax();
+      } else {
+        tracker_.observe(x);
+      }
+    }
     if (!tracker_.initialized()) return x;
     const float lo = tracker_.lo(), hi = tracker_.hi();
-    if (training) mask_ = quant::ste_mask(x, lo, hi, bits_);
+    if (training) mask_.cur() = quant::ste_mask(x, lo, hi, bits_);
     return quant::fake_quantize(x, lo, hi, bits_);
   }
 
   Tensor backward(const Tensor& grad_out) override {
-    if (bits_ >= 32 || mask_.numel() == 0) return grad_out;
-    return grad_out * mask_;
+    if (bits_ >= 32 || mask_.cur().numel() == 0) return grad_out;
+    return grad_out * mask_.cur();
+  }
+
+  /// Default per-shard pass, then one merged range observation (min/max
+  /// over the shards' extrema, reduced in shard order) — the same
+  /// boundary-merge idiom Linear/Conv2d use for their trackers.
+  std::vector<Tensor> forward_sharded(const std::vector<Tensor>& xs,
+                                      bool training) override {
+    std::vector<Tensor> ys = Layer::forward_sharded(xs, training);
+    if (bits_ < 32 && training && sharding_active()) {
+      tracker_.observe_merged(static_cast<int>(xs.size()),
+                              [&](int s) { return shard_range_.at(s); });
+    }
+    return ys;
   }
 
   /// A disabled QuantAct (bits >= 32) is a pure identity, so it must
@@ -69,7 +96,12 @@ class QuantAct : public Layer {
   std::string name_;
   int bits_;
   quant::RangeTracker tracker_;
-  Tensor mask_;
+  // Raw per-shard [min, max] of the input, merged into the tracker at
+  // the layer boundary by forward_sharded (see forward).
+  PerShard<std::pair<float, float>> shard_range_;
+  // STE saturation mask, one slot per shard: concurrent shard forwards
+  // each cache their own mask for the matching backward.
+  PerShard<Tensor> mask_;
 };
 
 }  // namespace apt::nn

@@ -11,7 +11,7 @@ void shard_parallel(int shards, const std::function<void(int)>& fn) {
   APT_CHECK(shards >= 1 && shards <= shard_count())
       << "shard_parallel over " << shards << " shards in a "
       << shard_count() << "-shard session";
-  const int cap = shard_detail::g_worker_cap;
+  const int cap = shard_detail::g_worker_cap.load(std::memory_order_relaxed);
   if (cap <= 1 || shards == 1) {
     // Serial reference path: same shards, same order, no pool involved.
     for (int s = 0; s < shards; ++s) {

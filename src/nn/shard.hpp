@@ -17,6 +17,7 @@
 // behave exactly as before.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <vector>
 
@@ -31,21 +32,30 @@ inline constexpr int kMaxShards = 32;
 namespace shard_detail {
 // Thread-local: which shard the calling thread is computing for.
 inline thread_local int tls_shard = 0;
-// Process-wide session state, mutated only at serial points (the step
-// engine's coordinator thread, with no shard tasks in flight).
-inline int g_shard_count = 1;
-inline int g_worker_cap = 1;
+// Process-wide session state. Written only at serial points (the step
+// engine's coordinator thread, with no shard tasks in flight) but READ
+// from pool workers inside shard tasks (sharding_active() on every layer
+// forward), so the variables must be atomic to be data-race-free.
+// Required ordering: relaxed suffices — every worker that can observe a
+// session had its task published through the pool's queue mutex AFTER
+// the coordinator stored the new values, and that mutex hand-off is the
+// happens-before edge; the atomics only remove the word-tearing race,
+// they are not the synchronisation mechanism.
+inline std::atomic<int> g_shard_count{1};
+inline std::atomic<int> g_worker_cap{1};
 }  // namespace shard_detail
 
 /// Shard index the calling thread is computing for (0 outside a session).
 inline int current_shard() { return shard_detail::tls_shard; }
 
 /// Number of shards in the active session (1 = no sharding).
-inline int shard_count() { return shard_detail::g_shard_count; }
+inline int shard_count() {
+  return shard_detail::g_shard_count.load(std::memory_order_relaxed);
+}
 
 /// True while a multi-shard session is open: layers must route training
 /// caches through their shard slot and gradients through `grad_sink`.
-inline bool sharding_active() { return shard_detail::g_shard_count > 1; }
+inline bool sharding_active() { return shard_count() > 1; }
 
 /// RAII shard-id binding for the calling thread. Nestable: a pool thread
 /// that helps drain another shard's task while waiting restores its own
@@ -71,14 +81,18 @@ class ShardSession {
   ShardSession(int shards, int worker_cap) {
     APT_CHECK(shards >= 1 && shards <= kMaxShards)
         << "shard count " << shards << " outside [1, " << kMaxShards << "]";
-    APT_CHECK(shard_detail::g_shard_count == 1)
-        << "nested shard sessions are not supported";
-    shard_detail::g_shard_count = shards;
-    shard_detail::g_worker_cap = worker_cap < 1 ? 1 : worker_cap;
+    APT_CHECK(shard_count() == 1) << "nested shard sessions are not supported";
+    // Relaxed stores: published to workers by the pool's queue mutex (see
+    // shard_detail above); the destructor runs only after every shard
+    // task completed (parallel_for_chunked's acquire on the remaining
+    // counter), so no task can observe the reset values mid-session.
+    shard_detail::g_shard_count.store(shards, std::memory_order_relaxed);
+    shard_detail::g_worker_cap.store(worker_cap < 1 ? 1 : worker_cap,
+                                     std::memory_order_relaxed);
   }
   ~ShardSession() {
-    shard_detail::g_shard_count = 1;
-    shard_detail::g_worker_cap = 1;
+    shard_detail::g_shard_count.store(1, std::memory_order_relaxed);
+    shard_detail::g_worker_cap.store(1, std::memory_order_relaxed);
   }
   ShardSession(const ShardSession&) = delete;
   ShardSession& operator=(const ShardSession&) = delete;

@@ -1,0 +1,172 @@
+// Race-stress tier for the ThreadPool (run under APT_TSAN in CI).
+//
+// These tests exist to give ThreadSanitizer interleavings to chew on, not
+// to assert timing: they hammer the pool's lock-free wakeup hint, the
+// notify_one single-task fast path, nested dispatch (a pool task issuing
+// its own parallel_for), InlineScope nesting, and pool construction /
+// destruction churn — all with an oversubscribed pool (more pool threads
+// than cores) so the scheduler is forced to preempt workers mid-protocol.
+// Every test still asserts full results, so they double as correctness
+// tests in the plain Release determinism matrix.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "base/thread_pool.hpp"
+
+namespace apt {
+namespace {
+
+// Oversubscribe the global pool deliberately before its lazy
+// construction: maximum interleavings per core for the stress tier. An
+// explicit APT_NUM_THREADS (the CI determinism matrix) still wins.
+const bool kPoolBootstrap = [] {
+  ::setenv("APT_NUM_THREADS", "8", /*overwrite=*/0);
+  return true;
+}();
+
+TEST(PoolStress, NestedDispatchHammer) {
+  ASSERT_TRUE(kPoolBootstrap);
+  ThreadPool& pool = ThreadPool::global();
+  constexpr int kIters = 200;
+  constexpr int64_t kOuter = 24;
+  constexpr int64_t kInner = 64;
+  std::vector<int64_t> sums(kOuter);
+  for (int it = 0; it < kIters; ++it) {
+    std::fill(sums.begin(), sums.end(), 0);
+    pool.parallel_for(0, kOuter, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) {
+        // Nested dispatch from inside a pool task: the waiting outer
+        // task helps drain the queue, so this must not deadlock even
+        // with every worker busy.
+        std::vector<int64_t> inner(kInner);
+        pool.parallel_for(0, kInner, [&](int64_t ib, int64_t ie) {
+          for (int64_t j = ib; j < ie; ++j) inner[static_cast<size_t>(j)] = j;
+        });
+        sums[static_cast<size_t>(i)] =
+            std::accumulate(inner.begin(), inner.end(), int64_t{0});
+      }
+    });
+    for (int64_t i = 0; i < kOuter; ++i)
+      ASSERT_EQ(sums[static_cast<size_t>(i)], kInner * (kInner - 1) / 2);
+  }
+}
+
+TEST(PoolStress, SingleTaskNotifyOnePath) {
+  // Two chunks -> exactly one queued task -> the notify_one fast path,
+  // hit back-to-back so a worker parked in the pre-sleep spin (or just
+  // committing to the futex wait) races the next dispatch every time.
+  ThreadPool& pool = ThreadPool::global();
+  if (pool.size() == 0) GTEST_SKIP() << "no workers";
+  constexpr int kIters = 5000;
+  std::vector<int64_t> slot(2);
+  for (int it = 0; it < kIters; ++it) {
+    slot[0] = slot[1] = -1;
+    pool.parallel_for(0, 2, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) slot[static_cast<size_t>(i)] = i + it;
+    });
+    ASSERT_EQ(slot[0], it);
+    ASSERT_EQ(slot[1], 1 + it);
+  }
+}
+
+TEST(PoolStress, ChunkedDeterminismUnderLoad) {
+  // parallel_for_chunked with more chunks than pool threads: per-chunk
+  // partial sums reduced in chunk order must be bit-identical to the
+  // forced-serial pass over the same chunk decomposition.
+  ThreadPool& pool = ThreadPool::global();
+  constexpr int64_t kN = 1 << 14;
+  constexpr int64_t kChunks = 24;
+  std::vector<float> data(kN);
+  for (int64_t i = 0; i < kN; ++i)
+    data[static_cast<size_t>(i)] = 1.0f / (1.0f + static_cast<float>(i % 97));
+
+  auto run_once = [&] {
+    std::vector<double> partial(kChunks, 0.0);
+    pool.parallel_for_chunked(0, kN, kChunks,
+                              [&](int64_t c, int64_t b, int64_t e) {
+                                double acc = 0.0;
+                                for (int64_t i = b; i < e; ++i)
+                                  acc += data[static_cast<size_t>(i)];
+                                partial[static_cast<size_t>(c)] = acc;
+                              });
+    double total = 0.0;
+    for (double p : partial) total += p;
+    return total;
+  };
+
+  ThreadPool::set_force_serial(true);
+  const double ref = run_once();
+  ThreadPool::set_force_serial(false);
+  for (int it = 0; it < 300; ++it) {
+    const double got = run_once();
+    ASSERT_EQ(ref, got) << "chunk-ordered reduction drifted on iter " << it;
+  }
+}
+
+TEST(PoolStress, InlineScopeSuppressesNestedDispatchInTasks) {
+  // The shard-engine idiom: concurrent chunk tasks open an InlineScope,
+  // so their nested parallel_fors run inline on the worker. The depth
+  // counter is thread-local; hammering it across many tasks checks no
+  // worker ever observes another worker's scope.
+  ThreadPool& pool = ThreadPool::global();
+  constexpr int kIters = 300;
+  constexpr int64_t kChunks = 16;
+  for (int it = 0; it < kIters; ++it) {
+    std::vector<int> inline_seen(kChunks, 0);
+    pool.parallel_for_chunked(0, kChunks, kChunks,
+                              [&](int64_t c, int64_t, int64_t) {
+                                ThreadPool::InlineScope scope;
+                                int64_t marks = 0;
+                                pool.parallel_for(0, 8, [&](int64_t b, int64_t e) {
+                                  // Runs inline: single invocation over
+                                  // the whole range on this thread.
+                                  marks += (e - b) == 8 ? 1 : 0;
+                                });
+                                inline_seen[static_cast<size_t>(c)] =
+                                    ThreadPool::inline_scoped() && marks == 1;
+                              });
+    for (int64_t c = 0; c < kChunks; ++c)
+      ASSERT_TRUE(inline_seen[static_cast<size_t>(c)]) << "chunk " << c;
+    ASSERT_FALSE(ThreadPool::inline_scoped());
+  }
+}
+
+TEST(PoolStress, PoolConstructionChurn) {
+  // Construct, exercise, and destroy short-lived pools: the destructor's
+  // stop handshake (stop_ under the mutex, notify_all, join) races
+  // workers sitting anywhere from the pre-sleep spin to the futex wait.
+  constexpr int kIters = 40;
+  for (int it = 0; it < kIters; ++it) {
+    ThreadPool pool(4);
+    std::atomic<int64_t> hits{0};
+    pool.parallel_for(0, 64, [&](int64_t b, int64_t e) {
+      hits.fetch_add(e - b, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(hits.load(std::memory_order_relaxed), 64);
+    // Destructor runs with the queue already drained (parallel_for
+    // blocked until remaining hit zero) but workers possibly spinning.
+  }
+}
+
+TEST(PoolStress, ManySmallDispatches) {
+  // Dispatch storms at layer-boundary granularity: tiny ranges, high
+  // frequency, so workers constantly transition spin <-> sleep while the
+  // producer is already queueing the next call.
+  ThreadPool& pool = ThreadPool::global();
+  constexpr int kIters = 2000;
+  std::vector<int64_t> out(8);
+  for (int it = 0; it < kIters; ++it) {
+    pool.parallel_for(0, 8, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) out[static_cast<size_t>(i)] = i * it;
+    });
+    for (int64_t i = 0; i < 8; ++i)
+      ASSERT_EQ(out[static_cast<size_t>(i)], i * it);
+  }
+}
+
+}  // namespace
+}  // namespace apt

@@ -1,0 +1,221 @@
+// Race-stress tier for the sharded execution paths (run under APT_TSAN).
+//
+// Hammers per-shard Telemetry publication, QuantAct/Linear RangeTracker
+// EMA observation, and full ShardedStep training steps with concurrent
+// shard chunks on a deliberately oversubscribed pool, asserting
+// bit-identity against the serial reference (worker cap 1) every
+// iteration. Under TSan these runs must produce zero reports; in the
+// Release determinism matrix they double as scheduling-independence
+// regression tests.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "base/thread_pool.hpp"
+#include "nn/linear.hpp"
+#include "nn/quant_act.hpp"
+#include "nn/sequential.hpp"
+#include "nn/shard.hpp"
+#include "train/sharded_step.hpp"
+
+namespace apt::nn {
+namespace {
+
+// Oversubscribe the global pool before its lazy construction (see
+// pool_stress_test.cpp); an explicit APT_NUM_THREADS still wins.
+const bool kPoolBootstrap = [] {
+  ::setenv("APT_NUM_THREADS", "8", /*overwrite=*/0);
+  return true;
+}();
+
+std::vector<Tensor> split_rows(const Tensor& x, int64_t shards) {
+  const int64_t n = x.dim(0);
+  const int64_t grain = (n + shards - 1) / shards;
+  const int64_t row = x.numel() / n;
+  std::vector<Tensor> out;
+  for (int64_t b = 0; b < n; b += grain) {
+    const int64_t e = std::min(n, b + grain);
+    std::vector<int64_t> dims = x.shape().dims();
+    dims[0] = e - b;
+    Tensor t{Shape(dims)};
+    std::memcpy(t.data(), x.data() + b * row,
+                sizeof(float) * static_cast<size_t>((e - b) * row));
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+void expect_bitwise_equal(const std::vector<Tensor>& a,
+                          const std::vector<Tensor>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t s = 0; s < a.size(); ++s) {
+    ASSERT_EQ(a[s].numel(), b[s].numel()) << what << " shard " << s;
+    ASSERT_EQ(0, std::memcmp(a[s].data(), b[s].data(),
+                             sizeof(float) * static_cast<size_t>(a[s].numel())))
+        << what << " shard " << s;
+  }
+}
+
+// ----------------------------------------------------- QuantAct EMA
+
+// Runs `iters` sharded training forwards through a QuantAct and returns
+// the tracker state + every output, all produced under `worker_cap`.
+struct QuantActRun {
+  float lo, hi;
+  std::vector<std::vector<Tensor>> outputs;
+};
+
+QuantActRun run_quant_act(int worker_cap, int iters) {
+  Rng rng(41);
+  QuantAct qa("qa", /*bits=*/6);
+  QuantActRun run{};
+  for (int it = 0; it < iters; ++it) {
+    Tensor x{Shape{24, 16}};
+    rng.fill_uniform(x, -1.5f - 0.01f * static_cast<float>(it),
+                     1.0f + 0.02f * static_cast<float>(it));
+    std::vector<Tensor> xs = split_rows(x, 4);
+    ShardSession session(static_cast<int>(xs.size()), worker_cap);
+    run.outputs.push_back(qa.forward_sharded(xs, /*training=*/true));
+  }
+  run.lo = qa.tracker().lo();
+  run.hi = qa.tracker().hi();
+  return run;
+}
+
+TEST(ShardStress, QuantActEmaBitIdenticalAcrossWorkerCounts) {
+  ASSERT_TRUE(kPoolBootstrap);
+  constexpr int kIters = 120;
+  const QuantActRun serial = run_quant_act(/*worker_cap=*/1, kIters);
+  const QuantActRun parallel = run_quant_act(/*worker_cap=*/8, kIters);
+  // The EMA is fed exactly once per batch from shard-ordered merged
+  // extrema, so the tracker must land on the same bits regardless of how
+  // many shard tasks ran concurrently.
+  EXPECT_EQ(serial.lo, parallel.lo);
+  EXPECT_EQ(serial.hi, parallel.hi);
+  for (int it = 0; it < kIters; ++it)
+    expect_bitwise_equal(serial.outputs[static_cast<size_t>(it)],
+                         parallel.outputs[static_cast<size_t>(it)],
+                         "QuantAct outputs");
+}
+
+TEST(ShardStress, QuantActBackwardUsesPerShardMasks) {
+  // Each shard's backward must see the mask its own forward cached, not
+  // another shard's: run forward+backward sharded and compare with the
+  // serial reference.
+  auto run = [&](int worker_cap) {
+    Rng rng(7);
+    QuantAct qa("qa", /*bits=*/4);
+    // Warm the tracker so forwards quantise (and cache masks).
+    Tensor warm{Shape{8, 8}};
+    rng.fill_uniform(warm, -2.0f, 2.0f);
+    qa.forward(warm, /*training=*/true);
+
+    Tensor x{Shape{32, 8}};
+    rng.fill_uniform(x, -3.0f, 3.0f);  // saturates: mask has zeros
+    Tensor g{Shape{32, 8}};
+    rng.fill_uniform(g, -1.0f, 1.0f);
+    std::vector<Tensor> xs = split_rows(x, 4);
+    std::vector<Tensor> gs = split_rows(g, 4);
+    ShardSession session(4, worker_cap);
+    qa.forward_sharded(xs, /*training=*/true);
+    return qa.backward_sharded(gs);
+  };
+  const std::vector<Tensor> serial = run(1);
+  for (int it = 0; it < 50; ++it) {
+    const std::vector<Tensor> parallel = run(8);
+    expect_bitwise_equal(serial, parallel, "QuantAct backward");
+  }
+}
+
+// -------------------------------------------------- Linear telemetry
+
+TEST(ShardStress, LinearTelemetryAndRangePublication) {
+  // Per-shard Telemetry slots and the shard-ordered activation-range
+  // merge, hammered under concurrent shard chunks. Telemetry must be
+  // readable per shard after the (serial-point) return, and the tracker
+  // must match the serial reference bit-for-bit.
+  auto run = [&](int worker_cap, int iters, std::vector<Tensor>* last_ys) {
+    Rng rng(11);
+    Linear lin("fc", 16, 8, rng);
+    for (int it = 0; it < iters; ++it) {
+      Tensor x{Shape{24, 16}};
+      rng.fill_uniform(x, -1.0f, 1.0f);
+      std::vector<Tensor> xs = split_rows(x, 4);
+      ShardSession session(4, worker_cap);
+      std::vector<Tensor> ys = lin.forward_sharded(xs, /*training=*/true);
+      for (int s = 0; s < 4; ++s) {
+        // fp32 reference build: the int8 path is off, and no codes were
+        // consumed or emitted — per-shard telemetry says exactly that.
+        EXPECT_FALSE(lin.last_forward_was_int8(s));
+        EXPECT_FALSE(lin.last_forward_consumed_codes(s));
+        EXPECT_FALSE(lin.last_forward_emitted_codes(s));
+      }
+      if (it + 1 == iters && last_ys != nullptr) *last_ys = std::move(ys);
+    }
+    return std::pair<float, float>{lin.activation_range().lo(),
+                                   lin.activation_range().hi()};
+  };
+  constexpr int kIters = 100;
+  std::vector<Tensor> ys_serial, ys_parallel;
+  const auto serial = run(1, kIters, &ys_serial);
+  const auto parallel = run(8, kIters, &ys_parallel);
+  EXPECT_EQ(serial.first, parallel.first);
+  EXPECT_EQ(serial.second, parallel.second);
+  expect_bitwise_equal(ys_serial, ys_parallel, "Linear outputs");
+}
+
+// ------------------------------------------------ full training step
+
+TEST(ShardStress, ShardedStepBitIdenticalUnderOversubscription) {
+  // End-to-end hammer: a QuantAct-bearing model stepped many times with
+  // concurrent shard chunks vs the serial reference. Weights must stay
+  // bit-identical the whole way (EMA merge + gradient reduction + mask
+  // slots all exercised together).
+  auto run = [&](int num_workers, int steps) {
+    Rng rng(123);
+    Sequential net("mlp");
+    net.emplace<Linear>("fc1", 12, 16, rng);
+    net.emplace<QuantAct>("qa", /*bits=*/8);
+    net.emplace<Linear>("fc2", 16, 4, rng);
+
+    train::ShardedStepConfig cfg;
+    cfg.num_workers = num_workers;
+    cfg.shard_grain = 6;  // 24 samples -> 4 shards
+    train::ShardedStep step(net, cfg);
+
+    Rng data_rng(9);
+    std::vector<double> losses;
+    for (int it = 0; it < steps; ++it) {
+      data::Batch batch;
+      batch.inputs = Tensor{Shape{24, 12}};
+      data_rng.fill_uniform(batch.inputs, -1.0f, 1.0f);
+      batch.labels.resize(24);
+      for (auto& l : batch.labels)
+        l = static_cast<int32_t>(data_rng.randint(0, 3));
+      for (nn::Parameter* p : net.parameters()) p->grad.fill(0.0f);
+      losses.push_back(step.run(batch).mean_loss);
+      // SGD-ish update so later steps depend on earlier reductions.
+      for (nn::Parameter* p : net.parameters()) {
+        float* w = p->value.data();
+        const float* g = p->grad.data();
+        for (int64_t i = 0; i < p->numel(); ++i) w[i] -= 0.01f * g[i];
+      }
+    }
+    std::vector<std::vector<float>> weights;
+    for (nn::Parameter* p : net.parameters())
+      weights.emplace_back(p->value.data(), p->value.data() + p->numel());
+    return std::pair<std::vector<double>, std::vector<std::vector<float>>>{
+        losses, weights};
+  };
+  constexpr int kSteps = 30;
+  const auto serial = run(/*num_workers=*/1, kSteps);
+  const auto parallel = run(/*num_workers=*/8, kSteps);
+  ASSERT_EQ(serial.first, parallel.first);
+  ASSERT_EQ(serial.second, parallel.second);
+}
+
+}  // namespace
+}  // namespace apt::nn

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/apt_lint.py — the checker itself must be honest:
+each rule fires on a minimal violation, stays quiet on the sanctioned
+idioms, and respects the allow() escape hatch."""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import apt_lint  # noqa: E402
+
+
+def lint_snippet(code: str, path: str = "src/nn/example.cpp"):
+    """Lints `code` as if it lived at `path` inside the repo."""
+    with tempfile.TemporaryDirectory() as tmp:
+        full = os.path.join(tmp, path)
+        os.makedirs(os.path.dirname(full), exist_ok=True)
+        with open(full, "w", encoding="utf-8") as f:
+            f.write(code)
+        return apt_lint.check_file(full, path)
+
+
+def rules_of(violations):
+    return sorted(v.rule for v in violations)
+
+
+class ThreadRule(unittest.TestCase):
+    def test_flags_std_thread_async_and_omp(self):
+        self.assertEqual(rules_of(lint_snippet("std::thread t(fn);")), ["thread"])
+        self.assertEqual(rules_of(lint_snippet("auto f = std::async(fn);")), ["thread"])
+        self.assertEqual(rules_of(lint_snippet("#pragma omp parallel for")), ["thread"])
+        self.assertEqual(rules_of(lint_snippet("pthread_create(&t, 0, fn, 0);")), ["thread"])
+
+    def test_thread_pool_files_are_exempt(self):
+        self.assertEqual(
+            lint_snippet("std::thread t(fn);", "src/base/thread_pool.cpp"), [])
+        self.assertEqual(
+            lint_snippet("std::vector<std::thread> workers_;",
+                         "src/base/thread_pool.hpp"), [])
+
+    def test_allow_hatch_same_line_and_previous_line(self):
+        self.assertEqual(
+            lint_snippet("auto f = std::async(fn);  // apt-lint: allow(thread)"), [])
+        self.assertEqual(
+            lint_snippet("// apt-lint: allow(thread)\nauto f = std::async(fn);"), [])
+
+    def test_allow_of_other_rule_does_not_suppress(self):
+        self.assertEqual(
+            rules_of(lint_snippet("std::thread t(fn);  // apt-lint: allow(rng)")),
+            ["thread"])
+
+    def test_mention_in_comment_or_string_is_ignored(self):
+        self.assertEqual(lint_snippet("// std::async spawns a thread per batch"), [])
+        self.assertEqual(lint_snippet('const char* s = "std::thread";'), [])
+
+
+class RngRule(unittest.TestCase):
+    def test_flags_rand_srand_random_device_time_seed(self):
+        self.assertEqual(rules_of(lint_snippet("int x = rand();")), ["rng"])
+        self.assertEqual(rules_of(lint_snippet("srand(42);")), ["rng"])
+        self.assertEqual(rules_of(lint_snippet("std::random_device rd;")), ["rng"])
+        self.assertEqual(rules_of(lint_snippet("auto seed = time(nullptr);")), ["rng"])
+
+    def test_counter_rng_is_fine(self):
+        self.assertEqual(lint_snippet("Rng rng(42);\nrng.fill_uniform(t, 0, 1);"), [])
+        # Identifiers merely containing 'rand' must not trip the rule.
+        self.assertEqual(lint_snippet("float operand = 1.0f;\nexpand(operand);"), [])
+
+
+class ClockRule(unittest.TestCase):
+    def test_flags_wall_clock_reads(self):
+        self.assertEqual(
+            rules_of(lint_snippet("auto t = std::chrono::steady_clock::now();")),
+            ["clock"])
+        self.assertEqual(rules_of(lint_snippet("gettimeofday(&tv, 0);")), ["clock"])
+        self.assertEqual(rules_of(lint_snippet("auto c = clock();")), ["clock"])
+
+    def test_member_named_clock_is_fine(self):
+        self.assertEqual(lint_snippet("int x = cfg.clock;"), [])
+        self.assertEqual(lint_snippet("hardware.clock_mhz = 800;"), [])
+
+
+class AccumRule(unittest.TestCase):
+    def test_flags_scalar_accumulation_into_capture(self):
+        code = (
+            "double sum = 0.0;\n"
+            "pool.parallel_for(0, n, [&](int64_t b, int64_t e) {\n"
+            "  for (int64_t i = b; i < e; ++i) sum += x[i];\n"
+            "});\n"
+        )
+        self.assertEqual(rules_of(lint_snippet(code)), ["accum"])
+
+    def test_flags_increment_of_capture(self):
+        code = (
+            "int hits = 0;\n"
+            "shard_parallel(shards, [&](int s) {\n"
+            "  if (ok(s)) ++hits;\n"
+            "});\n"
+        )
+        self.assertEqual(rules_of(lint_snippet(code)), ["accum"])
+
+    def test_subscripted_slot_writes_are_fine(self):
+        code = (
+            "pool.parallel_for_chunked(0, n, c, [&](int64_t c, int64_t b, int64_t e) {\n"
+            "  for (int64_t i = b; i < e; ++i) partial[c] += x[i];\n"
+            "});\n"
+        )
+        self.assertEqual(lint_snippet(code), [])
+
+    def test_body_local_accumulator_is_fine(self):
+        code = (
+            "pool.parallel_for(0, n, [&](int64_t b, int64_t e) {\n"
+            "  double acc = 0.0;\n"
+            "  for (int64_t i = b; i < e; ++i) acc += x[i];\n"
+            "  out[b] = acc;\n"
+            "});\n"
+        )
+        self.assertEqual(lint_snippet(code), [])
+
+    def test_multi_declarator_locals_are_fine(self):
+        code = (
+            "shard_parallel(shards, [&](int s) {\n"
+            "  double dgamma = 0.0, dbeta = 0.0;\n"
+            "  dgamma += f(s);\n"
+            "  dbeta += g(s);\n"
+            "  sums[s] = dgamma + dbeta;\n"
+            "});\n"
+        )
+        self.assertEqual(lint_snippet(code), [])
+
+    def test_loop_induction_variables_are_fine(self):
+        code = (
+            "pool.parallel_for(0, n, [&](int64_t b, int64_t e) {\n"
+            "  for (int64_t i = b; i < e; ++i) out[i] = i;\n"
+            "});\n"
+        )
+        self.assertEqual(lint_snippet(code), [])
+
+    def test_accumulation_outside_dispatch_is_fine(self):
+        self.assertEqual(lint_snippet("double total = 0.0;\ntotal += x;\n"), [])
+
+    def test_allow_hatch(self):
+        code = (
+            "pool.parallel_for(0, n, [&](int64_t b, int64_t e) {\n"
+            "  // guarded by a mutex documented at the call site\n"
+            "  // apt-lint: allow(accum)\n"
+            "  shared += e - b;\n"
+            "});\n"
+        )
+        self.assertEqual(lint_snippet(code), [])
+
+
+class Plumbing(unittest.TestCase):
+    def test_collect_sources_finds_cpp_and_hpp(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            os.makedirs(os.path.join(tmp, "src", "nn"))
+            for name in ("a.cpp", "b.hpp", "ignored.txt"):
+                with open(os.path.join(tmp, "src", "nn", name), "w") as f:
+                    f.write("int x;\n")
+            found = apt_lint.collect_sources(tmp)
+            self.assertEqual(sorted(os.path.basename(p) for p in found),
+                             ["a.cpp", "b.hpp"])
+
+    def test_main_exit_codes(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            os.makedirs(os.path.join(tmp, "src"))
+            clean = os.path.join(tmp, "src", "clean.cpp")
+            with open(clean, "w") as f:
+                f.write("int x = 0;\n")
+            self.assertEqual(apt_lint.main(["--root", tmp]), 0)
+            dirty = os.path.join(tmp, "src", "dirty.cpp")
+            with open(dirty, "w") as f:
+                f.write("std::thread t(fn);\n")
+            self.assertEqual(apt_lint.main(["--root", tmp]), 1)
+
+    def test_real_tree_is_clean(self):
+        # The repo itself must satisfy its own lint (the CI job asserts
+        # this too; keeping it here makes the self-test catch regressions
+        # without the CI round-trip).
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        violations = []
+        for path in apt_lint.collect_sources(root):
+            violations.extend(apt_lint.check_file(path, os.path.relpath(path, root)))
+        self.assertEqual(violations, [])
+
+
+if __name__ == "__main__":
+    unittest.main()
