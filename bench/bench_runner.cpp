@@ -10,10 +10,19 @@
 // Usage:
 //   bench_runner [--quick] [--out FILE] [--check REF.json]
 //                [--tolerance X] [--filter SUBSTR] [--list]
+//                [--autotune PLANS.json]
 //
 // Tolerance may also come from the PERF_GATE_TOLERANCE environment
 // variable; the flag wins. Default 2.0 — loose on purpose so shared CI
 // runners do not flake the gate.
+//
+// --autotune times every candidate KernelPlan for a representative key
+// set (timing is banned in src/ by apt_lint's `clock` rule, so the
+// planner's autotune mode lives here), adopts each winner into the
+// process-wide plan cache, and persists the result as JSON. A later run
+// of any apt binary picks the tuned plans back up via
+// PlanOptions::cache_file or APT_PLAN_CACHE. The benchmarks that follow
+// in the same run already execute with the adopted plans.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +44,7 @@
 #include "nn/conv2d.hpp"
 #include "nn/gemm.hpp"
 #include "nn/gemm_kernel.hpp"
+#include "nn/plan.hpp"
 #include "nn/sequential.hpp"
 #include "nn/softmax_xent.hpp"
 #include "train/sharded_step.hpp"
@@ -80,6 +90,7 @@ struct Config {
   double min_chain_ratio = 1.45;
   std::string filter;
   bool list_only = false;
+  std::string autotune;  // JSON plan-cache path; empty = no autotune
 };
 
 double now_ns() {
@@ -195,6 +206,35 @@ std::vector<Workload> build_workloads(const Config& cfg) {
                                      b->data(), qp, c->data());
                   });
                 }});
+  // Skinny integer GEMM (one MC block tall): the shape whose
+  // parallelism comes from the planner's split-N decomposition instead
+  // of M partitioning. Runs through the plan-keyed API.
+  ws.push_back({"gemm_skinny_s8", 2 * 8 * 1024 * 256, []() {
+                  const int64_t m = 8, n = 1024, k = 256;
+                  auto a = std::make_shared<std::vector<uint8_t>>(
+                      static_cast<size_t>(m * k));
+                  auto b = std::make_shared<std::vector<uint8_t>>(
+                      static_cast<size_t>(k * n));
+                  auto c = std::make_shared<std::vector<float>>(
+                      static_cast<size_t>(m * n));
+                  Rng rng(1);
+                  for (auto& v : *a)
+                    v = static_cast<uint8_t>(rng.randint(0, 255));
+                  for (auto& v : *b)
+                    v = static_cast<uint8_t>(rng.randint(0, 63));
+                  apt::nn::GemmS8Params qp{0.01, 0.02, 128, 31};
+                  qp.max_b = 63;
+                  return std::function<void()>([=] {
+                    const apt::nn::KernelPlan& plan = apt::nn::plan_for(
+                        apt::nn::PlanKey::s8(m, n, k, false, false, 255, 63));
+                    apt::nn::GemmS8Args ga;
+                    ga.a = a->data();
+                    ga.b = b->data();
+                    ga.params = qp;
+                    ga.out = c->data();
+                    apt::nn::gemm_s8_ex(plan, ga);
+                  });
+                }});
 
   auto conv_workload = [conv_batch](bool backward, GemmBackend backend) {
     return [=]() -> std::function<void()> {
@@ -238,6 +278,32 @@ std::vector<Workload> build_workloads(const Config& cfg) {
                       std::make_shared<apt::nn::Conv2d>("bench_s8", opts, rng);
                   apt::core::GridOptions go;
                   go.bits = 6;  // APT's starting point; quad-path eligible
+                  auto& w = conv->weight();
+                  w.rep =
+                      std::make_shared<apt::core::GridRepresentation>(w, go);
+                  auto x = std::make_shared<Tensor>(
+                      Shape{conv_batch, 64, 16, 16});
+                  rng.fill_normal(*x, 0, 1);
+                  return std::function<void()>([=] {
+                    BackendGuard guard(apt::nn::GemmBackend::kInt8);
+                    conv->forward(*x, true);
+                  });
+                }});
+  // 1x1 quantised conv: the planner lowers it to a direct code-plane
+  // GEMM (kS8ConvDirect — no staging, no implicit gather).
+  const int64_t conv1x1_macs = 64 * 16 * 16 * 64 * conv_batch;
+  ws.push_back({"conv1x1_c64_s8", 2 * conv1x1_macs, [conv_batch]() {
+                  Rng rng(1);
+                  apt::nn::Conv2dOptions opts;
+                  opts.in_channels = 64;
+                  opts.out_channels = 64;
+                  opts.kernel = 1;
+                  opts.padding = 0;
+                  opts.bias = true;
+                  auto conv = std::make_shared<apt::nn::Conv2d>("bench_1x1",
+                                                                opts, rng);
+                  apt::core::GridOptions go;
+                  go.bits = 6;
                   auto& w = conv->weight();
                   w.rep =
                       std::make_shared<apt::core::GridRepresentation>(w, go);
@@ -558,6 +624,176 @@ int run_gate(const Config& cfg, const std::vector<BenchResult>& results,
   return 0;
 }
 
+// ------------------------------------------------------------- autotune
+
+// Times every candidate plan for a representative set of keys (the
+// bench workloads' own shapes), adopts each winner into the plan cache,
+// and persists the cache to `path`. Selection here is measured, not
+// modelled — but every candidate is bit-identical by the planner's
+// contract, so adopting any of them only changes speed.
+int run_autotune(const std::string& path, bool quick) {
+  using apt::nn::GemmS8Args;
+  using apt::nn::GemmS8ConvB;
+  using apt::nn::GemmS8Params;
+  using apt::nn::KernelPlan;
+  using apt::nn::PlanKey;
+  using apt::nn::PlanStrategy;
+
+  struct Tunable {
+    std::string name;
+    PlanKey key;
+    // Runner for one candidate; owns its operands via captures.
+    std::function<void(const KernelPlan&)> run;
+  };
+  std::vector<Tunable> tunables;
+
+  // fp32 acceptance shape + the linear-layer trans_b shape.
+  for (const auto& [name, m, n, k, tb] :
+       {std::tuple{"gemm_f32_256", int64_t{256}, int64_t{256}, int64_t{256},
+                   false},
+        std::tuple{"gemm_f32_128x512x256_nt", int64_t{128}, int64_t{512},
+                   int64_t{256}, true}}) {
+    auto a = std::make_shared<std::vector<float>>(static_cast<size_t>(m * k));
+    auto b = std::make_shared<std::vector<float>>(static_cast<size_t>(k * n));
+    auto c = std::make_shared<std::vector<float>>(static_cast<size_t>(m * n));
+    Rng rng(1);
+    for (auto& v : *a) v = rng.uniform(-1, 1);
+    for (auto& v : *b) v = rng.uniform(-1, 1);
+    tunables.push_back({name, PlanKey::f32(m, n, k, false, tb),
+                        [=](const KernelPlan& plan) {
+                          apt::nn::gemm_ex(plan, 1.0f, a->data(), b->data(),
+                                           0.0f, c->data());
+                        }});
+  }
+
+  // Integer shapes: the acceptance square and the skinny split-N shape.
+  for (const auto& [name, m, n, k] :
+       {std::tuple{"gemm_s8_256", int64_t{256}, int64_t{256}, int64_t{256}},
+        std::tuple{"gemm_skinny_s8", int64_t{8}, int64_t{1024},
+                   int64_t{256}}}) {
+    auto a = std::make_shared<std::vector<uint8_t>>(
+        static_cast<size_t>(m * k));
+    auto b = std::make_shared<std::vector<uint8_t>>(
+        static_cast<size_t>(k * n));
+    auto c = std::make_shared<std::vector<float>>(static_cast<size_t>(m * n));
+    Rng rng(1);
+    for (auto& v : *a) v = static_cast<uint8_t>(rng.randint(0, 255));
+    for (auto& v : *b) v = static_cast<uint8_t>(rng.randint(0, 63));
+    GemmS8Params qp{0.01, 0.02, 128, 31};
+    qp.max_b = 63;
+    tunables.push_back({name, PlanKey::s8(m, n, k, false, false, 255, 63),
+                        [=](const KernelPlan& plan) {
+                          GemmS8Args ga;
+                          ga.a = a->data();
+                          ga.b = b->data();
+                          ga.params = qp;
+                          ga.out = c->data();
+                          apt::nn::gemm_s8_ex(plan, ga);
+                        }});
+  }
+
+  // Conv keys: the 3x3 implicit-operand shape (staged padded plane) and
+  // the 1x1 shape whose candidate set includes the direct strategy.
+  {
+    const int64_t C = 64, H = 16, W = 16, OC = 64;
+    const int64_t krows3 = C * 3 * 3;
+    auto w3 = std::make_shared<std::vector<uint8_t>>(
+        static_cast<size_t>(OC * krows3));
+    auto stage = std::make_shared<std::vector<uint8_t>>(
+        static_cast<size_t>(C * (H + 2) * (W + 2)));
+    auto c3 = std::make_shared<std::vector<float>>(
+        static_cast<size_t>(OC * H * W));
+    Rng rng(1);
+    for (auto& v : *w3) v = static_cast<uint8_t>(rng.randint(0, 63));
+    for (auto& v : *stage) v = static_cast<uint8_t>(rng.randint(0, 255));
+    GemmS8Params qp{0.01, 0.02, 31, 128};
+    qp.max_a = 63;
+    tunables.push_back(
+        {"conv3x3_c64_s8", PlanKey::conv_s8(OC, H * W, krows3, 3, 1, 1,
+                                            /*max_a=*/63, 255),
+         [=](const KernelPlan& plan) {
+           GemmS8ConvB cb;
+           cb.kernel = 3;
+           cb.stride = 1;
+           cb.oh = H;
+           cb.ow = W;
+           cb.padded = stage->data();
+           cb.ph = H + 2;
+           cb.pw = W + 2;
+           GemmS8Args ga;
+           ga.a = w3->data();
+           ga.conv_b = &cb;
+           ga.params = qp;
+           ga.out = c3->data();
+           apt::nn::gemm_s8_ex(plan, ga);
+         }});
+
+    auto w1 = std::make_shared<std::vector<uint8_t>>(
+        static_cast<size_t>(OC * C));
+    auto plane = std::make_shared<std::vector<uint8_t>>(
+        static_cast<size_t>(C * H * W));
+    auto c1 = std::make_shared<std::vector<float>>(
+        static_cast<size_t>(OC * H * W));
+    for (auto& v : *w1) v = static_cast<uint8_t>(rng.randint(0, 63));
+    for (auto& v : *plane) v = static_cast<uint8_t>(rng.randint(0, 255));
+    tunables.push_back(
+        {"conv1x1_c64_s8", PlanKey::conv_s8(OC, H * W, C, 1, 1, 0,
+                                            /*max_a=*/63, 255),
+         [=](const KernelPlan& plan) {
+           GemmS8Args ga;
+           ga.a = w1->data();
+           ga.params = qp;
+           ga.out = c1->data();
+           GemmS8ConvB cb;
+           if (plan.strategy == PlanStrategy::kS8ConvDirect) {
+             ga.b = plane->data();
+           } else {
+             cb.kernel = 1;
+             cb.stride = 1;
+             cb.oh = H;
+             cb.ow = W;
+             cb.padded = plane->data();
+             cb.ph = H;
+             cb.pw = W;
+             ga.conv_b = &cb;
+           }
+           apt::nn::gemm_s8_ex(plan, ga);
+         }});
+  }
+
+  const double min_time_s = quick ? 0.02 : 0.1;
+  std::printf("autotune (%zu keys)\n", tunables.size());
+  for (const auto& t : tunables) {
+    const std::vector<KernelPlan> cands = apt::nn::plan_candidates(t.key);
+    const KernelPlan* best = nullptr;
+    double best_ns = 1e300;
+    for (const KernelPlan& cand : cands) {
+      const double ns = time_ns_per_iter([&] { t.run(cand); }, min_time_s);
+      if (ns < best_ns) {
+        best_ns = ns;
+        best = &cand;
+      }
+    }
+    if (best == nullptr) continue;
+    apt::nn::plan_cache_adopt(*best);
+    std::printf(
+        "  %-24s -> %-14s kc=%-4lld mc=%-3lld nc=%-4lld split_n=%d "
+        "(%zu candidates, best %.0f ns)\n",
+        t.name.c_str(), apt::nn::plan_strategy_name(best->strategy),
+        static_cast<long long>(best->kc), static_cast<long long>(best->mc),
+        static_cast<long long>(best->nc), best->split_n ? 1 : 0,
+        cands.size(), best_ns);
+  }
+  if (!apt::nn::plan_cache_save(path)) {
+    std::fprintf(stderr, "bench_runner: cannot write plan cache %s\n",
+                 path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (load at startup via APT_PLAN_CACHE)\n",
+              path.c_str());
+  return 0;
+}
+
 Config parse_args(int argc, char** argv) {
   Config cfg;
   if (const char* env = std::getenv("PERF_GATE_TOLERANCE"))
@@ -593,12 +829,15 @@ Config parse_args(int argc, char** argv) {
       cfg.filter = next();
     } else if (arg == "--list") {
       cfg.list_only = true;
+    } else if (arg == "--autotune") {
+      cfg.autotune = next();
     } else {
       std::fprintf(stderr,
                    "usage: bench_runner [--quick] [--out FILE] [--check REF] "
                    "[--tolerance X] [--min-speedup X] [--min-train-speedup X] "
                    "[--min-train-speedup-2t X] [--min-conv-s8-ratio X] "
-                   "[--min-chain-ratio X] [--filter SUBSTR] [--list]\n");
+                   "[--min-chain-ratio X] [--filter SUBSTR] [--list] "
+                   "[--autotune PLANS.json]\n");
       std::exit(arg == "--help" ? 0 : 2);
     }
   }
@@ -613,6 +852,12 @@ int main(int argc, char** argv) {
   if (cfg.list_only) {
     for (const auto& w : workloads) std::printf("%s\n", w.name.c_str());
     return 0;
+  }
+
+  if (!cfg.autotune.empty()) {
+    // Tune first: the workloads below then run with the adopted plans.
+    const int rc = run_autotune(cfg.autotune, cfg.quick);
+    if (rc != 0) return rc;
   }
 
   const double min_time_s = cfg.quick ? 0.05 : 0.25;

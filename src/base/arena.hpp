@@ -56,6 +56,13 @@ class ScratchArena {
     return total;
   }
 
+  /// High-water mark of in_use() since construction (or the last
+  /// reset_peak). Lets tests assert a code path's true scratch
+  /// footprint — e.g. that the 1x1 direct-GEMM conv plan stages
+  /// nothing — independent of the capacity blocks already hold.
+  size_t peak_in_use() const { return peak_; }
+  void reset_peak() { peak_ = in_use(); }
+
   /// RAII watermark. Allocations made through a Scope are released (not
   /// freed) when it is destroyed; Scopes nest like stack frames and must
   /// be destroyed in reverse order of construction.
@@ -120,6 +127,7 @@ class ScratchArena {
       if (b.size - b.used >= bytes) {
         void* p = b.base + b.used;
         b.used += bytes;
+        note_peak();
         return p;
       }
     }
@@ -127,7 +135,13 @@ class ScratchArena {
     const size_t last = blocks_.empty() ? 0 : blocks_.back().size;
     blocks_.push_back(make_block(std::max({bytes, 2 * last, kMinBlock})));
     blocks_.back().used = bytes;
+    note_peak();
     return blocks_.back().base;
+  }
+
+  void note_peak() {
+    const size_t live = in_use();
+    if (live > peak_) peak_ = live;
   }
 
   /// With no scope open (all watermarks zero), replace a fragmented chain
@@ -144,6 +158,7 @@ class ScratchArena {
 
   std::vector<Block> blocks_;
   int open_scopes_ = 0;
+  size_t peak_ = 0;
 };
 
 }  // namespace apt

@@ -11,6 +11,7 @@
 #include "nn/gemm.hpp"
 #include "nn/gemm_kernel.hpp"
 #include "nn/init.hpp"
+#include "nn/plan.hpp"
 
 namespace apt::nn {
 
@@ -409,13 +410,29 @@ Tensor Conv2d::forward_int8(const Tensor& x, const QuantizedActivation* qx,
   std::vector<float> obs_lo(static_cast<size_t>(N * G));
   std::vector<float> obs_hi(static_cast<size_t>(N * G));
 
-  // The patch matrix is never materialised: the GEMM's B packing
-  // gathers patches straight from the code plane (padding == 0,
-  // including the 1x1 direct case — zero staging) or from a per-group
-  // padded staging image (~7x smaller than the im2col matrix and
-  // cache-hot for the whole GEMM).
+  // One plan per (shape, geometry, ceilings, pool width) covers every
+  // (sample, group) GEMM in the batch; after the first forward it is a
+  // pure cache hit.
+  bool plan_hit = false;
+  const KernelPlan& plan = plan_for(
+      PlanKey::conv_s8(ocg, OH * OW, krows,
+                       static_cast<int32_t>(opts_.kernel),
+                       static_cast<int32_t>(opts_.stride),
+                       static_cast<int32_t>(opts_.padding), qp.max_a,
+                       /*max_b=*/255),
+      &plan_hit);
+  telem_.cur().plan_hit = plan_hit;
+  // A 1x1/stride-1/pad-0 conv IS a plain GEMM over the contiguous code
+  // plane; the planner selects the direct strategy for it, skipping the
+  // implicit-operand gather (and any staging bookkeeping) entirely.
+  const bool direct = plan.strategy == PlanStrategy::kS8ConvDirect;
+
+  // Otherwise the patch matrix is still never materialised: the GEMM's
+  // B packing gathers patches straight from the code plane (padding ==
+  // 0) or from a per-group padded staging image (~7x smaller than the
+  // im2col matrix and cache-hot for the whole GEMM).
   const int64_t PH = H + 2 * opts_.padding, PW = W + 2 * opts_.padding;
-  const bool staged = opts_.padding > 0;
+  const bool staged = !direct && opts_.padding > 0;
 
   auto do_one = [&](int64_t n, int64_t g, uint8_t* stage, bool pooled) {
     GemmS8ConvB cb;
@@ -425,16 +442,25 @@ Tensor Conv2d::forward_int8(const Tensor& x, const QuantizedActivation* qx,
     cb.ow = OW;
     const uint8_t* plane =
         codes + (n * opts_.in_channels + g * icg) * H * W;
-    if (!staged) {
+    GemmS8Args ga;
+    ga.a = wcodes + g * ocg * krows;
+    ga.params = qp;
+    if (direct) {
+      // B = the [icg, H*W] code plane itself (k = icg, n = OH*OW =
+      // H*W): bit-identical to the implicit gather, zero staging.
+      ga.b = plane;
+    } else if (!staged) {
       cb.padded = plane;
       cb.ph = H;
       cb.pw = W;
+      ga.conv_b = &cb;
     } else {
       stage_padded_u8(plane, icg, H, W, opts_.padding, pad_code, stage,
                       pooled);
       cb.padded = stage;
       cb.ph = PH;
       cb.pw = PW;
+      ga.conv_b = &cb;
     }
     GemmS8Epilogue epi;
     epi.channel_is_row = true;
@@ -446,12 +472,12 @@ Tensor Conv2d::forward_int8(const Tensor& x, const QuantizedActivation* qx,
       epi.out_scale = oq.scale;
       epi.out_zero = static_cast<int32_t>(oq.zero_point);
       epi.out_max = static_cast<int32_t>(quant::max_code(oq.bits));
-      gemm_s8_requant_conv(ocg, OH * OW, krows, wcodes + g * ocg * krows,
-                           cb, qp, epi, qy->codes.data() + out_off);
+      ga.out_codes = qy->codes.data() + out_off;
     } else {
-      gemm_s8_fused_conv(ocg, OH * OW, krows, wcodes + g * ocg * krows, cb,
-                         qp, epi, y.data() + out_off);
+      ga.out = y.data() + out_off;
     }
+    ga.epilogue = &epi;
+    gemm_s8_ex(plan, ga);
   };
 
   if (N * G == 1) {

@@ -92,6 +92,9 @@ class Conv2d : public Layer {
   bool last_forward_emitted_codes(int shard) const {
     return telem_.at(shard).emitted;
   }
+  /// True when the last int8 forward resolved its kernel plan from the
+  /// process-wide cache (i.e. performed zero cost-model evaluations).
+  bool last_forward_plan_cached() const { return telem_.cur().plan_hit; }
 
  private:
   int64_t out_size(int64_t in) const {
@@ -107,6 +110,7 @@ class Conv2d : public Layer {
     bool int8_path = false;
     bool consumed = false;  // input arrived as codes
     bool emitted = false;   // output left as codes
+    bool plan_hit = false;  // kernel plan came from the cache
   };
 
   std::string name_;

@@ -1,44 +1,14 @@
 #include "nn/gemm.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <vector>
 
 #include "base/thread_pool.hpp"
 #include "nn/gemm_kernel.hpp"
+#include "nn/plan.hpp"
 
 namespace apt::nn {
 namespace {
-
-std::atomic<GemmBackend> g_backend{GemmBackend::kAuto};
-
-GemmBackend backend_from_env() {
-  // getenv is mt-unsafe only against concurrent setenv; this is read once
-  // to seed g_backend, at a serial point before kernels dispatch.
-  // NOLINTNEXTLINE(concurrency-mt-unsafe)
-  const char* env = std::getenv("APT_GEMM_BACKEND");
-  if (env != nullptr) {
-    if (std::strcmp(env, "scalar") == 0) return GemmBackend::kPackedScalar;
-    if (std::strcmp(env, "ikj") == 0) return GemmBackend::kIkj;
-    if (std::strcmp(env, "int8") == 0) return GemmBackend::kInt8;
-    if (std::strcmp(env, "packed") != 0)
-      std::fprintf(stderr,
-                   "apt: unknown APT_GEMM_BACKEND \"%s\" "
-                   "(expected packed|scalar|ikj|int8), using packed\n",
-                   env);
-  }
-  return GemmBackend::kPacked;
-}
-
-GemmBackend resolve_backend() {
-  const GemmBackend b = g_backend.load(std::memory_order_relaxed);
-  if (b != GemmBackend::kAuto) return b;
-  static const GemmBackend from_env = backend_from_env();
-  return from_env;
-}
 
 // Transpose src (rows x cols, row-major) into dst (cols x rows, row-major).
 void transpose(const float* src, int64_t rows, int64_t cols, float* dst) {
@@ -87,40 +57,19 @@ void ikj_kernel(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
   }
 }
 
-// Direct strided loop for problems too small to amortise packing.
-// Single-threaded, fixed k-order accumulation: trivially deterministic.
-void gemm_small(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
-                float alpha, const float* a, const float* b, float beta,
-                float* c) {
-  const int64_t a_rs = trans_a ? 1 : k, a_cs = trans_a ? m : 1;
-  const int64_t b_rs = trans_b ? 1 : n, b_cs = trans_b ? k : 1;
-  for (int64_t i = 0; i < m; ++i)
-    for (int64_t j = 0; j < n; ++j) {
-      float acc = 0.0f;
-      const float* ai = a + i * a_rs;
-      const float* bj = b + j * b_cs;
-      for (int64_t p = 0; p < k; ++p) acc += ai[p * a_cs] * bj[p * b_rs];
-      float* cij = c + i * n + j;
-      *cij = beta == 0.0f ? alpha * acc : alpha * acc + beta * *cij;
-    }
-}
-
-// Below this M*N*K the packed backend's pack/dispatch overhead exceeds
-// the multiply itself (e.g. classifier-head GEMMs).
-constexpr int64_t kSmallWork = 1 << 14;
-
 }  // namespace
 
 void set_gemm_backend(GemmBackend backend) {
-  g_backend.store(backend, std::memory_order_relaxed);
+  // Deprecated shim over the planner's PlanOptions (see plan.hpp).
+  PlanOptions opts = plan_options();
+  opts.backend = backend;
+  set_plan_options(opts);
 }
 
-GemmBackend gemm_backend() {
-  return g_backend.load(std::memory_order_relaxed);
-}
+GemmBackend gemm_backend() { return plan_options().backend; }
 
 bool gemm_int8_forward_enabled() {
-  return resolve_backend() == GemmBackend::kInt8;
+  return resolved_gemm_backend() == GemmBackend::kInt8;
 }
 
 void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
@@ -136,18 +85,20 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
     }
     return;
   }
-  const GemmBackend backend = resolve_backend();
+  const GemmBackend backend = resolved_gemm_backend();
   if (backend == GemmBackend::kIkj) {
+    // Legacy perf baseline; never planned.
     gemm_ikj(trans_a, trans_b, m, n, k, alpha, a, b, beta, c);
     return;
   }
-  if (m * n * k <= kSmallWork) {
-    gemm_small(trans_a, trans_b, m, n, k, alpha, a, b, beta, c);
-    return;
-  }
+  const KernelPlan& plan = plan_for(PlanKey::f32(m, n, k, trans_a, trans_b));
   GemmOptions opts;
+  // The forced-scalar backend stays an execution-time override: the
+  // plan is backend-independent, but fp32 bits depend on the
+  // micro-kernel, so the kernel choice rides on opts rather than the
+  // cached plan.
   if (backend == GemmBackend::kPackedScalar) opts.kernel = GemmKernel::kScalar;
-  gemm_packed(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, opts);
+  gemm_ex(plan, alpha, a, b, beta, c, opts);
 }
 
 void gemm_ikj(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,

@@ -27,8 +27,12 @@ enum class GemmBackend {
   kInt8,
 };
 
-/// Process-wide backend override, primarily for benches and tests.
+/// \deprecated Configure the planner via set_plan_options (plan.hpp)
+/// instead; these survive as thin shims over PlanOptions::backend for
+/// source compatibility (benches and tests), and new library code must
+/// not call them (apt_lint `deprec` rule).
 void set_gemm_backend(GemmBackend backend);
+/// \deprecated Shim over plan_options().backend; see set_gemm_backend.
 GemmBackend gemm_backend();
 
 /// True when the resolved backend asks layers to attempt the integer

@@ -478,7 +478,9 @@ void gemm_s8_pack_b_pairs_conv(const GemmS8ConvB& cb, int64_t p0, int64_t kc,
                                int64_t j0, int64_t nc, int16_t* dst,
                                int32_t* colsum) {
   const int64_t kp_count = (kc + 1) / 2;
-  const uint8_t* rows[kGemmKC];
+  // Sized for the deepest runtime k panel either strategy plans
+  // (GemmOptions::kc is clamped to kGemmS8KCQuad).
+  const uint8_t* rows[kGemmS8KCQuad];
   convb_row_table(cb, p0, kc, rows);
   int64_t off[kGemmNR];
   for (int64_t s = 0; s < nc; s += kGemmNR, dst += kGemmNR * 2 * kp_count) {
@@ -646,7 +648,8 @@ void kern_quads_a_small(int64_t groups, const void* pa, const void* pb,
 }
 #endif  // APT_GEMM_X86
 
-S8Path resolve_s8_path(GemmKernel which, const GemmS8Params& params) {
+S8Path resolve_s8_path(GemmKernel which, const GemmS8Params& params,
+                       GemmS8Strategy force) {
   const S8Path pairs_scalar{2, pack_a_pairs_adapter, pack_b_pairs_adapter,
                             kern_pairs_scalar};
   if (which == GemmKernel::kScalar) return pairs_scalar;
@@ -656,16 +659,21 @@ S8Path resolve_s8_path(GemmKernel which, const GemmS8Params& params) {
   }
 #if APT_GEMM_X86
   if (gemm_cpu_has_avx2_fma()) {
-    if (params.max_b <= kGemmS8QuadMaxCode)
+    // A strategy request never overrides the saturation proof: kQuad is
+    // honoured only under the same operand-ceiling check as kAuto, and
+    // an ineligible request silently falls back to pairs (exact).
+    const bool allow_quad = force != GemmS8Strategy::kPairs;
+    if (allow_quad && params.max_b <= kGemmS8QuadMaxCode)
       return {4, pack_a_quads_adapter, pack_b_quads_adapter,
               kern_quads_b_small};
-    if (params.max_a <= kGemmS8QuadMaxCode)
+    if (allow_quad && params.max_a <= kGemmS8QuadMaxCode)
       return {4, pack_a_quads_adapter, pack_b_quads_adapter,
               kern_quads_a_small};
     return {2, pack_a_pairs_adapter, pack_b_pairs_adapter, kern_pairs_avx2};
   }
 #endif
   (void)params;
+  (void)force;
   return pairs_scalar;
 }
 
@@ -911,6 +919,13 @@ void scale_c(int64_t m, int64_t n, float beta, float* c) {
   }
 }
 
+// Effective blocking from a plan-threaded override: 0 keeps `def`, a
+// request is clamped to [lo, hi].
+int64_t eff_block(int64_t req, int64_t def, int64_t lo, int64_t hi) {
+  if (req <= 0) return def;
+  return std::clamp(req, lo, hi);
+}
+
 }  // namespace
 
 bool gemm_cpu_has_avx2_fma() { return cpu_has_avx2_fma(); }
@@ -956,6 +971,22 @@ void gemm_pack_b(bool trans_b, const float* b, int64_t k, int64_t n,
   }
 }
 
+void gemm_strided_direct(bool trans_a, bool trans_b, int64_t m, int64_t n,
+                         int64_t k, float alpha, const float* a,
+                         const float* b, float beta, float* c) {
+  const int64_t a_rs = trans_a ? 1 : k, a_cs = trans_a ? m : 1;
+  const int64_t b_rs = trans_b ? 1 : n, b_cs = trans_b ? k : 1;
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      const float* ai = a + i * a_rs;
+      const float* bj = b + j * b_cs;
+      for (int64_t p = 0; p < k; ++p) acc += ai[p * a_cs] * bj[p * b_rs];
+      float* cij = c + i * n + j;
+      *cij = beta == 0.0f ? alpha * acc : alpha * acc + beta * *cij;
+    }
+}
+
 void gemm_packed(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
                  float alpha, const float* a, const float* b, float beta,
                  float* c, const GemmOptions& opts) {
@@ -965,12 +996,19 @@ void gemm_packed(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
     return;
   }
   const MicroKernelFn kernel = resolve_kernel(opts.kernel);
+  // Runtime blocking (plan-threaded). fp32 callers must leave kc at the
+  // default — a different k-panel split changes the float accumulation
+  // order — so the planner only ever varies mc/nc here (see plan.hpp).
+  const int64_t kc_blk = eff_block(opts.kc, kGemmKC, 4, kGemmKC);
+  const int64_t mc_blk = eff_block(opts.mc, kGemmMC, kGemmMR, kGemmMaxMC);
+  const int64_t nc_blk = eff_block(opts.nc, kGemmNC, kGemmNR, kGemmNC);
+  const int64_t mc_pad = (mc_blk + kGemmMR - 1) / kGemmMR * kGemmMR;
 
-  for (int64_t j0 = 0; j0 < n; j0 += kGemmNC) {
-    const int64_t nc = std::min(kGemmNC, n - j0);
+  for (int64_t j0 = 0; j0 < n; j0 += nc_blk) {
+    const int64_t nc = std::min(nc_blk, n - j0);
     const int64_t n_strips = (nc + kGemmNR - 1) / kGemmNR;
-    for (int64_t p0 = 0; p0 < k; p0 += kGemmKC) {
-      const int64_t kc = std::min(kGemmKC, k - p0);
+    for (int64_t p0 = 0; p0 < k; p0 += kc_blk) {
+      const int64_t kc = std::min(kc_blk, k - p0);
       const bool first_panel = p0 == 0;
 
       // B panel packed once per (j0, p0) by the calling thread; the
@@ -980,15 +1018,15 @@ void gemm_packed(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
           static_cast<size_t>(n_strips * kGemmNR * kc));
       gemm_pack_b(trans_b, b, k, n, p0, kc, j0, nc, packb);
 
-      const int64_t m_blocks = (m + kGemmMC - 1) / kGemmMC;
+      const int64_t m_blocks = (m + mc_blk - 1) / mc_blk;
       auto run_blocks = [&](int64_t mb_begin, int64_t mb_end) {
         ScratchArena::Scope scope(ScratchArena::thread_local_arena());
         float* packa =
-            scope.alloc_floats(static_cast<size_t>(kGemmMC * kc));
+            scope.alloc_floats(static_cast<size_t>(mc_pad * kc));
         alignas(64) float acc[kGemmMR * kGemmNR];
         for (int64_t mb = mb_begin; mb < mb_end; ++mb) {
-          const int64_t i0 = mb * kGemmMC;
-          const int64_t mc = std::min(kGemmMC, m - i0);
+          const int64_t i0 = mb * mc_blk;
+          const int64_t mc = std::min(mc_blk, m - i0);
           gemm_pack_a(trans_a, a, m, k, i0, mc, p0, kc, packa);
           for (int64_t sj = 0; sj < n_strips; ++sj) {
             const float* pb = packb + sj * kGemmNR * kc;
@@ -1154,11 +1192,18 @@ void gemm_s8_driver(bool trans_a, bool trans_b, int64_t m, int64_t n,
   APT_CHECK(params.zero_a >= 0 && params.zero_a <= 255 &&
             params.zero_b >= 0 && params.zero_b <= 255)
       << "gemm_s8: zero-points must be 8-bit codes";
-  const S8Path path = resolve_s8_path(opts.kernel, params);
+  const S8Path path = resolve_s8_path(opts.kernel, params, opts.s8);
   const int64_t za = params.zero_a, zb = params.zero_b;
   // The byte-quad layout packs quarter-width strips, so it affords a
-  // deeper k panel (one panel for a 3x3 conv over 64 channels).
-  const int64_t kc_max = path.group == 4 ? kGemmS8KCQuad : kGemmKC;
+  // deeper k panel (one panel for a 3x3 conv over 64 channels). A plan
+  // may override kc freely — integer arithmetic is exact, so the panel
+  // split never changes bits — up to the conv row-table bound.
+  const int64_t kc_max =
+      eff_block(opts.kc, path.group == 4 ? kGemmS8KCQuad : kGemmKC,
+                path.group, kGemmS8KCQuad);
+  const int64_t mc_blk = eff_block(opts.mc, kGemmMC, kGemmMR, kGemmMaxMC);
+  const int64_t nc_blk = eff_block(opts.nc, kGemmNC, kGemmNR, kGemmNC);
+  const int64_t mc_pad = (mc_blk + kGemmMR - 1) / kGemmMR * kGemmMR;
 
   ScratchArena::Scope outer(ScratchArena::thread_local_arena());
   // Raw code-product plane (int32, only touched when k spans several
@@ -1179,25 +1224,32 @@ void gemm_s8_driver(bool trans_a, bool trans_b, int64_t m, int64_t n,
   std::fill(colsum, colsum + n, 0);
   const double kzazb = static_cast<double>(k * za * zb);
 
-  // Per-M-panel observation slots for the epilogue's exact y-range
-  // probe: each MC panel owns its pair (tasks write disjoint slots; a
-  // panel revisited across column panels runs serially), and the final
-  // merge is a min/max sweep — order-independent, so the observed range
-  // is identical for any pool size.
-  const int64_t m_blocks_total = (m + kGemmMC - 1) / kGemmMC;
+  // Per-task observation slots for the epilogue's exact y-range probe:
+  // each MC panel owns its pair (tasks write disjoint slots; a panel
+  // revisited across column panels runs serially) — or, under the
+  // split-N decomposition, each column strip owns one — and the final
+  // merge is a min/max sweep over every slot: order-independent, so the
+  // observed range is identical for any pool size or decomposition.
+  const int64_t m_blocks_total = (m + mc_blk - 1) / mc_blk;
+  int64_t obs_slots = m_blocks_total;
+  if (opts.split_n) {
+    const int64_t max_strips =
+        (std::min(n, nc_blk) + kGemmNR - 1) / kGemmNR;
+    obs_slots = std::max(obs_slots, max_strips);
+  }
   double* obs = nullptr;
   const bool observing = epi != nullptr && epi->observe_lo != nullptr;
   if (observing) {
     obs = static_cast<double*>(outer.alloc_bytes(
-        static_cast<size_t>(2 * m_blocks_total) * sizeof(double)));
-    for (int64_t mb = 0; mb < m_blocks_total; ++mb) {
-      obs[2 * mb] = std::numeric_limits<double>::infinity();
-      obs[2 * mb + 1] = -std::numeric_limits<double>::infinity();
+        static_cast<size_t>(2 * obs_slots) * sizeof(double)));
+    for (int64_t slot = 0; slot < obs_slots; ++slot) {
+      obs[2 * slot] = std::numeric_limits<double>::infinity();
+      obs[2 * slot + 1] = -std::numeric_limits<double>::infinity();
     }
   }
 
-  for (int64_t j0 = 0; j0 < n; j0 += kGemmNC) {
-    const int64_t nc = std::min(kGemmNC, n - j0);
+  for (int64_t j0 = 0; j0 < n; j0 += nc_blk) {
+    const int64_t nc = std::min(nc_blk, n - j0);
     const int64_t n_strips = (nc + kGemmNR - 1) / kGemmNR;
     for (int64_t p0 = 0; p0 < k; p0 += kc_max) {
       const int64_t kc = std::min(kc_max, k - p0);
@@ -1236,16 +1288,52 @@ void gemm_s8_driver(bool trans_a, bool trans_b, int64_t m, int64_t n,
         for (int64_t j = 0; j < nc; ++j)
           col_corr[j0 + j] = static_cast<double>(za) * colsum[j0 + j];
 
-      const int64_t m_blocks = (m + kGemmMC - 1) / kGemmMC;
+      // One tile's output write, shared by both decompositions below.
+      // `obs_slot` indexes the task's disjoint observation pair: the MC
+      // panel index under the row dispatch, the strip index under
+      // split-N.
+      auto store_out = [&](int64_t tile_i, int64_t tile_j, int64_t mr,
+                           int64_t nr, const int32_t* acc, const double* rc,
+                           int64_t obs_slot) {
+        if (last_panel) {
+          const int32_t* raw_tile =
+              first_panel ? nullptr : raw + tile_i * n + tile_j;
+          if (epi == nullptr) {
+            store_tile_s8_final(cf + tile_i * n + tile_j, n, raw_tile, n,
+                                mr, nr, acc, rc, col_corr + tile_j, sab);
+          } else {
+            EpiStoreArgs tile = ea;
+            if (epi->channel_is_row) {
+              tile.scale_r = epi->scale ? epi->scale + tile_i : nullptr;
+              tile.bias_r = epi->bias ? epi->bias + tile_i : nullptr;
+            } else {
+              tile.scale_c = epi->scale ? epi->scale + tile_j : nullptr;
+              tile.bias_c = epi->bias ? epi->bias + tile_j : nullptr;
+            }
+            if (observing) {
+              tile.lo = obs + 2 * obs_slot;
+              tile.hi = obs + 2 * obs_slot + 1;
+            }
+            epi_store(cf ? cf + tile_i * n + tile_j : nullptr,
+                      cu ? cu + tile_i * n + tile_j : nullptr, n, raw_tile,
+                      n, mr, nr, acc, rc, col_corr + tile_j, tile);
+          }
+        } else {
+          store_tile_s8(raw + tile_i * n + tile_j, n, mr, nr, acc,
+                        first_panel);
+        }
+      };
+
+      const int64_t m_blocks = (m + mc_blk - 1) / mc_blk;
       auto run_blocks = [&](int64_t mb_begin, int64_t mb_end) {
         ScratchArena::Scope scope(ScratchArena::thread_local_arena());
         auto* packa = static_cast<std::byte*>(scope.alloc_bytes(
-            static_cast<size_t>(kGemmMC * 4 * groups)));
+            static_cast<size_t>(mc_pad * 4 * groups)));
         alignas(64) int32_t acc[kGemmMR * kGemmNR];
-        double row_corr[kGemmMC];
+        double row_corr[kGemmMaxMC];
         for (int64_t mb = mb_begin; mb < mb_end; ++mb) {
-          const int64_t i0 = mb * kGemmMC;
-          const int64_t mc = std::min(kGemmMC, m - i0);
+          const int64_t i0 = mb * mc_blk;
+          const int64_t mc = std::min(mc_blk, m - i0);
           path.pack_a(trans_a, a, m, k, i0, mc, p0, kc, packa,
                       j0 == 0 ? rowsum + i0 : nullptr);
           if (last_panel)  // row sums for these rows are now complete
@@ -1259,47 +1347,51 @@ void gemm_s8_driver(bool trans_a, bool trans_b, int64_t m, int64_t n,
               const int64_t mr = std::min(kGemmMR, mc - si * kGemmMR);
               path.kernel(groups, packa + si * kGemmMR * 4 * groups, pb,
                           acc);
-              const int64_t tile_i = i0 + si * kGemmMR;
-              const int64_t tile_j = j0 + sj * kGemmNR;
-              if (last_panel) {
-                const int32_t* raw_tile =
-                    first_panel ? nullptr : raw + tile_i * n + tile_j;
-                if (epi == nullptr) {
-                  store_tile_s8_final(cf + tile_i * n + tile_j, n, raw_tile,
-                                      n, mr, nr, acc,
-                                      row_corr + si * kGemmMR,
-                                      col_corr + tile_j, sab);
-                } else {
-                  EpiStoreArgs tile = ea;
-                  if (epi->channel_is_row) {
-                    tile.scale_r = epi->scale ? epi->scale + tile_i : nullptr;
-                    tile.bias_r = epi->bias ? epi->bias + tile_i : nullptr;
-                  } else {
-                    tile.scale_c = epi->scale ? epi->scale + tile_j : nullptr;
-                    tile.bias_c = epi->bias ? epi->bias + tile_j : nullptr;
-                  }
-                  if (observing) {
-                    tile.lo = obs + 2 * mb;
-                    tile.hi = obs + 2 * mb + 1;
-                  }
-                  epi_store(cf ? cf + tile_i * n + tile_j : nullptr,
-                            cu ? cu + tile_i * n + tile_j : nullptr, n,
-                            raw_tile, n, mr, nr, acc,
-                            row_corr + si * kGemmMR, col_corr + tile_j,
-                            tile);
-                }
-              } else {
-                store_tile_s8(raw + tile_i * n + tile_j, n, mr, nr, acc,
-                              first_panel);
-              }
+              store_out(i0 + si * kGemmMR, j0 + sj * kGemmNR, mr, nr, acc,
+                        row_corr + si * kGemmMR, mb);
             }
           }
         }
       };
 
       const int64_t work = m * nc * kc;
-      if (opts.parallel && m_blocks > 1 && work > (1 << 16)) {
+      const bool pool_worthwhile = opts.parallel && work > (1 << 16);
+      if (pool_worthwhile && m_blocks > 1) {
         ThreadPool::global().parallel_for(0, m_blocks, run_blocks, 1);
+      } else if (pool_worthwhile && opts.split_n && m_blocks == 1 &&
+                 n_strips > 1) {
+        // Skinny-M decomposition: one MC panel covers all of M, so the
+        // row dispatch has nothing to split. Pack A once on the calling
+        // thread, then give each task a disjoint range of B's column
+        // strips. Every C element still accumulates its k-sum in panel
+        // order on exactly one task, so the bits match the row dispatch
+        // exactly (all integer arithmetic up to the final store).
+        ScratchArena::Scope scope(ScratchArena::thread_local_arena());
+        auto* packa = static_cast<std::byte*>(scope.alloc_bytes(
+            static_cast<size_t>(mc_pad * 4 * groups)));
+        path.pack_a(trans_a, a, m, k, 0, m, p0, kc, packa,
+                    j0 == 0 ? rowsum : nullptr);
+        double row_corr[kGemmMaxMC];
+        if (last_panel)
+          for (int64_t r = 0; r < m; ++r)
+            row_corr[r] = kzazb - static_cast<double>(zb) * rowsum[r];
+        ThreadPool::global().parallel_for(
+            0, n_strips,
+            [&](int64_t s_begin, int64_t s_end) {
+              alignas(64) int32_t acc[kGemmMR * kGemmNR];
+              for (int64_t sj = s_begin; sj < s_end; ++sj) {
+                const std::byte* pb = packb + sj * kGemmNR * 4 * groups;
+                const int64_t nr = std::min(kGemmNR, nc - sj * kGemmNR);
+                for (int64_t si = 0; si * kGemmMR < m; ++si) {
+                  const int64_t mr = std::min(kGemmMR, m - si * kGemmMR);
+                  path.kernel(groups, packa + si * kGemmMR * 4 * groups,
+                              pb, acc);
+                  store_out(si * kGemmMR, j0 + sj * kGemmNR, mr, nr, acc,
+                            row_corr + si * kGemmMR, sj);
+                }
+              }
+            },
+            1);
       } else {
         run_blocks(0, m_blocks);
       }
@@ -1308,9 +1400,9 @@ void gemm_s8_driver(bool trans_a, bool trans_b, int64_t m, int64_t n,
 
   if (observing) {
     double lo = std::numeric_limits<double>::infinity(), hi = -lo;
-    for (int64_t mb = 0; mb < m_blocks_total; ++mb) {
-      lo = std::min(lo, obs[2 * mb]);
-      hi = std::max(hi, obs[2 * mb + 1]);
+    for (int64_t slot = 0; slot < obs_slots; ++slot) {
+      lo = std::min(lo, obs[2 * slot]);
+      hi = std::max(hi, obs[2 * slot + 1]);
     }
     // double->float nearest is monotone, so these equal the min/max of
     // the float-cast outputs the fused store would have written.
@@ -1321,43 +1413,17 @@ void gemm_s8_driver(bool trans_a, bool trans_b, int64_t m, int64_t n,
 
 }  // namespace
 
-void gemm_s8(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
-             const uint8_t* a, const uint8_t* b, const GemmS8Params& params,
-             float* c, const GemmOptions& opts) {
-  gemm_s8_driver(trans_a, trans_b, m, n, k, a, b, nullptr, params, nullptr,
-                 c, nullptr, opts);
-}
-
-void gemm_s8_fused(bool trans_a, bool trans_b, int64_t m, int64_t n,
-                   int64_t k, const uint8_t* a, const uint8_t* b,
-                   const GemmS8Params& params, const GemmS8Epilogue& epi,
-                   float* c, const GemmOptions& opts) {
-  gemm_s8_driver(trans_a, trans_b, m, n, k, a, b, nullptr, params, &epi, c,
-                 nullptr, opts);
-}
-
-void gemm_s8_requant(bool trans_a, bool trans_b, int64_t m, int64_t n,
-                     int64_t k, const uint8_t* a, const uint8_t* b,
-                     const GemmS8Params& params, const GemmS8Epilogue& epi,
-                     uint8_t* c, const GemmOptions& opts) {
-  gemm_s8_driver(trans_a, trans_b, m, n, k, a, b, nullptr, params, &epi,
-                 nullptr, c, opts);
-}
-
-void gemm_s8_fused_conv(int64_t m, int64_t n, int64_t k, const uint8_t* a,
-                        const GemmS8ConvB& b, const GemmS8Params& params,
-                        const GemmS8Epilogue& epi, float* c,
-                        const GemmOptions& opts) {
-  gemm_s8_driver(false, false, m, n, k, a, nullptr, &b, params, &epi, c,
-                 nullptr, opts);
-}
-
-void gemm_s8_requant_conv(int64_t m, int64_t n, int64_t k, const uint8_t* a,
-                          const GemmS8ConvB& b, const GemmS8Params& params,
-                          const GemmS8Epilogue& epi, uint8_t* c,
-                          const GemmOptions& opts) {
-  gemm_s8_driver(false, false, m, n, k, a, nullptr, &b, params, &epi,
-                 nullptr, c, opts);
+void gemm_s8_exec(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                  const uint8_t* a, const uint8_t* b,
+                  const GemmS8ConvB* conv_b, const GemmS8Params& params,
+                  const GemmS8Epilogue* epi, float* cf, uint8_t* cu,
+                  const GemmOptions& opts) {
+  APT_CHECK((cf != nullptr) != (cu != nullptr))
+      << "gemm_s8_exec: exactly one of cf/cu must be set";
+  APT_CHECK(cu == nullptr || epi != nullptr)
+      << "gemm_s8_exec: requantised output needs an epilogue grid";
+  gemm_s8_driver(trans_a, trans_b, m, n, k, a, b, conv_b, params, epi, cf,
+                 cu, opts);
 }
 
 }  // namespace apt::nn

@@ -22,12 +22,18 @@
 
 namespace apt::nn {
 
-// Register/cache blocking constants (see DESIGN.md §8).
+// Default register/cache blocking constants (see DESIGN.md §8). Since
+// the planner (plan.hpp) these are per-plan parameters — GemmOptions
+// below carries kc/mc/nc overrides — and the constants are the values a
+// zero override falls back to.
 inline constexpr int64_t kGemmMR = 6;     // rows per register tile
 inline constexpr int64_t kGemmNR = 16;    // cols per register tile (2 ymm)
 inline constexpr int64_t kGemmKC = 256;   // k panel depth (B strip in L1)
 inline constexpr int64_t kGemmMC = 96;    // m panel height (packed A in L2)
 inline constexpr int64_t kGemmNC = 2048;  // n panel width (packed B in L3)
+/// Hard ceiling a runtime mc override is clamped to (sizes the driver's
+/// per-panel stack scratch).
+inline constexpr int64_t kGemmMaxMC = 192;
 
 /// Micro-kernel selection for `gemm_packed`.
 enum class GemmKernel {
@@ -39,12 +45,43 @@ enum class GemmKernel {
 /// True when the running CPU supports the AVX2+FMA micro-kernel.
 bool gemm_cpu_has_avx2_fma();
 
+/// Integer-kernel strategy request (see the strategy notes above
+/// kGemmS8MaxK). kQuad engages only when the operand ceilings prove the
+/// byte-quad pair-sum cannot saturate; otherwise the driver falls back
+/// to the always-exact pair strategy — a request never trades bits.
+enum class GemmS8Strategy : uint8_t {
+  kAuto,   // quad when a ceiling allows it, pairs otherwise
+  kPairs,  // force the int16 k-pair strategy
+  kQuad,   // prefer the byte k-quad strategy (ceiling still checked)
+};
+
 struct GemmOptions {
   GemmKernel kernel = GemmKernel::kAuto;
   /// Split MC row panels across the global thread pool when the problem
   /// is large enough. Output bits do not depend on this flag.
   bool parallel = true;
+  /// Cache-blocking overrides; 0 keeps the compile-time default
+  /// (kGemmKC/kGemmMC/kGemmNC, or kGemmS8KCQuad for the s8 quad
+  /// strategy). The integer drivers honour any kc — their arithmetic is
+  /// exact, so the k-panel split never changes bits — but fp32 callers
+  /// must keep kc = 0: a different float k-panel split changes the
+  /// accumulation order (the planner pins this; see plan.hpp).
+  int64_t kc = 0;
+  int64_t mc = 0;  ///< clamped to kGemmMaxMC
+  int64_t nc = 0;
+  GemmS8Strategy s8 = GemmS8Strategy::kAuto;
+  /// Decompose a single-MC-panel (skinny-M) integer GEMM across column
+  /// strips instead of row panels. Bits are unaffected: strips partition
+  /// outputs, never an element's k-sum.
+  bool split_n = false;
 };
+
+/// Direct strided fp32 loop for problems too small to amortise packing
+/// (the planner's kF32Direct strategy). Single-threaded, fixed k-order
+/// accumulation per element: trivially deterministic.
+void gemm_strided_direct(bool trans_a, bool trans_b, int64_t m, int64_t n,
+                         int64_t k, float alpha, const float* a,
+                         const float* b, float beta, float* c);
 
 /// C = alpha * op_a(A) * op_b(B) + beta * C, all row-major.
 /// op_a(A) is m x k, op_b(B) is k x n, C is m x n. Per BLAS convention,
@@ -123,11 +160,35 @@ struct GemmS8Params {
   int32_t max_b = 255;
 };
 
+struct GemmS8Epilogue;
+struct GemmS8ConvB;
+
+/// The unified integer GEMM driver every specialised entry point above
+/// funnels into (and the execution primitive behind plan.hpp's
+/// gemm_s8_ex). Exactly one of `cf` (fp32 output) / `cu` (requantised
+/// codes; requires `epi`) is non-null. `conv_b` describes B implicitly
+/// for the conv layout; when null, `b` is a plain code plane. `epi`
+/// null means the raw dequantised product (classic gemm_s8).
+/// Requires k <= kGemmS8MaxK.
+void gemm_s8_exec(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                  const uint8_t* a, const uint8_t* b,
+                  const GemmS8ConvB* conv_b, const GemmS8Params& params,
+                  const GemmS8Epilogue* epi, float* cf, uint8_t* cu,
+                  const GemmOptions& opts = {});
+
+/// \deprecated Resolve a plan and call gemm_s8_ex (plan.hpp) instead;
+/// new library code must not call this (apt_lint `deprec` rule). Kept as
+/// a thin source-compatibility wrapper over gemm_s8_exec.
+///
 /// C (fp32, m x n row-major, overwritten) = Sa*Sb * (op_a(A)-Za)(op_b(B)-Zb)
 /// with A, B unsigned 8-bit code planes. Requires k <= kGemmS8MaxK.
-void gemm_s8(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
-             const uint8_t* a, const uint8_t* b, const GemmS8Params& params,
-             float* c, const GemmOptions& opts = {});
+inline void gemm_s8(bool trans_a, bool trans_b, int64_t m, int64_t n,
+                    int64_t k, const uint8_t* a, const uint8_t* b,
+                    const GemmS8Params& params, float* c,
+                    const GemmOptions& opts = {}) {
+  gemm_s8_exec(trans_a, trans_b, m, n, k, a, b, nullptr, params, nullptr, c,
+               nullptr, opts);
+}
 
 // -- fused epilogues --------------------------------------------------------
 //
@@ -180,17 +241,31 @@ struct GemmS8Epilogue {
   float* observe_hi = nullptr;
 };
 
+/// \deprecated Use plan_for + gemm_s8_ex (plan.hpp); thin wrapper kept
+/// for source compatibility.
+///
 /// C (fp32) = epilogue(exact code-sum GEMM); see GemmS8Epilogue.
-void gemm_s8_fused(bool trans_a, bool trans_b, int64_t m, int64_t n,
-                   int64_t k, const uint8_t* a, const uint8_t* b,
-                   const GemmS8Params& params, const GemmS8Epilogue& epi,
-                   float* c, const GemmOptions& opts = {});
+inline void gemm_s8_fused(bool trans_a, bool trans_b, int64_t m, int64_t n,
+                          int64_t k, const uint8_t* a, const uint8_t* b,
+                          const GemmS8Params& params,
+                          const GemmS8Epilogue& epi, float* c,
+                          const GemmOptions& opts = {}) {
+  gemm_s8_exec(trans_a, trans_b, m, n, k, a, b, nullptr, params, &epi, c,
+               nullptr, opts);
+}
 
+/// \deprecated Use plan_for + gemm_s8_ex (plan.hpp); thin wrapper kept
+/// for source compatibility.
+///
 /// C (u8 codes on the epilogue's output grid) = requantised epilogue.
-void gemm_s8_requant(bool trans_a, bool trans_b, int64_t m, int64_t n,
-                     int64_t k, const uint8_t* a, const uint8_t* b,
-                     const GemmS8Params& params, const GemmS8Epilogue& epi,
-                     uint8_t* c, const GemmOptions& opts = {});
+inline void gemm_s8_requant(bool trans_a, bool trans_b, int64_t m, int64_t n,
+                            int64_t k, const uint8_t* a, const uint8_t* b,
+                            const GemmS8Params& params,
+                            const GemmS8Epilogue& epi, uint8_t* c,
+                            const GemmOptions& opts = {}) {
+  gemm_s8_exec(trans_a, trans_b, m, n, k, a, b, nullptr, params, &epi,
+               nullptr, c, opts);
+}
 
 // -- implicit (im2col-free) conv B operand ----------------------------------
 //
@@ -218,18 +293,32 @@ struct GemmS8ConvB {
   int64_t oh = 0, ow = 0;           ///< output spatial dims (n = oh*ow)
 };
 
+/// \deprecated Use plan_for + gemm_s8_ex (plan.hpp); thin wrapper kept
+/// for source compatibility.
+///
 /// gemm_s8_fused with B described implicitly (A = weights, row-major;
 /// k = channels * kernel^2, n = oh * ow).
-void gemm_s8_fused_conv(int64_t m, int64_t n, int64_t k, const uint8_t* a,
-                        const GemmS8ConvB& b, const GemmS8Params& params,
-                        const GemmS8Epilogue& epi, float* c,
-                        const GemmOptions& opts = {});
+inline void gemm_s8_fused_conv(int64_t m, int64_t n, int64_t k,
+                               const uint8_t* a, const GemmS8ConvB& b,
+                               const GemmS8Params& params,
+                               const GemmS8Epilogue& epi, float* c,
+                               const GemmOptions& opts = {}) {
+  gemm_s8_exec(false, false, m, n, k, a, nullptr, &b, params, &epi, c,
+               nullptr, opts);
+}
 
+/// \deprecated Use plan_for + gemm_s8_ex (plan.hpp); thin wrapper kept
+/// for source compatibility.
+///
 /// gemm_s8_requant with an implicit conv B operand.
-void gemm_s8_requant_conv(int64_t m, int64_t n, int64_t k, const uint8_t* a,
-                          const GemmS8ConvB& b, const GemmS8Params& params,
-                          const GemmS8Epilogue& epi, uint8_t* c,
-                          const GemmOptions& opts = {});
+inline void gemm_s8_requant_conv(int64_t m, int64_t n, int64_t k,
+                                 const uint8_t* a, const GemmS8ConvB& b,
+                                 const GemmS8Params& params,
+                                 const GemmS8Epilogue& epi, uint8_t* c,
+                                 const GemmOptions& opts = {}) {
+  gemm_s8_exec(false, false, m, n, k, a, nullptr, &b, params, &epi, nullptr,
+               c, opts);
+}
 
 // -- s8 packing primitives, exposed for tests -------------------------------
 //

@@ -9,6 +9,7 @@
 #include "nn/gemm.hpp"
 #include "nn/gemm_kernel.hpp"
 #include "nn/init.hpp"
+#include "nn/plan.hpp"
 
 namespace apt::nn {
 
@@ -143,6 +144,15 @@ Tensor Linear::forward_int8(const Tensor& x, const QuantizedActivation* qx,
   // the saturation-free vpmaddubsw fast path.
   qp.max_b = static_cast<int32_t>(quant::max_code(wq->bits()));
 
+  // One plan per (batch, layer shape, weight ceiling); a cache hit after
+  // the first forward, surfaced in telemetry for the plan tests.
+  bool plan_hit = false;
+  const KernelPlan& plan = plan_for(
+      PlanKey::s8(n, out_, in_, /*trans_a=*/false, /*trans_b=*/true,
+                  /*max_a=*/255, qp.max_b),
+      &plan_hit);
+  telem_.cur().plan_hit = plan_hit;
+
   // Fused epilogue: output channels are C's columns in this layout
   // (y = Xq * Wq^T), bias folded into the final tile store, exact
   // output-range probe feeding the emission tracker.
@@ -153,6 +163,11 @@ Tensor Linear::forward_int8(const Tensor& x, const QuantizedActivation* qx,
   epi.observe_lo = &obs_lo;
   epi.observe_hi = &obs_hi;
 
+  GemmS8Args ga;
+  ga.a = xcodes;
+  ga.b = wq->codes_u8();
+  ga.params = qp;
+  ga.epilogue = &epi;
   Tensor y;
   if (emit) {
     const quant::QuantParams oq =
@@ -163,13 +178,12 @@ Tensor Linear::forward_int8(const Tensor& x, const QuantizedActivation* qx,
     epi.out_scale = oq.scale;
     epi.out_zero = static_cast<int32_t>(oq.zero_point);
     epi.out_max = static_cast<int32_t>(quant::max_code(oq.bits));
-    gemm_s8_requant(false, true, n, out_, in_, xcodes, wq->codes_u8(), qp,
-                    epi, qy->codes.data());
+    ga.out_codes = qy->codes.data();
   } else {
     y = Tensor(Shape{n, out_});
-    gemm_s8_fused(false, true, n, out_, in_, xcodes, wq->codes_u8(), qp, epi,
-                  y.data());
+    ga.out = y.data();
   }
+  gemm_s8_ex(plan, ga);
 
   if (training) {
     if (sharding_active()) {

@@ -69,6 +69,9 @@ class Linear : public Layer {
   bool last_forward_emitted_codes(int shard) const {
     return telem_.at(shard).emitted;
   }
+  /// True when the last int8 forward resolved its kernel plan from the
+  /// process-wide cache (i.e. performed zero cost-model evaluations).
+  bool last_forward_plan_cached() const { return telem_.cur().plan_hit; }
 
  private:
   Tensor forward_int8(const Tensor& x, const QuantizedActivation* qx,
@@ -78,6 +81,7 @@ class Linear : public Layer {
     bool int8_path = false;
     bool consumed = false;
     bool emitted = false;
+    bool plan_hit = false;  // kernel plan came from the cache
   };
 
   std::string name_;

@@ -28,6 +28,15 @@ time things and spawn helpers as they see fit):
           per-shard slot (`partial[c] += x`, allowed) and reduce at a
           serial point, or accumulate into a body-local first.
 
+  deprec  No calls to the deprecated GEMM entry points (gemm_s8,
+          gemm_s8_fused, gemm_s8_requant, gemm_s8_fused_conv,
+          gemm_s8_requant_conv) or backend globals (set_gemm_backend,
+          gemm_backend) in library code. New code resolves a KernelPlan
+          via plan_for(PlanKey...) and executes through gemm_ex /
+          gemm_s8_ex; configuration goes through set_plan_options. The
+          wrappers survive only for out-of-tree source compatibility, in
+          src/nn/plan.*, src/nn/gemm_kernel.*, and src/nn/gemm.*.
+
 Escape hatch: a line (or the line directly above it) containing
 `apt-lint: allow(<rule>[,<rule>...])` exempts that line, for cases where
 the invariant is upheld by other documented means. Use sparingly and
@@ -47,13 +56,19 @@ import re
 import sys
 from typing import List, NamedTuple, Tuple
 
-RULES = ("thread", "rng", "clock", "accum")
+RULES = ("thread", "rng", "clock", "accum", "deprec")
 
 ALLOW_RE = re.compile(r"apt-lint:\s*allow\(([a-z,\s]+)\)")
 
 # Files exempt from the `thread` rule: the one place raw primitives are
 # allowed to live.
 THREAD_EXEMPT_RE = re.compile(r"src[/\\]base[/\\]thread_pool\.(hpp|cpp)$")
+
+# Files exempt from the `deprec` rule: where the deprecated wrappers and
+# their shims are declared/defined.
+DEPREC_EXEMPT_RE = re.compile(
+    r"src[/\\]nn[/\\](plan|gemm_kernel|gemm)\.(hpp|cpp)$"
+)
 
 THREAD_RE = re.compile(
     r"\bstd::(thread|jthread|async)\b|#\s*pragma\s+omp\b|\bpthread_create\b"
@@ -67,6 +82,11 @@ CLOCK_RE = re.compile(
     r"|\bgettimeofday\b|(?<![\w:.])clock\s*\(\s*\)"
 )
 DISPATCH_RE = re.compile(r"\b(parallel_for_chunked|parallel_for|shard_parallel)\s*\(")
+DEPREC_RE = re.compile(
+    r"(?<![\w:])(?:nn::)?"
+    r"(gemm_s8(?:_fused_conv|_requant_conv|_fused|_requant)?"
+    r"|set_gemm_backend|gemm_backend)\s*\("
+)
 
 # Local declarations inside a lambda body (heuristic): a type-ish token
 # followed by an identifier being initialised or declared.
@@ -274,6 +294,10 @@ def check_file(path: str, display_path: str | None = None) -> List[Violation]:
         line_rules.insert(
             0,
             ("thread", THREAD_RE, "raw threading primitive outside src/base/thread_pool.*; use ThreadPool"),
+        )
+    if not DEPREC_EXEMPT_RE.search(display.replace(os.sep, "/")):
+        line_rules.append(
+            ("deprec", DEPREC_RE, "deprecated GEMM entry point or backend global; resolve a KernelPlan (plan_for) and call gemm_ex / gemm_s8_ex, configure via set_plan_options (plan.hpp)"),
         )
 
     for idx, line in enumerate(stripped_lines):
