@@ -88,6 +88,10 @@ struct Config {
   // convs handing codes through a ReLU with no fp32 round-trip.
   double min_conv_s8_ratio = 1.35;
   double min_chain_ratio = 1.45;
+  // Floor on the quantised fwd+bwd step vs the packed fp32 one: the
+  // int8-gradient-GEMM claim (stochastically-rounded dY codes feeding
+  // dcols / dW integer GEMMs) must beat the fp32 backward end to end.
+  double min_fwdbwd_s8_ratio = 1.3;
   std::string filter;
   bool list_only = false;
   std::string autotune;  // JSON plan-cache path; empty = no autotune
@@ -100,16 +104,16 @@ double now_ns() {
           .count());
 }
 
-// Calibrates an iteration count that fills `min_time_s`, then takes the
-// best of three batches (min average) to shed scheduler noise.
-double time_ns_per_iter(const std::function<void()>& fn, double min_time_s) {
+// Grows an iteration count until one batch of `fn` fills `min_time_s`
+// (warming caches, arenas and the pool along the way).
+int64_t calibrate_iters(const std::function<void()>& fn, double min_time_s) {
   fn();  // warm up caches, arenas, pool
   int64_t iters = 1;
   for (;;) {
     const double t0 = now_ns();
     for (int64_t i = 0; i < iters; ++i) fn();
     const double elapsed = now_ns() - t0;
-    if (elapsed >= min_time_s * 1e9 || iters >= (1 << 20)) break;
+    if (elapsed >= min_time_s * 1e9 || iters >= (1 << 20)) return iters;
     if (elapsed <= 0.0) {
       iters *= 8;
     } else {
@@ -117,13 +121,42 @@ double time_ns_per_iter(const std::function<void()>& fn, double min_time_s) {
       iters = std::max(iters + 1, static_cast<int64_t>(target));
     }
   }
+}
+
+double one_batch_ns(const std::function<void()>& fn, int64_t iters) {
+  const double t0 = now_ns();
+  for (int64_t i = 0; i < iters; ++i) fn();
+  return (now_ns() - t0) / static_cast<double>(iters);
+}
+
+// Calibrates an iteration count that fills `min_time_s`, then takes the
+// best of three batches (min average) to shed scheduler noise.
+double time_ns_per_iter(const std::function<void()>& fn, double min_time_s) {
+  const int64_t iters = calibrate_iters(fn, min_time_s);
   double best = 1e300;
-  for (int batch = 0; batch < 3; ++batch) {
-    const double t0 = now_ns();
-    for (int64_t i = 0; i < iters; ++i) fn();
-    best = std::min(best, (now_ns() - t0) / static_cast<double>(iters));
-  }
+  for (int batch = 0; batch < 3; ++batch)
+    best = std::min(best, one_batch_ns(fn, iters));
   return best;
+}
+
+// Times two workloads whose *ratio* is what the gate enforces. Batches
+// alternate a/b/a/b so a drift in background load (shared or throttled
+// cores) inflates both sides alike instead of whichever one happened to
+// run during the burst; each side keeps its own calibrated iteration
+// count and takes the min over ten shorter batches, which also gives
+// more chances to catch an uncontended window than best-of-three.
+std::pair<double, double> time_pair_ns(const std::function<void()>& fa,
+                                       const std::function<void()>& fb,
+                                       double min_time_s) {
+  const int64_t ia = calibrate_iters(fa, min_time_s / 2);
+  const int64_t ib = calibrate_iters(fb, min_time_s / 2);
+  double best_a = 1e300;
+  double best_b = 1e300;
+  for (int batch = 0; batch < 10; ++batch) {
+    best_a = std::min(best_a, one_batch_ns(fa, ia));
+    best_b = std::min(best_b, one_batch_ns(fb, ib));
+  }
+  return {best_a, best_b};
 }
 
 // Scoped GEMM backend override (restores the previous selection).
@@ -320,6 +353,42 @@ std::vector<Workload> build_workloads(const Config& cfg) {
        conv_workload(/*backward=*/true, GemmBackend::kPacked)});
   ws.push_back({"conv3x3_c64_fwdbwd_ikj", 6 * conv_macs,
                 conv_workload(/*backward=*/true, GemmBackend::kIkj)});
+  // Quantised fwd+bwd: two warm-up passes initialise the activation AND
+  // gradient range trackers (the gradient grid lags one step), so the
+  // timed region runs the stochastically-rounded dY quantiser and both
+  // integer gradient GEMMs (dcols / dW) every iteration.
+  ws.push_back({"conv3x3_c64_fwdbwd_s8", 6 * conv_macs, [conv_batch]() {
+                  Rng rng(1);
+                  apt::nn::Conv2dOptions opts;
+                  opts.in_channels = 64;
+                  opts.out_channels = 64;
+                  opts.bias = true;
+                  auto conv = std::make_shared<apt::nn::Conv2d>(
+                      "bench_bwd_s8", opts, rng);
+                  apt::core::GridOptions go;
+                  go.bits = 6;  // APT's starting point; quad-path eligible
+                  auto& w = conv->weight();
+                  w.rep =
+                      std::make_shared<apt::core::GridRepresentation>(w, go);
+                  auto x = std::make_shared<Tensor>(
+                      Shape{conv_batch, 64, 16, 16});
+                  rng.fill_normal(*x, 0, 1);
+                  auto dy = std::make_shared<Tensor>(
+                      conv->forward(*x, true).shape());
+                  rng.fill_normal(*dy, 0, 1);
+                  {
+                    BackendGuard guard(apt::nn::GemmBackend::kInt8);
+                    for (int i = 0; i < 2; ++i) {
+                      conv->forward(*x, true);
+                      conv->backward(*dy);
+                    }
+                  }
+                  return std::function<void()>([=] {
+                    BackendGuard guard(apt::nn::GemmBackend::kInt8);
+                    conv->forward(*x, true);
+                    conv->backward(*dy);
+                  });
+                }});
 
   // Two-conv chain (Conv -> ReLU -> Conv) in both regimes. The s8
   // variant exercises the code-passing dataflow: after two warm-up
@@ -607,6 +676,8 @@ int run_gate(const Config& cfg, const std::vector<BenchResult>& results,
       floor = cfg.min_conv_s8_ratio;
     } else if (key == "conv_s8_chain_ratio_vs_packed") {
       floor = cfg.min_chain_ratio;
+    } else if (key == "conv3x3_c64_fwdbwd_s8_ratio_vs_packed") {
+      floor = cfg.min_fwdbwd_s8_ratio;
     } else if (key.find("speedup") != std::string::npos) {
       floor = cfg.min_speedup;
     }
@@ -759,6 +830,53 @@ int run_autotune(const std::string& path, bool quick) {
            }
            apt::nn::gemm_s8_ex(plan, ga);
          }});
+
+    // Backward shapes (quantised gradient GEMMs): dcols = Wᵀ·dY (the
+    // layer materialises the transposed weight codes once per backward,
+    // so A is contiguous) and dW = dY·colsᵀ over a byte im2col plane;
+    // dY codes ride the 6-bit stochastic-rounding grid (kGradSrBits).
+    auto wt = std::make_shared<std::vector<uint8_t>>(
+        static_cast<size_t>(krows3 * OC));
+    auto dyc = std::make_shared<std::vector<uint8_t>>(
+        static_cast<size_t>(OC * H * W));
+    auto cols = std::make_shared<std::vector<uint8_t>>(
+        static_cast<size_t>(krows3 * H * W));
+    auto dcols = std::make_shared<std::vector<float>>(
+        static_cast<size_t>(krows3 * H * W));
+    auto dw = std::make_shared<std::vector<float>>(
+        static_cast<size_t>(OC * krows3));
+    for (auto& v : *wt) v = static_cast<uint8_t>(rng.randint(0, 63));
+    for (auto& v : *dyc) v = static_cast<uint8_t>(rng.randint(0, 63));
+    for (auto& v : *cols) v = static_cast<uint8_t>(rng.randint(0, 255));
+    GemmS8Params qc{0.01, 0.02, 31, 32};
+    qc.max_a = 63;
+    qc.max_b = 63;
+    tunables.push_back(
+        {"conv3x3_c64_grad_dcols",
+         PlanKey::conv_s8_grad_cols(krows3, H * W, OC, 3, 1, 1,
+                                    /*max_a=*/63, /*max_b=*/63),
+         [=](const KernelPlan& plan) {
+           GemmS8Args ga;
+           ga.a = wt->data();
+           ga.b = dyc->data();
+           ga.params = qc;
+           ga.out = dcols->data();
+           apt::nn::gemm_s8_ex(plan, ga);
+         }});
+    GemmS8Params qw{0.02, 0.01, 32, 128};
+    qw.max_a = 63;
+    tunables.push_back(
+        {"conv3x3_c64_grad_dw",
+         PlanKey::s8_grad_dw(OC, krows3, H * W, false, true, /*max_a=*/63,
+                             255),
+         [=](const KernelPlan& plan) {
+           GemmS8Args ga;
+           ga.a = dyc->data();
+           ga.b = cols->data();
+           ga.params = qw;
+           ga.out = dw->data();
+           apt::nn::gemm_s8_ex(plan, ga);
+         }});
   }
 
   const double min_time_s = quick ? 0.02 : 0.1;
@@ -825,6 +943,8 @@ Config parse_args(int argc, char** argv) {
       cfg.min_conv_s8_ratio = std::strtod(next().c_str(), nullptr);
     } else if (arg == "--min-chain-ratio") {
       cfg.min_chain_ratio = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--min-fwdbwd-s8-ratio") {
+      cfg.min_fwdbwd_s8_ratio = std::strtod(next().c_str(), nullptr);
     } else if (arg == "--filter") {
       cfg.filter = next();
     } else if (arg == "--list") {
@@ -836,8 +956,8 @@ Config parse_args(int argc, char** argv) {
                    "usage: bench_runner [--quick] [--out FILE] [--check REF] "
                    "[--tolerance X] [--min-speedup X] [--min-train-speedup X] "
                    "[--min-train-speedup-2t X] [--min-conv-s8-ratio X] "
-                   "[--min-chain-ratio X] [--filter SUBSTR] [--list] "
-                   "[--autotune PLANS.json]\n");
+                   "[--min-chain-ratio X] [--min-fwdbwd-s8-ratio X] "
+                   "[--filter SUBSTR] [--list] [--autotune PLANS.json]\n");
       std::exit(arg == "--help" ? 0 : 2);
     }
   }
@@ -861,13 +981,41 @@ int main(int argc, char** argv) {
   }
 
   const double min_time_s = cfg.quick ? 0.05 : 0.25;
+  // Workloads whose quotient feeds a gated self-relative ratio are timed
+  // together with interleaved batches (time_pair_ns): the ratio floors
+  // are meant to be runner-speed-independent, which only holds if both
+  // sides see the same background load.
+  const std::map<std::string, std::string> ratio_pairs = {
+      {"conv3x3_c64_fwd_packed", "conv3x3_c64_fwd_s8"},
+      {"conv3x3_c64_fwdbwd_packed", "conv3x3_c64_fwdbwd_s8"},
+      {"conv_chain_packed", "conv_s8_chain"},
+  };
+  const auto passes_filter = [&](const std::string& name) {
+    return cfg.filter.empty() || name.find(cfg.filter) != std::string::npos;
+  };
   std::vector<BenchResult> results;
+  std::map<std::string, double> paired_ns;  // partner timed ahead of turn
   std::printf("%-32s %14s %12s\n", "benchmark", "ns/iter", "Gitems/s");
   for (const auto& w : workloads) {
-    if (!cfg.filter.empty() && w.name.find(cfg.filter) == std::string::npos)
-      continue;
-    const auto fn = w.make();
-    const double ns = time_ns_per_iter(fn, min_time_s);
+    if (!passes_filter(w.name)) continue;
+    double ns = 0.0;
+    if (const auto done = paired_ns.find(w.name); done != paired_ns.end()) {
+      ns = done->second;
+    } else {
+      const Workload* partner = nullptr;
+      if (const auto p = ratio_pairs.find(w.name);
+          p != ratio_pairs.end() && passes_filter(p->second)) {
+        for (const auto& cand : workloads)
+          if (cand.name == p->second) partner = &cand;
+      }
+      if (partner != nullptr) {
+        const auto [a, b] = time_pair_ns(w.make(), partner->make(), min_time_s);
+        ns = a;
+        paired_ns[partner->name] = b;
+      } else {
+        ns = time_ns_per_iter(w.make(), min_time_s);
+      }
+    }
     results.push_back({w.name, ns, w.work_items});
     std::printf("%-32s %14.0f %12.3f\n", w.name.c_str(), ns,
                 w.work_items / ns);
@@ -900,6 +1048,11 @@ int main(int argc, char** argv) {
   const double conv_s8 = find_ns(results, "conv3x3_c64_fwd_s8");
   if (conv_s8 > 0 && conv_packed > 0)
     derived["conv3x3_c64_fwd_s8_ratio_vs_packed"] = conv_packed / conv_s8;
+  // Quantised fwd+bwd vs fp32-packed fwd+bwd: the int8 backward claim
+  // (SR dY quantise + dcols/dW integer GEMMs beat the fp32 backward).
+  const double bwd_s8 = find_ns(results, "conv3x3_c64_fwdbwd_s8");
+  if (bwd_s8 > 0 && bwd_packed > 0)
+    derived["conv3x3_c64_fwdbwd_s8_ratio_vs_packed"] = bwd_packed / bwd_s8;
   // Code-passing chain vs the same two-conv model on fp32: this is the
   // end-to-end dataflow claim (quantise once, codes all the way down).
   const double chain_s8 = find_ns(results, "conv_s8_chain");

@@ -260,6 +260,7 @@ Tensor Conv2d::forward_flow(const Tensor& x, const QuantizedActivation* qx,
     // just their two extreme codes).
     const std::pair<float, float> in_range =
         has_qx ? qx->value_range() : x.minmax();
+    input_codes_meta_.cur().n = 0;  // forward_int8 refills on quantise
     if (has_qx) {
       input_qa_.cur() = *qx;  // backward dequantises on demand
       input_.cur() = Tensor();
@@ -382,6 +383,9 @@ Tensor Conv2d::forward_int8(const Tensor& x, const QuantizedActivation* qx,
         },
         1 << 14);
     codes = qbuf.data();
+    // Hand the grid to backward: its dW GEMM runs over a byte im2col of
+    // exactly these codes (n == 0 marks the buffer stale).
+    if (training) input_codes_meta_.cur() = {aq, N};
   }
   const auto pad_code = static_cast<uint8_t>(aq.zero_point);
 
@@ -519,86 +523,259 @@ Tensor Conv2d::forward_int8(const Tensor& x, const QuantizedActivation* qx,
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
-  Tensor xbuf;
-  const Tensor* xp = &input_.cur();
-  if (!xp->defined() || xp->numel() == 0) {
-    // Input arrived as codes: materialise the exact values the integer
-    // forward consumed.
-    const QuantizedActivation& qa = input_qa_.cur();
-    APT_CHECK(qa.valid()) << name_ << ": backward before forward";
-    xbuf = qa.dequantize();
-    xp = &xbuf;
-  }
-  const Tensor& x = *xp;
-  const int64_t N = x.dim(0), OH = grad_out.dim(2), OW = grad_out.dim(3);
+  // Raw dY extrema for the gradient tracker. The EMA itself is fed at a
+  // serial point — directly below when not sharding, else merged in
+  // shard order by backward_sharded — and always AFTER the quantiser
+  // read the previous state, so the gradient grid lags one step and
+  // per-shard backwards need no mid-pass synchronisation.
+  const std::pair<float, float> gr = grad_out.minmax();
+
+  const quant::QuantizedTensor* wq =
+      weight_.rep ? weight_.rep->quantized_view() : nullptr;
+  const bool have_codes =
+      input_qa_.cur().valid() || input_codes_meta_.cur().n > 0;
+  const bool int8_bwd = gemm_int8_backward_enabled() && wq != nullptr &&
+                        wq->bits() <= 8 && grad_range_.initialized() &&
+                        have_codes;
+  telem_.cur().int8_bwd = int8_bwd;
+
+  const int64_t N = grad_out.dim(0);
+  const int64_t OH = grad_out.dim(2), OW = grad_out.dim(3);
   const int64_t G = opts_.groups;
   const int64_t icg = opts_.in_channels / G, ocg = opts_.out_channels / G;
   const int64_t krows = icg * opts_.kernel * opts_.kernel;
 
-  Tensor dx(x.shape());
+  Tensor dx;
+  if (int8_bwd) {
+    dx = backward_int8(grad_out);
+  } else {
+    Tensor xbuf;
+    const Tensor* xp = &input_.cur();
+    if (!xp->defined() || xp->numel() == 0) {
+      // Input arrived as codes: materialise the exact values the integer
+      // forward consumed.
+      const QuantizedActivation& qa = input_qa_.cur();
+      APT_CHECK(qa.valid()) << name_ << ": backward before forward";
+      xbuf = qa.dequantize();
+      xp = &xbuf;
+    }
+    const Tensor& x = *xp;
+    dx = Tensor(x.shape());
 
-  // Parameter-gradient accumulation must not race AND must not depend on
-  // the machine: the chunk count derives from the sample count alone
-  // (parallel_for_chunked splits deterministically), each chunk
-  // accumulates its sample range in order into its own buffer, and the
-  // buffers reduce in chunk order — bit-identical for any pool size.
-  // Inside a shard session the shards already provide the step's
-  // parallelism, so a single in-order chunk per shard avoids multiplying
-  // buffers by shards * chunks.
+    // Parameter-gradient accumulation must not race AND must not depend
+    // on the machine: the chunk count derives from the sample count
+    // alone (parallel_for_chunked splits deterministically), each chunk
+    // accumulates its sample range in order into its own buffer, and the
+    // buffers reduce in chunk order — bit-identical for any pool size.
+    // Inside a shard session the shards already provide the step's
+    // parallelism, so a single in-order chunk per shard avoids
+    // multiplying buffers by shards * chunks.
+    constexpr int64_t kDwChunks = 16;
+    const int64_t chunks =
+        sharding_active() ? 1 : std::min<int64_t>(N, kDwChunks);
+    std::vector<std::vector<float>> dw_chunk(
+        static_cast<size_t>(chunks),
+        std::vector<float>(static_cast<size_t>(weight_.numel()), 0.0f));
+
+    ThreadPool::global().parallel_for_chunked(
+        0, N, chunks, [&](int64_t chunk, int64_t n0, int64_t n1) {
+          std::vector<float>& dw = dw_chunk[static_cast<size_t>(chunk)];
+          ScratchArena::Scope scope(ScratchArena::thread_local_arena());
+          float* cols =
+              scope.alloc_floats(static_cast<size_t>(krows * OH * OW));
+          float* dcols =
+              scope.alloc_floats(static_cast<size_t>(krows * OH * OW));
+          for (int64_t n = n0; n < n1; ++n)
+            for (int64_t g = 0; g < G; ++g) {
+              im2col(x, n, g * icg, icg, opts_.kernel, opts_.stride,
+                     opts_.padding, OH, OW, cols);
+              const float* dyg =
+                  grad_out.data() +
+                  ((n * opts_.out_channels + g * ocg) * OH * OW);
+              // dW_g [ocg, krows] += dY_g [ocg, OH*OW] * cols^T
+              gemm(false, true, ocg, krows, OH * OW, 1.0f, dyg, cols, 1.0f,
+                   dw.data() + g * ocg * krows);
+              // dcols [krows, OH*OW] = W_g^T [krows, ocg] * dY_g
+              gemm(true, false, krows, OH * OW, ocg, 1.0f,
+                   weight_.value.data() + g * ocg * krows, dyg, 0.0f,
+                   dcols);
+              col2im(dcols, n, g * icg, icg, opts_.kernel, opts_.stride,
+                     opts_.padding, OH, OW, dx);
+            }
+        });
+
+    float* dw_out = grad_sink(weight_).data();
+    for (const auto& dw : dw_chunk)
+      for (int64_t i = 0; i < weight_.numel(); ++i) dw_out[i] += dw[i];
+  }
+
+  if (opts_.bias) {
+    // The bias gradient always reduces the raw fp32 dY. Each db[c] is
+    // owned by one task and the inner n-then-i order is fixed, keeping
+    // the reduction deterministic for any pool size; totals below the
+    // small-work floor run inline (pool dispatch costs more than the
+    // reduction itself — see the train_step benches).
+    float* db = grad_sink(bias_).data();
+    const int64_t plane = OH * OW;
+    auto reduce = [&](int64_t c0, int64_t c1) {
+      for (int64_t c = c0; c < c1; ++c) {
+        float acc = 0.0f;
+        for (int64_t n = 0; n < N; ++n) {
+          const float* g =
+              grad_out.data() + ((n * opts_.out_channels + c) * plane);
+          for (int64_t i = 0; i < plane; ++i) acc += g[i];
+        }
+        db[c] += acc;
+      }
+    };
+    if (N * plane * opts_.out_channels < (1 << 16)) {
+      reduce(0, opts_.out_channels);
+    } else {
+      ThreadPool::global().parallel_for(
+          0, opts_.out_channels, reduce,
+          std::max<int64_t>(1, (1 << 14) / (N * plane)));
+    }
+  }
+
+  if (sharding_active()) {
+    shard_grad_range_.cur() = gr;
+  } else {
+    grad_range_.observe(gr.first, gr.second);
+  }
+  return dx;
+}
+
+Tensor Conv2d::backward_int8(const Tensor& grad_out) {
+  const QuantizedActivation& qa = input_qa_.cur();
+  const bool from_qa = qa.valid();
+  const quant::QuantParams xq =
+      from_qa ? qa.params : input_codes_meta_.cur().params;
+  const uint8_t* xcodes =
+      from_qa ? qa.codes.data() : input_codes_.cur().data();
+  const Shape in_shape = from_qa ? qa.shape : input_.cur().shape();
+
+  const int64_t N = in_shape[0], H = in_shape[2], W = in_shape[3];
+  const int64_t OH = grad_out.dim(2), OW = grad_out.dim(3);
+  const int64_t G = opts_.groups;
+  const int64_t icg = opts_.in_channels / G, ocg = opts_.out_channels / G;
+  const int64_t krows = icg * opts_.kernel * opts_.kernel;
+  const quant::QuantizedTensor* wq = weight_.rep->quantized_view();
+  const uint8_t* wcodes = wq->codes_u8();
+
+  // dY codes on the EMA gradient grid (kGradSrBits wide: every code
+  // stays quad-eligible, see gemm.hpp), stochastically rounded on the
+  // Philox stream keyed by (step, layer) and indexed by batch-global
+  // element — shard s's first sample sits at shard_sample_offset(), so
+  // every decomposition draws the same bit for the same element.
+  const quant::QuantParams gq =
+      quant::choose_params(grad_range_.lo(), grad_range_.hi(), kGradSrBits);
+  const uint64_t key = sr_mix_key(fnv1a64(name_), sr_step());
+  const uint64_t base =
+      static_cast<uint64_t>(shard_sample_offset()) *
+      static_cast<uint64_t>(opts_.out_channels * OH * OW);
+  std::vector<uint8_t>& dyc = grad_codes_.cur();
+  dyc.resize(static_cast<size_t>(grad_out.numel()));
+  ThreadPool::global().parallel_for(
+      0, grad_out.numel(),
+      [&](int64_t e0, int64_t e1) {
+        quant::quantize_codes_u8_sr(grad_out.data() + e0, e1 - e0, gq, key,
+                                    base + static_cast<uint64_t>(e0),
+                                    dyc.data() + e0);
+      },
+      1 << 14);
+
+  // dcols [krows, OH*OW] = Wq_gᵀ [krows, ocg] · dYq_g [ocg, OH*OW]: a
+  // plain code-plane GEMM (dY is contiguous), keyed with the conv
+  // geometry; weight AND gradient ceilings are quad-eligible.
+  GemmS8Params pc{wq->params().scale, gq.scale,
+                  static_cast<int32_t>(wq->params().zero_point),
+                  static_cast<int32_t>(gq.zero_point)};
+  pc.max_a = static_cast<int32_t>(quant::max_code(wq->bits()));
+  pc.max_b = static_cast<int32_t>(quant::max_code(kGradSrBits));
+  const KernelPlan& plan_dcols = plan_for(PlanKey::conv_s8_grad_cols(
+      krows, OH * OW, ocg, static_cast<int32_t>(opts_.kernel),
+      static_cast<int32_t>(opts_.stride),
+      static_cast<int32_t>(opts_.padding), pc.max_a, pc.max_b));
+
+  // dW_g [ocg, krows] = dYq_g [ocg, OH*OW] · colsᵀ [OH*OW, krows], cols
+  // a byte im2col of the cached input codes (padding = the input grid's
+  // zero-point, exactly like forward).
+  GemmS8Params pw{gq.scale, xq.scale, static_cast<int32_t>(gq.zero_point),
+                  static_cast<int32_t>(xq.zero_point)};
+  pw.max_a = static_cast<int32_t>(quant::max_code(kGradSrBits));
+  pw.max_b = static_cast<int32_t>(quant::max_code(xq.bits));
+  const KernelPlan& plan_dw = plan_for(
+      PlanKey::s8_grad_dw(ocg, krows, OH * OW, /*trans_a=*/false,
+                          /*trans_b=*/true, pw.max_a, pw.max_b));
+  const auto pad_code = static_cast<uint8_t>(xq.zero_point);
+
+  Tensor dx(in_shape);
+
+  // Same deterministic chunking as the fp32 backward: sample-derived
+  // chunk count, in-order per-chunk accumulation, chunk-ordered reduce.
+  // Both gradient GEMMs are exact integer products (one float scale per
+  // element), so the bits are also invariant to the GEMMs' own blocking.
+  // The chunk buffers and the transposed weight codes (shared by every
+  // sample's dcols GEMM — transposing once beats a strided pack-A gather
+  // per sample) live in the caller's scratch scope, so steady-state
+  // backwards allocate nothing.
   constexpr int64_t kDwChunks = 16;
   const int64_t chunks =
       sharding_active() ? 1 : std::min<int64_t>(N, kDwChunks);
-  std::vector<std::vector<float>> dw_chunk(
-      static_cast<size_t>(chunks),
-      std::vector<float>(static_cast<size_t>(weight_.numel()), 0.0f));
+  ScratchArena::Scope outer(ScratchArena::thread_local_arena());
+  const int64_t wn = weight_.numel();
+  float* dw_chunk =
+      outer.alloc_floats(static_cast<size_t>(chunks * wn));
+  std::memset(dw_chunk, 0, static_cast<size_t>(chunks * wn) * sizeof(float));
+  uint8_t* wt = static_cast<uint8_t*>(
+      outer.alloc_bytes(static_cast<size_t>(G * krows * ocg)));
+  for (int64_t g = 0; g < G; ++g) {
+    const uint8_t* wg = wcodes + g * ocg * krows;
+    uint8_t* wtg = wt + g * krows * ocg;
+    for (int64_t r = 0; r < krows; ++r)
+      for (int64_t o = 0; o < ocg; ++o) wtg[r * ocg + o] = wg[o * krows + r];
+  }
 
   ThreadPool::global().parallel_for_chunked(
       0, N, chunks, [&](int64_t chunk, int64_t n0, int64_t n1) {
-        std::vector<float>& dw = dw_chunk[static_cast<size_t>(chunk)];
+        float* dw = dw_chunk + chunk * wn;
         ScratchArena::Scope scope(ScratchArena::thread_local_arena());
-        float* cols = scope.alloc_floats(static_cast<size_t>(krows * OH * OW));
-        float* dcols = scope.alloc_floats(static_cast<size_t>(krows * OH * OW));
+        uint8_t* cols = static_cast<uint8_t*>(
+            scope.alloc_bytes(static_cast<size_t>(krows * OH * OW)));
+        float* dcols =
+            scope.alloc_floats(static_cast<size_t>(krows * OH * OW));
+        float* dwg = scope.alloc_floats(static_cast<size_t>(ocg * krows));
         for (int64_t n = n0; n < n1; ++n)
           for (int64_t g = 0; g < G; ++g) {
-            im2col(x, n, g * icg, icg, opts_.kernel, opts_.stride,
-                   opts_.padding, OH, OW, cols);
-            const float* dyg = grad_out.data() +
-                               ((n * opts_.out_channels + g * ocg) * OH * OW);
-            // dW_g [ocg, krows] += dY_g [ocg, OH*OW] * cols^T [OH*OW, krows]
-            gemm(false, true, ocg, krows, OH * OW, 1.0f, dyg, cols, 1.0f,
-                 dw.data() + g * ocg * krows);
-            // dcols [krows, OH*OW] = W_g^T [krows, ocg] * dY_g [ocg, OH*OW]
-            gemm(true, false, krows, OH * OW, ocg, 1.0f,
-                 weight_.value.data() + g * ocg * krows, dyg, 0.0f, dcols);
+            const uint8_t* dyg =
+                dyc.data() + (n * opts_.out_channels + g * ocg) * OH * OW;
+            GemmS8Args gc;
+            gc.a = wt + g * krows * ocg;
+            gc.b = dyg;
+            gc.params = pc;
+            gc.out = dcols;
+            gemm_s8_ex(plan_dcols, gc);
             col2im(dcols, n, g * icg, icg, opts_.kernel, opts_.stride,
                    opts_.padding, OH, OW, dx);
+            im2col_u8(xcodes, opts_.in_channels, H, W, n, g * icg, icg,
+                      opts_.kernel, opts_.stride, opts_.padding, OH, OW,
+                      pad_code, cols);
+            // gemm_s8 overwrites: stage in dwg, accumulate in order.
+            GemmS8Args gw;
+            gw.a = dyg;
+            gw.b = cols;
+            gw.params = pw;
+            gw.out = dwg;
+            gemm_s8_ex(plan_dw, gw);
+            float* acc = dw + g * ocg * krows;
+            for (int64_t i = 0; i < ocg * krows; ++i) acc[i] += dwg[i];
           }
       });
 
   float* dw_out = grad_sink(weight_).data();
-  for (const auto& dw : dw_chunk)
-    for (int64_t i = 0; i < weight_.numel(); ++i) dw_out[i] += dw[i];
-
-  if (opts_.bias) {
-    // Parallelise over channels so each db[c] is owned by one task; the
-    // inner n-then-i order is fixed, keeping the reduction deterministic
-    // for any pool size.
-    float* db = grad_sink(bias_).data();
-    const int64_t plane = OH * OW;
-    ThreadPool::global().parallel_for(
-        0, opts_.out_channels,
-        [&](int64_t c0, int64_t c1) {
-          for (int64_t c = c0; c < c1; ++c) {
-            float acc = 0.0f;
-            for (int64_t n = 0; n < N; ++n) {
-              const float* g =
-                  grad_out.data() + ((n * opts_.out_channels + c) * plane);
-              for (int64_t i = 0; i < plane; ++i) acc += g[i];
-            }
-            db[c] += acc;
-          }
-        },
-        std::max<int64_t>(1, (1 << 14) / (N * plane)));
+  for (int64_t chunk = 0; chunk < chunks; ++chunk) {
+    const float* dw = dw_chunk + chunk * wn;
+    for (int64_t i = 0; i < wn; ++i) dw_out[i] += dw[i];
   }
   return dx;
 }
@@ -606,6 +783,16 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
 std::vector<Tensor> Conv2d::forward_sharded(const std::vector<Tensor>& xs,
                                             bool training) {
   return forward_flow_sharded(xs, nullptr, training, false, nullptr);
+}
+
+std::vector<Tensor> Conv2d::backward_sharded(
+    const std::vector<Tensor>& grads_out) {
+  std::vector<Tensor> dxs = Layer::backward_sharded(grads_out);
+  if (sharding_active()) {
+    grad_range_.observe_merged(static_cast<int>(grads_out.size()),
+                               [&](int s) { return shard_grad_range_.at(s); });
+  }
+  return dxs;
 }
 
 std::vector<Tensor> Conv2d::forward_flow_sharded(

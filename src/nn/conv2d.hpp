@@ -10,7 +10,23 @@
 // quantised onto an EMA-tracked 8-bit grid, patches are gathered as raw
 // codes (byte im2col, padding = the grid's zero-point code, which
 // dequantises to exactly 0), and each group GEMM runs gemm_s8 straight
-// on the code planes. Backward always uses fp32.
+// on the code planes.
+//
+// Backward mirrors the split (DESIGN.md §14): once the gradient range
+// tracker has initialised and the forward cached input codes, dY is
+// quantised to u8 with stochastic rounding on a counter-based Philox
+// stream (keyed by step / layer / batch-global element index — codes are
+// bit-identical for any worker count or shard decomposition) and both
+// gradient GEMMs run on code planes per (sample, group):
+//
+//   dcols = Wqᵀ · dYq   (kConvS8GradCols plan), then fp32 col2im
+//   dW_g  = dYq · colsᵀ (kS8GradDw plan over a byte im2col of the
+//                        cached input codes)
+//
+// The bias gradient always reduces the raw fp32 dY; the first backward
+// of a run falls back to fp32 while the dY range is observed (the
+// gradient grid lags one step, so per-shard backwards need no serial
+// point before their GEMMs).
 //
 // The layer participates fully in the code-passing dataflow (DESIGN.md
 // §11): it consumes a QuantizedActivation input without any fp32
@@ -53,6 +69,10 @@ class Conv2d : public Layer {
   /// (min/max over the shards' extrema, reduced in shard order).
   std::vector<Tensor> forward_sharded(const std::vector<Tensor>& xs,
                                       bool training) override;
+  /// Default per-shard backward, then one merged gradient-range
+  /// observation (same shard-ordered idiom as forward_sharded).
+  std::vector<Tensor> backward_sharded(
+      const std::vector<Tensor>& grads_out) override;
   /// Code-flow entry points (see the header comment / DESIGN.md §11).
   bool accepts_codes() const override;
   Tensor forward_flow(const Tensor& x, const QuantizedActivation* qx,
@@ -76,6 +96,13 @@ class Conv2d : public Layer {
   /// in), observed exactly by the fused epilogue on every int8 forward;
   /// it chooses the grid the layer emits codes on.
   const quant::RangeTracker& output_range() const { return out_range_; }
+  /// EMA range of the upstream gradient dY, feeding the stochastic-
+  /// rounding gradient quantiser (uninitialised until the first
+  /// backward; the int8 backward engages from the second step).
+  const quant::RangeTracker& gradient_range() const { return grad_range_; }
+  /// True when the calling shard's last backward ran the integer
+  /// gradient GEMMs rather than the fp32 fallback.
+  bool last_backward_was_int8() const { return telem_.cur().int8_bwd; }
   /// Int8-path telemetry for the calling shard's last forward (each
   /// shard owns its slot, so the stores never race under
   /// forward_sharded; outside a shard session this is slot 0).
@@ -105,12 +132,24 @@ class Conv2d : public Layer {
   // byte patch gather, fused-epilogue GEMMs, optional code emission.
   Tensor forward_int8(const Tensor& x, const QuantizedActivation* qx,
                       bool training, bool emit, QuantizedActivation* qy);
+  // The int8 backward: stochastically-rounded dY codes, per-(sample,
+  // group) dcols/dW gradient GEMMs on code planes, fp32 col2im.
+  Tensor backward_int8(const Tensor& grad_out);
 
   struct Telemetry {
     bool int8_path = false;
     bool consumed = false;  // input arrived as codes
     bool emitted = false;   // output left as codes
     bool plan_hit = false;  // kernel plan came from the cache
+    bool int8_bwd = false;  // backward ran the integer gradient GEMMs
+  };
+
+  // Grid (and validity: n == 0 means none) of the codes sitting in
+  // input_codes_ — the quantise-on-entry path's handoff to backward's
+  // dW GEMM. A consumed-codes input is cached in input_qa_ instead.
+  struct CodesMeta {
+    quant::QuantParams params;
+    int64_t n = 0;
   };
 
   std::string name_;
@@ -128,9 +167,15 @@ class Conv2d : public Layer {
   PerShard<std::pair<float, float>> shard_range_;
   PerShard<std::pair<float, float>> shard_out_range_;
   PerShard<std::vector<uint8_t>> input_codes_;  // reused quantise buffers
+  PerShard<CodesMeta> input_codes_meta_;
   // Consumed-codes cache for backward (dequantised on demand); the fp32
   // input_ slot is reset while this one is live.
   PerShard<QuantizedActivation> input_qa_;
+  // Gradient-range tracking for the stochastic-rounding dY quantiser,
+  // same per-shard/merge idiom as the activation trackers above.
+  quant::RangeTracker grad_range_;
+  PerShard<std::pair<float, float>> shard_grad_range_;
+  PerShard<std::vector<uint8_t>> grad_codes_;  // reused dY code buffers
   PerShard<Telemetry> telem_;
 };
 

@@ -72,6 +72,10 @@ bool gemm_int8_forward_enabled() {
   return resolved_gemm_backend() == GemmBackend::kInt8;
 }
 
+bool gemm_int8_backward_enabled() {
+  return resolved_gemm_backend() == GemmBackend::kInt8;
+}
+
 void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
           float alpha, const float* a, const float* b, float beta, float* c) {
   if (m <= 0 || n <= 0) return;

@@ -22,8 +22,9 @@ enum class GemmBackend {
   kIkj,           // legacy single-level ikj kernel (perf baseline)
   /// Packed fp32 for plain float GEMMs, PLUS: layers whose weights live
   /// in 8-bit-or-narrower QuantizedTensor codes run their forward pass
-  /// through the integer gemm_s8 kernel on quantised activations. The
-  /// backward pass always stays fp32.
+  /// through the integer gemm_s8 kernel on quantised activations, and
+  /// their backward dX/dW GEMMs on stochastically-rounded gradient codes
+  /// once the gradient range tracker has initialised (DESIGN.md §14).
   kInt8,
 };
 
@@ -40,6 +41,23 @@ GemmBackend gemm_backend();
 /// call when their weights are not stored as <= 8-bit codes or no
 /// activation range has been observed yet.
 bool gemm_int8_forward_enabled();
+
+/// True when the resolved backend asks layers to attempt the integer
+/// gradient GEMMs (quantised dY with stochastic rounding). Currently the
+/// same backend switch as the forward path; layers still fall back to
+/// fp32 per call until their gradient tracker initialises (first
+/// backward) or when no input codes were cached by the forward.
+bool gemm_int8_backward_enabled();
+
+/// Bit-width of the stochastically-rounded upstream-gradient grid. 6
+/// bits keeps every gradient code <= kGemmS8QuadMaxCode, so BOTH
+/// gradient GEMMs (dX against 8-bit activation codes, dW against <= 8
+/// bit weight codes) stay on the byte-quad kernel — at 8-bit dY the dW
+/// product (255 x 255) would fall back to the pair strategy, which only
+/// matches fp32 MAC density. Stochastic rounding keeps the coarser grid
+/// unbiased: E[dYq] = dY exactly, the variance washes out over SGD
+/// steps (DESIGN.md section 14).
+inline constexpr int kGradSrBits = 6;
 
 /// C = alpha * op_a(A) * op_b(B) + beta * C.
 /// A is M x K after op_a; B is K x N after op_b; C is M x N, row-major.

@@ -51,6 +51,7 @@ Tensor Linear::forward_flow(const Tensor& x, const QuantizedActivation* qx,
   if (training) {
     const std::pair<float, float> in_range =
         has_qx ? qx->value_range() : x.minmax();
+    input_codes_.cur().n = 0;  // forward_int8 refills when it quantises
     if (has_qx) {
       input_qa_.cur() = *qx;  // backward dequantises on demand
       input_.cur() = Tensor();
@@ -129,6 +130,17 @@ Tensor Linear::forward_int8(const Tensor& x, const QuantizedActivation* qx,
   if (qx != nullptr) {
     aq = qx->params;
     xcodes = qx->codes.data();
+  } else if (training) {
+    // Quantise into the persistent per-shard buffer: backward's dW GEMM
+    // consumes these exact codes (DESIGN.md §14), so they must outlive
+    // the forward's scratch scope. Steady-state: no reallocation.
+    aq = quant::choose_params(act_range_.lo(), act_range_.hi(), 8);
+    InputCodes& ic = input_codes_.cur();
+    ic.buf.resize(static_cast<size_t>(x.numel()));
+    quant::quantize_codes_u8(x.data(), x.numel(), aq, ic.buf.data());
+    ic.params = aq;
+    ic.n = n;
+    xcodes = ic.buf.data();
   } else {
     aq = quant::choose_params(act_range_.lo(), act_range_.hi(), 8);
     auto* buf = static_cast<uint8_t*>(
@@ -197,22 +209,50 @@ Tensor Linear::forward_int8(const Tensor& x, const QuantizedActivation* qx,
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {
-  Tensor xbuf;
-  const Tensor* xp = &input_.cur();
-  if (!xp->defined() || xp->numel() == 0) {
-    const QuantizedActivation& qa = input_qa_.cur();
-    APT_CHECK(qa.valid()) << name_ << ": backward before forward";
-    xbuf = qa.dequantize();
-    xp = &xbuf;
-  }
-  const Tensor& input = *xp;
   const int64_t n = grad_out.dim(0);
-  // dW[out,in] += dY^T[out,N] * X[N,in]
-  gemm(true, false, out_, in_, n, 1.0f, grad_out.data(), input.data(), 1.0f,
-       grad_sink(weight_).data());
+  // Raw dY extrema for the gradient tracker. The EMA itself is fed at a
+  // serial point — directly below when not sharding, else merged in
+  // shard order by backward_sharded — and always AFTER the quantiser
+  // read the previous state, so the gradient grid lags one step and
+  // per-shard backwards need no mid-pass synchronisation.
+  const std::pair<float, float> gr = grad_out.minmax();
+
+  const quant::QuantizedTensor* wq =
+      weight_.rep ? weight_.rep->quantized_view() : nullptr;
+  const bool have_codes =
+      input_qa_.cur().valid() || input_codes_.cur().n > 0;
+  const bool int8_bwd = gemm_int8_backward_enabled() && wq != nullptr &&
+                        wq->bits() <= 8 && grad_range_.initialized() &&
+                        have_codes;
+  telem_.cur().int8_bwd = int8_bwd;
+
+  Tensor dx;
+  if (int8_bwd) {
+    dx = backward_int8(grad_out);
+  } else {
+    Tensor xbuf;
+    const Tensor* xp = &input_.cur();
+    if (!xp->defined() || xp->numel() == 0) {
+      const QuantizedActivation& qa = input_qa_.cur();
+      APT_CHECK(qa.valid()) << name_ << ": backward before forward";
+      xbuf = qa.dequantize();
+      xp = &xbuf;
+    }
+    const Tensor& input = *xp;
+    // dW[out,in] += dY^T[out,N] * X[N,in]
+    gemm(true, false, out_, in_, n, 1.0f, grad_out.data(), input.data(),
+         1.0f, grad_sink(weight_).data());
+    // dX[N,in] = dY[N,out] * W[out,in]
+    dx = Tensor(Shape{n, in_});
+    gemm(false, false, n, in_, out_, 1.0f, grad_out.data(),
+         weight_.value.data(), 0.0f, dx.data());
+  }
+
   if (has_bias_) {
-    // Each feature j is owned by one task and accumulated in a fixed
-    // sample order, so the reduction is deterministic for any pool size.
+    // The bias gradient always reduces the raw fp32 dY (quantising it
+    // would add noise for no kernel win — it is O(N·out) work). Each
+    // feature j is owned by one task and accumulated in a fixed sample
+    // order, so the reduction is deterministic for any pool size.
     float* db = grad_sink(bias_).data();
     ThreadPool::global().parallel_for(
         0, out_,
@@ -226,16 +266,108 @@ Tensor Linear::backward(const Tensor& grad_out) {
         },
         std::max<int64_t>(1, (1 << 14) / std::max<int64_t>(1, n)));
   }
-  // dX[N,in] = dY[N,out] * W[out,in]
+
+  if (sharding_active()) {
+    shard_grad_range_.cur() = gr;
+  } else {
+    grad_range_.observe(gr.first, gr.second);
+  }
+  return dx;
+}
+
+Tensor Linear::backward_int8(const Tensor& grad_out) {
+  const int64_t n = grad_out.dim(0);
+  const quant::QuantizedTensor* wq = weight_.rep->quantized_view();
+
+  // dY codes on the EMA gradient grid (kGradSrBits wide: every code
+  // stays quad-eligible, see gemm.hpp), stochastically rounded on the
+  // Philox stream keyed by (step, layer) and indexed by batch-global
+  // element — shard s's first sample sits at shard_sample_offset(), so
+  // every decomposition draws the same bit for the same element.
+  const quant::QuantParams gq =
+      quant::choose_params(grad_range_.lo(), grad_range_.hi(), kGradSrBits);
+  const uint64_t key = sr_mix_key(fnv1a64(name_), sr_step());
+  const uint64_t base = static_cast<uint64_t>(shard_sample_offset()) *
+                        static_cast<uint64_t>(out_);
+  std::vector<uint8_t>& dyc = grad_codes_.cur();
+  dyc.resize(static_cast<size_t>(n * out_));
+  quant::quantize_codes_u8_sr(grad_out.data(), n * out_, gq, key, base,
+                              dyc.data());
+
+  // Input codes from the forward: either the consumed QuantizedActivation
+  // or the quantise-on-entry buffer forward_int8 filled.
+  const QuantizedActivation& qa = input_qa_.cur();
+  const InputCodes& ic = input_codes_.cur();
+  const uint8_t* xcodes = qa.valid() ? qa.codes.data() : ic.buf.data();
+  const quant::QuantParams xq = qa.valid() ? qa.params : ic.params;
+
+  // dW[out,in] += dYq^T[out,N] · Xq[N,in] — exact integer product of the
+  // two code planes (zero-point corrections from the packing sums), one
+  // float scale per element; gemm_s8 overwrites, so stage in scratch and
+  // accumulate into the sink (element-wise: deterministic for any
+  // chunking).
+  GemmS8Params pw{gq.scale, xq.scale, static_cast<int32_t>(gq.zero_point),
+                  static_cast<int32_t>(xq.zero_point)};
+  pw.max_a = static_cast<int32_t>(quant::max_code(kGradSrBits));
+  pw.max_b = static_cast<int32_t>(quant::max_code(xq.bits));
+  bool hit = false;
+  const KernelPlan& plan_dw = plan_for(
+      PlanKey::s8_grad_dw(out_, in_, n, /*trans_a=*/true, /*trans_b=*/false,
+                          pw.max_a, pw.max_b),
+      &hit);
+  ScratchArena::Scope scope(ScratchArena::thread_local_arena());
+  float* dw = scope.alloc_floats(static_cast<size_t>(out_ * in_));
+  GemmS8Args gw;
+  gw.a = dyc.data();
+  gw.b = xcodes;
+  gw.params = pw;
+  gw.out = dw;
+  gemm_s8_ex(plan_dw, gw);
+  float* sink = grad_sink(weight_).data();
+  const int64_t wn = out_ * in_;
+  auto add_range = [&](int64_t e0, int64_t e1) {
+    for (int64_t e = e0; e < e1; ++e) sink[e] += dw[e];
+  };
+  if (wn < (1 << 14)) {
+    add_range(0, wn);
+  } else {
+    ThreadPool::global().parallel_for(0, wn, add_range, 1 << 12);
+  }
+
+  // dX[N,in] = dYq[N,out] · Wq[out,in]; a <= 6-bit weight ceiling lets
+  // the planner pick the byte-quad strategy here, exactly like forward.
+  GemmS8Params px{gq.scale, wq->params().scale,
+                  static_cast<int32_t>(gq.zero_point),
+                  static_cast<int32_t>(wq->params().zero_point)};
+  px.max_a = static_cast<int32_t>(quant::max_code(kGradSrBits));
+  px.max_b = static_cast<int32_t>(quant::max_code(wq->bits()));
+  const KernelPlan& plan_dx = plan_for(
+      PlanKey::s8_grad_dx(n, in_, out_, /*trans_a=*/false,
+                          /*trans_b=*/false, px.max_a, px.max_b),
+      &hit);
   Tensor dx(Shape{n, in_});
-  gemm(false, false, n, in_, out_, 1.0f, grad_out.data(), weight_.value.data(),
-       0.0f, dx.data());
+  GemmS8Args gx;
+  gx.a = dyc.data();
+  gx.b = wq->codes_u8();
+  gx.params = px;
+  gx.out = dx.data();
+  gemm_s8_ex(plan_dx, gx);
   return dx;
 }
 
 std::vector<Tensor> Linear::forward_sharded(const std::vector<Tensor>& xs,
                                             bool training) {
   return forward_flow_sharded(xs, nullptr, training, false, nullptr);
+}
+
+std::vector<Tensor> Linear::backward_sharded(
+    const std::vector<Tensor>& grads_out) {
+  std::vector<Tensor> dxs = Layer::backward_sharded(grads_out);
+  if (sharding_active()) {
+    grad_range_.observe_merged(static_cast<int>(grads_out.size()),
+                               [&](int s) { return shard_grad_range_.at(s); });
+  }
+  return dxs;
 }
 
 std::vector<Tensor> Linear::forward_flow_sharded(

@@ -5,8 +5,24 @@
 // (`set_gemm_backend(GemmBackend::kInt8)` / APT_GEMM_BACKEND=int8) and
 // the weight's representation stores <= 8-bit codes, the forward instead
 // quantises activations onto an EMA-tracked 8-bit grid and runs the
-// integer gemm_s8 kernel directly on the code planes. Backward always
-// uses fp32 (straight-through on the activation quantiser).
+// integer gemm_s8 kernel directly on the code planes.
+//
+// Backward mirrors that split (DESIGN.md §14): with the int8 backend,
+// <= 8-bit weight codes, an initialised gradient range tracker, and the
+// forward's input codes cached, the upstream gradient dY is quantised to
+// u8 with *stochastic rounding* on a counter-based Philox stream (keyed
+// by step / layer / batch-global element index, so the codes — and
+// therefore dX and dW — are bit-identical for any worker count or shard
+// decomposition), and both gradient GEMMs run on code planes:
+//
+//   dX = dYq · Wq        (kS8GradDx plan)
+//   dW = dYqᵀ · Xq       (kS8GradDw plan, accumulated into the sink)
+//
+// The bias gradient always reduces the raw fp32 dY. The first backward
+// of a run (gradient tracker uninitialised) and any backward without
+// cached input codes fall back to the fp32 path while the dY range is
+// observed; the gradient grid deliberately lags one step so per-shard
+// backwards need no serial point before their GEMMs.
 #pragma once
 
 #include <utility>
@@ -30,6 +46,10 @@ class Linear : public Layer {
   /// (min/max over the shards' extrema, reduced in shard order).
   std::vector<Tensor> forward_sharded(const std::vector<Tensor>& xs,
                                       bool training) override;
+  /// Default per-shard backward, then one merged gradient-range
+  /// observation (same shard-ordered idiom as forward_sharded).
+  std::vector<Tensor> backward_sharded(
+      const std::vector<Tensor>& grads_out) override;
   /// Code-flow entry points (DESIGN.md §11): consumes a
   /// QuantizedActivation input directly and, when asked, emits output
   /// codes through the fused requantising GEMM epilogue (bias folded
@@ -55,6 +75,13 @@ class Linear : public Layer {
   /// EMA range of the pre-requantisation output (epilogue-observed);
   /// chooses the grid the layer emits codes on.
   const quant::RangeTracker& output_range() const { return out_range_; }
+  /// EMA range of the upstream gradient dY, feeding the stochastic-
+  /// rounding gradient quantiser (uninitialised until the first
+  /// backward; the int8 backward engages from the second step).
+  const quant::RangeTracker& gradient_range() const { return grad_range_; }
+  /// True when the calling shard's last backward ran the integer
+  /// gradient GEMMs rather than the fp32 fallback.
+  bool last_backward_was_int8() const { return telem_.cur().int8_bwd; }
   /// Int8-path telemetry for the calling shard's last forward (per-shard
   /// slots: the stores never race under forward_sharded).
   bool last_forward_was_int8() const { return telem_.cur().int8_path; }
@@ -76,12 +103,23 @@ class Linear : public Layer {
  private:
   Tensor forward_int8(const Tensor& x, const QuantizedActivation* qx,
                       bool training, bool emit, QuantizedActivation* qy);
+  Tensor backward_int8(const Tensor& grad_out);
 
   struct Telemetry {
     bool int8_path = false;
     bool consumed = false;
     bool emitted = false;
     bool plan_hit = false;  // kernel plan came from the cache
+    bool int8_bwd = false;  // backward ran the integer gradient GEMMs
+  };
+
+  // Forward's activation codes kept for the dW gradient GEMM (only the
+  // quantise-on-entry path needs this buffer; a consumed-codes input is
+  // already cached in input_qa_). n == 0 marks "no codes this pass".
+  struct InputCodes {
+    std::vector<uint8_t> buf;  // reused quantise buffer
+    quant::QuantParams params;
+    int64_t n = 0;
   };
 
   std::string name_;
@@ -100,6 +138,12 @@ class Linear : public Layer {
   // Consumed-codes cache for backward (dequantised on demand); the fp32
   // input_ slot is reset while this one is live.
   PerShard<QuantizedActivation> input_qa_;
+  // Gradient-range tracking for the stochastic-rounding dY quantiser,
+  // same per-shard/merge idiom as the activation trackers above.
+  quant::RangeTracker grad_range_;
+  PerShard<std::pair<float, float>> shard_grad_range_;
+  PerShard<InputCodes> input_codes_;
+  PerShard<std::vector<uint8_t>> grad_codes_;  // reused dY code buffers
   PerShard<Telemetry> telem_;
 };
 

@@ -43,6 +43,13 @@ inline thread_local int tls_shard = 0;
 // they are not the synchronisation mechanism.
 inline std::atomic<int> g_shard_count{1};
 inline std::atomic<int> g_worker_cap{1};
+// Samples per shard (the step engine's grain). Lets a layer running
+// inside shard s recover the batch-global index of its first sample
+// (s * grain) without threading offsets through every call signature —
+// the stochastic-rounding counter streams are indexed by batch-global
+// element, which is what keeps their bits independent of the shard
+// decomposition (DESIGN.md §14).
+inline std::atomic<int64_t> g_sample_grain{0};
 }  // namespace shard_detail
 
 /// Shard index the calling thread is computing for (0 outside a session).
@@ -56,6 +63,13 @@ inline int shard_count() {
 /// True while a multi-shard session is open: layers must route training
 /// caches through their shard slot and gradients through `grad_sink`.
 inline bool sharding_active() { return shard_count() > 1; }
+
+/// Batch-global index of the calling shard's first sample (0 outside a
+/// session, or when the engine did not publish a grain).
+inline int64_t shard_sample_offset() {
+  return static_cast<int64_t>(current_shard()) *
+         shard_detail::g_sample_grain.load(std::memory_order_relaxed);
+}
 
 /// RAII shard-id binding for the calling thread. Nestable: a pool thread
 /// that helps drain another shard's task while waiting restores its own
@@ -78,7 +92,10 @@ class ShardScope {
 /// reference path); it never affects numerics, only scheduling.
 class ShardSession {
  public:
-  ShardSession(int shards, int worker_cap) {
+  /// `sample_grain` is the samples-per-shard the engine decomposed with
+  /// (shard s covers samples [s*grain, ...)); 0 when the caller has no
+  /// sample decomposition to publish.
+  ShardSession(int shards, int worker_cap, int64_t sample_grain = 0) {
     APT_CHECK(shards >= 1 && shards <= kMaxShards)
         << "shard count " << shards << " outside [1, " << kMaxShards << "]";
     APT_CHECK(shard_count() == 1) << "nested shard sessions are not supported";
@@ -89,10 +106,13 @@ class ShardSession {
     shard_detail::g_shard_count.store(shards, std::memory_order_relaxed);
     shard_detail::g_worker_cap.store(worker_cap < 1 ? 1 : worker_cap,
                                      std::memory_order_relaxed);
+    shard_detail::g_sample_grain.store(sample_grain < 0 ? 0 : sample_grain,
+                                       std::memory_order_relaxed);
   }
   ~ShardSession() {
     shard_detail::g_shard_count.store(1, std::memory_order_relaxed);
     shard_detail::g_worker_cap.store(1, std::memory_order_relaxed);
+    shard_detail::g_sample_grain.store(0, std::memory_order_relaxed);
   }
   ShardSession(const ShardSession&) = delete;
   ShardSession& operator=(const ShardSession&) = delete;

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "base/cpu.hpp"
+#include "base/rng.hpp"
 
 #if APT_X86
 #include <immintrin.h>
@@ -98,6 +99,156 @@ __attribute__((target("avx2"))) void minmax_u8_avx2(const uint8_t* src,
 }
 #endif  // APT_X86
 
+// Counter words are produced in chunks of this many elements; both
+// rounding paths draw from the same philox_fill_u32 stream, so the chunk
+// size is a staging detail, not part of the bit contract.
+constexpr int64_t kSrChunk = 256;
+
+#if APT_X86
+// 8-lane mulhi_epu32: the odd lanes ride the 64-bit products' high
+// words, the even lanes are shifted down from theirs.
+__attribute__((target("avx2"))) inline __m256i mulhi_epu32(__m256i a,
+                                                           __m256i m) {
+  const __m256i even = _mm256_srli_epi64(_mm256_mul_epu32(a, m), 32);
+  const __m256i odd = _mm256_mul_epu32(_mm256_srli_epi64(a, 32), m);
+  const __m256i odd_hi =
+      _mm256_and_si256(odd, _mm256_set1_epi64x(
+                                static_cast<long long>(0xFFFFFFFF00000000ULL)));
+  return _mm256_or_si256(even, odd_hi);
+}
+
+// Eight Philox blocks per iteration (32 counter words), bit-identical to
+// the scalar philox_fill_u32: the same 10 rounds run in 8 lanes, then a
+// 4x8 transpose restores the block-major word order. Misaligned heads
+// and tails fall back to the scalar walker.
+__attribute__((target("avx2"))) void philox_fill_u32_avx2(uint64_t key,
+                                                          uint64_t base,
+                                                          int64_t n,
+                                                          uint32_t* out) {
+  int64_t i = 0;
+  // Scalar head until the next index is block-aligned.
+  if ((base & 3) != 0) {
+    const int64_t head = std::min<int64_t>(
+        n, static_cast<int64_t>(4 - (base & 3)));
+    philox_fill_u32(key, base, head, out);
+    i = head;
+  }
+  constexpr uint32_t kM0 = 0xD2511F53u, kM1 = 0xCD9E8D57u;
+  constexpr uint32_t kW0 = 0x9E3779B9u, kW1 = 0xBB67AE85u;
+  const __m256i vm0 = _mm256_set1_epi32(static_cast<int>(kM0));
+  const __m256i vm1 = _mm256_set1_epi32(static_cast<int>(kM1));
+  const __m256i vw0 = _mm256_set1_epi32(static_cast<int>(kW0));
+  const __m256i vw1 = _mm256_set1_epi32(static_cast<int>(kW1));
+  const __m256i vbias = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  const __m256i vlane = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m256i k0_init = _mm256_set1_epi32(static_cast<int>(key));
+  const __m256i k1_init = _mm256_set1_epi32(static_cast<int>(key >> 32));
+  for (; i + 32 <= n; i += 32) {
+    const uint64_t blk = (base + static_cast<uint64_t>(i)) >> 2;
+    // Counters blk..blk+7 as 32-bit halves, with the unsigned-wrap carry
+    // folded into the high word.
+    const __m256i clo0 = _mm256_set1_epi32(static_cast<int>(blk));
+    __m256i x0 = _mm256_add_epi32(clo0, vlane);
+    const __m256i wrapped = _mm256_cmpgt_epi32(
+        _mm256_xor_si256(clo0, vbias), _mm256_xor_si256(x0, vbias));
+    __m256i x1 = _mm256_sub_epi32(
+        _mm256_set1_epi32(static_cast<int>(blk >> 32)), wrapped);
+    __m256i x2 = _mm256_setzero_si256();
+    __m256i x3 = _mm256_setzero_si256();
+    __m256i k0 = k0_init;
+    __m256i k1 = k1_init;
+    for (int round = 0; round < 10; ++round) {
+      const __m256i hi0 = mulhi_epu32(x0, vm0);
+      const __m256i lo0 = _mm256_mullo_epi32(x0, vm0);
+      const __m256i hi1 = mulhi_epu32(x2, vm1);
+      const __m256i lo1 = _mm256_mullo_epi32(x2, vm1);
+      x0 = _mm256_xor_si256(_mm256_xor_si256(hi1, x1), k0);
+      x1 = lo1;
+      x2 = _mm256_xor_si256(_mm256_xor_si256(hi0, x3), k1);
+      x3 = lo0;
+      k0 = _mm256_add_epi32(k0, vw0);
+      k1 = _mm256_add_epi32(k1, vw1);
+    }
+    // 4x8 transpose: lane j of x0..x3 is block j's word 0..3; emit the
+    // words block-major, exactly as the scalar walker does.
+    const __m256i t0 = _mm256_unpacklo_epi32(x0, x1);
+    const __m256i t1 = _mm256_unpackhi_epi32(x0, x1);
+    const __m256i t2 = _mm256_unpacklo_epi32(x2, x3);
+    const __m256i t3 = _mm256_unpackhi_epi32(x2, x3);
+    const __m256i u0 = _mm256_unpacklo_epi64(t0, t2);  // blocks 0 | 4
+    const __m256i u1 = _mm256_unpackhi_epi64(t0, t2);  // blocks 1 | 5
+    const __m256i u2 = _mm256_unpacklo_epi64(t1, t3);  // blocks 2 | 6
+    const __m256i u3 = _mm256_unpackhi_epi64(t1, t3);  // blocks 3 | 7
+    __m256i* o = reinterpret_cast<__m256i*>(out + i);
+    _mm256_storeu_si256(o + 0, _mm256_permute2x128_si256(u0, u1, 0x20));
+    _mm256_storeu_si256(o + 1, _mm256_permute2x128_si256(u2, u3, 0x20));
+    _mm256_storeu_si256(o + 2, _mm256_permute2x128_si256(u0, u1, 0x31));
+    _mm256_storeu_si256(o + 3, _mm256_permute2x128_si256(u2, u3, 0x31));
+  }
+  if (i < n)
+    philox_fill_u32(key, base + static_cast<uint64_t>(i), n - i, out + i);
+}
+
+// Per element, the exact op sequence of quantize_codes_u8_sr_scalar:
+// mul, add (unfused — no "fma" in the target attribute), floor, an exact
+// fractional-part subtraction, an ordered u01 < frac compare (false on
+// NaN), +1.0 behind the compare mask, min with qmax, and a >= 0 mask that
+// zeroes negative and NaN lanes. u01 itself is (word >> 8) * 2^-24 — a
+// 24-bit integer converted exactly, so the scalar and vector conversions
+// agree bit-for-bit. Identical IEEE ops in the same order means identical
+// codes for every input.
+__attribute__((target("avx2"))) void quantize_codes_u8_sr_avx2(
+    const float* src, int64_t n, float inv, float z, float qmax,
+    uint64_t key, uint64_t base, uint8_t* dst) {
+  const __m256 vinv = _mm256_set1_ps(inv);
+  const __m256 vz = _mm256_set1_ps(z);
+  const __m256 vqmax = _mm256_set1_ps(qmax);
+  const __m256 vzero = _mm256_setzero_ps();
+  const __m256 vone = _mm256_set1_ps(1.0f);
+  const __m256 vscale24 = _mm256_set1_ps(0x1p-24f);
+  uint32_t words[kSrChunk];
+  for (int64_t c = 0; c < n; c += kSrChunk) {
+    const int64_t m = std::min<int64_t>(kSrChunk, n - c);
+    philox_fill_u32_avx2(key, base + static_cast<uint64_t>(c), m, words);
+    int64_t j = 0;
+    for (; j + 8 <= m; j += 8) {
+      __m256 q = _mm256_add_ps(
+          _mm256_mul_ps(_mm256_loadu_ps(src + c + j), vinv), vz);
+      const __m256 ge = _mm256_cmp_ps(q, vzero, _CMP_GE_OQ);
+      const __m256 f = _mm256_floor_ps(q);
+      const __m256 frac = _mm256_sub_ps(q, f);
+      const __m256i w = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(words + j));
+      const __m256 u = _mm256_mul_ps(
+          _mm256_cvtepi32_ps(_mm256_srli_epi32(w, 8)), vscale24);
+      const __m256 bump = _mm256_cmp_ps(u, frac, _CMP_LT_OQ);
+      __m256 code = _mm256_add_ps(f, _mm256_and_ps(bump, vone));
+      code = _mm256_min_ps(code, vqmax);
+      code = _mm256_and_ps(ge, code);
+      const __m256i qi = _mm256_cvttps_epi32(code);
+      const __m128i lo = _mm256_castsi256_si128(qi);
+      const __m128i hi = _mm256_extracti128_si256(qi, 1);
+      const __m128i w16 = _mm_packus_epi32(lo, hi);
+      const __m128i b = _mm_packus_epi16(w16, w16);
+      std::memcpy(dst + c + j, &b, 8);
+    }
+    for (; j < m; ++j) {
+      float q = src[c + j] * inv + z;
+      if (!(q >= 0.0f)) {
+        dst[c + j] = 0;
+        continue;
+      }
+      const float f = std::floor(q);
+      const float frac = q - f;
+      const float u = philox_u01(words[j]);
+      float code = u < frac ? f + 1.0f : f;
+      if (code > qmax) code = qmax;
+      dst[c + j] = static_cast<uint8_t>(code);
+    }
+  }
+}
+#endif  // APT_X86
+
 }  // namespace
 
 QuantParams choose_params(float lo, float hi, int bits) {
@@ -176,6 +327,54 @@ void quantize_codes_u8(const float* src, int64_t n, const QuantParams& p,
   }
 #endif
   quantize_codes_u8_scalar(src, n, p, dst);
+}
+
+void quantize_codes_u8_sr_scalar(const float* src, int64_t n,
+                                 const QuantParams& p, uint64_t key,
+                                 uint64_t base, uint8_t* dst) {
+  APT_CHECK(p.bits <= 8)
+      << "quantize_codes_u8_sr needs an 8-bit-or-narrower grid, got "
+      << p.bits;
+  const float inv = static_cast<float>(1.0 / p.scale);
+  const float z = static_cast<float>(p.zero_point);
+  const float qmax = static_cast<float>(max_code(p.bits));
+  uint32_t words[kSrChunk];
+  for (int64_t c = 0; c < n; c += kSrChunk) {
+    const int64_t m = std::min<int64_t>(kSrChunk, n - c);
+    philox_fill_u32(key, base + static_cast<uint64_t>(c), m, words);
+    for (int64_t j = 0; j < m; ++j) {
+      float q = src[c + j] * inv + z;
+      // Below-range (and NaN) saturates to code 0; otherwise round up
+      // with probability equal to the fractional grid position.
+      if (!(q >= 0.0f)) {
+        dst[c + j] = 0;
+        continue;
+      }
+      const float f = std::floor(q);
+      const float frac = q - f;  // exact: f and q share a binade
+      const float u = philox_u01(words[j]);
+      float code = u < frac ? f + 1.0f : f;
+      if (code > qmax) code = qmax;  // above-range and +Inf saturate
+      dst[c + j] = static_cast<uint8_t>(code);
+    }
+  }
+}
+
+void quantize_codes_u8_sr(const float* src, int64_t n, const QuantParams& p,
+                          uint64_t key, uint64_t base, uint8_t* dst) {
+#if APT_X86
+  if (cpu_has_avx2_fma()) {
+    APT_CHECK(p.bits <= 8)
+        << "quantize_codes_u8_sr needs an 8-bit-or-narrower grid, got "
+        << p.bits;
+    quantize_codes_u8_sr_avx2(src, n, static_cast<float>(1.0 / p.scale),
+                              static_cast<float>(p.zero_point),
+                              static_cast<float>(max_code(p.bits)), key, base,
+                              dst);
+    return;
+  }
+#endif
+  quantize_codes_u8_sr_scalar(src, n, p, key, base, dst);
 }
 
 void dequantize_codes_u8(const uint8_t* src, int64_t n, const QuantParams& p,

@@ -85,6 +85,25 @@ void quantize_codes_u8(const float* src, int64_t n, const QuantParams& p,
 void quantize_codes_u8_scalar(const float* src, int64_t n,
                               const QuantParams& p, uint8_t* dst);
 
+/// Stochastic-rounding variant of quantize_codes_u8: element i rounds up
+/// with probability equal to its fractional grid position, the uniform
+/// sample drawn from the Philox counter stream at (key, base + i). A pure
+/// function of (src, p, key, base), so any slicing of the element range —
+/// per-shard, per-thread, per-chunk — reproduces exactly the same codes;
+/// the gradient quantiser relies on this for checkpoint bit-identity
+/// across APT_NUM_THREADS and shard counts (DESIGN.md §14). Non-finite
+/// and below-range inputs saturate to code 0, above-range to the top
+/// code, matching quantize_codes_u8. AVX2-dispatched; bit-identical to
+/// the scalar reference for every input.
+void quantize_codes_u8_sr(const float* src, int64_t n, const QuantParams& p,
+                          uint64_t key, uint64_t base, uint8_t* dst);
+
+/// Portable reference implementation of quantize_codes_u8_sr, exposed so
+/// tests can pin the vector kernel's bit-identity.
+void quantize_codes_u8_sr_scalar(const float* src, int64_t n,
+                                 const QuantParams& p, uint64_t key,
+                                 uint64_t base, uint8_t* dst);
+
 /// Bulk-dequantises `n` unsigned 8-bit codes: dst[i] = S * (q[i] - Z),
 /// computed in double like QuantizedTensor::dequantize (one float
 /// rounding per element; AVX2-dispatched, bit-identical to the scalar

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "base/rng.hpp"
 #include "base/thread_pool.hpp"
 #include "nn/shard.hpp"
 
@@ -79,7 +80,14 @@ ShardedStep::Result ShardedStep::run(
                           ? static_cast<int>(ThreadPool::global().size()) + 1
                           : cfg_.num_workers;
 
-  nn::ShardSession session(static_cast<int>(shards), workers);
+  // Advance the stochastic-rounding step counter exactly once per step,
+  // here on the coordinator before any shard task exists: every gradient
+  // quantiser in this step then keys its counter stream off the same
+  // value, regardless of worker count or shard decomposition. The grain
+  // is published through the session so layers can recover each shard's
+  // batch-global sample offset (s * grain) for element indexing.
+  sr_advance_step();
+  nn::ShardSession session(static_cast<int>(shards), workers, grain);
   if (shards > 1) prepare_sinks(shards);
 
   // Slice the batch into contiguous shards. Boundaries depend only on

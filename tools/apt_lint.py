@@ -17,6 +17,15 @@ time things and spawn helpers as they see fit):
           banned. Every stochastic component must draw from an explicitly
           seeded apt::Rng so runs are reproducible bit-for-bit.
 
+  engine  No stateful <random> engine (std::mt19937 and friends) outside
+          src/base/rng.hpp, where apt::Rng wraps the one sanctioned
+          instance. A stateful draw depends on how many draws came
+          before, so any engine reachable from a parallel or sharded path
+          silently breaks the bit-determinism contract; gradient-path
+          randomness in particular must come from the counter-based
+          Philox stream (philox_u32 / philox_fill_u32 / sr_mix_key),
+          which is a pure function of (step, layer, element index).
+
   clock   No wall-clock reads (std::chrono ...::now, gettimeofday,
           time(), clock()) in library code. Kernels and layers must be
           pure functions of their inputs; timing lives in bench/.
@@ -56,7 +65,7 @@ import re
 import sys
 from typing import List, NamedTuple, Tuple
 
-RULES = ("thread", "rng", "clock", "accum", "deprec")
+RULES = ("thread", "rng", "engine", "clock", "accum", "deprec")
 
 ALLOW_RE = re.compile(r"apt-lint:\s*allow\(([a-z,\s]+)\)")
 
@@ -70,12 +79,22 @@ DEPREC_EXEMPT_RE = re.compile(
     r"src[/\\]nn[/\\](plan|gemm_kernel|gemm)\.(hpp|cpp)$"
 )
 
+# Files exempt from the `engine` rule: the home of the one sanctioned
+# stateful engine (inside apt::Rng) and of the counter-based generator.
+ENGINE_EXEMPT_RE = re.compile(r"src[/\\]base[/\\]rng\.hpp$")
+
 THREAD_RE = re.compile(
     r"\bstd::(thread|jthread|async)\b|#\s*pragma\s+omp\b|\bpthread_create\b"
 )
 RNG_RE = re.compile(
     r"\bstd::rand\b|(?<![\w:])s?rand\s*\(|\b(std::)?random_device\b"
     r"|(?<![\w:.])time\s*\(\s*(NULL|nullptr|0)?\s*\)"
+)
+ENGINE_RE = re.compile(
+    r"\bstd::(mt19937(_64)?|minstd_rand0?|default_random_engine"
+    r"|ranlux(24|48)(_base)?|knuth_b"
+    r"|(subtract_with_carry|linear_congruential|mersenne_twister"
+    r"|discard_block|independent_bits|shuffle_order)_engine)\b"
 )
 CLOCK_RE = re.compile(
     r"\bstd::chrono::(system_clock|steady_clock|high_resolution_clock)::now\b"
@@ -294,6 +313,10 @@ def check_file(path: str, display_path: str | None = None) -> List[Violation]:
         line_rules.insert(
             0,
             ("thread", THREAD_RE, "raw threading primitive outside src/base/thread_pool.*; use ThreadPool"),
+        )
+    if not ENGINE_EXEMPT_RE.search(display.replace(os.sep, "/")):
+        line_rules.append(
+            ("engine", ENGINE_RE, "stateful <random> engine outside src/base/rng.hpp; draw from a seeded apt::Rng, or the counter-based philox_* stream on gradient paths"),
         )
     if not DEPREC_EXEMPT_RE.search(display.replace(os.sep, "/")):
         line_rules.append(

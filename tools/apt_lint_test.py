@@ -70,6 +70,39 @@ class RngRule(unittest.TestCase):
         self.assertEqual(lint_snippet("float operand = 1.0f;\nexpand(operand);"), [])
 
 
+class EngineRule(unittest.TestCase):
+    def test_flags_stateful_engines(self):
+        self.assertEqual(
+            rules_of(lint_snippet("std::mt19937_64 eng(seed);")), ["engine"])
+        self.assertEqual(
+            rules_of(lint_snippet("std::mt19937 eng;")), ["engine"])
+        self.assertEqual(
+            rules_of(lint_snippet("std::default_random_engine e(1);")),
+            ["engine"])
+        self.assertEqual(
+            rules_of(lint_snippet("std::minstd_rand lcg(7);")), ["engine"])
+
+    def test_rng_home_is_exempt(self):
+        self.assertEqual(
+            lint_snippet("std::mt19937_64 engine_;", "src/base/rng.hpp"), [])
+
+    def test_counter_stream_and_rng_wrapper_are_fine(self):
+        self.assertEqual(
+            lint_snippet("const uint32_t w = philox_u32(key, idx);\n"
+                         "philox_fill_u32(key, base, n, words);\n"
+                         "const uint64_t k = sr_mix_key(layer_key, step);"),
+            [])
+        self.assertEqual(lint_snippet("Rng rng(42);\nauto v = rng.uniform();"), [])
+
+    def test_mention_in_comment_is_ignored(self):
+        self.assertEqual(
+            lint_snippet("// apt::Rng wraps std::mt19937_64 internally"), [])
+
+    def test_allow_hatch(self):
+        self.assertEqual(
+            lint_snippet("std::mt19937 eng;  // apt-lint: allow(engine)"), [])
+
+
 class ClockRule(unittest.TestCase):
     def test_flags_wall_clock_reads(self):
         self.assertEqual(
