@@ -23,6 +23,7 @@
 // of any apt binary picks the tuned plans back up via
 // PlanOptions::cache_file or APT_PLAN_CACHE. The benchmarks that follow
 // in the same run already execute with the adopted plans.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +34,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "base/rng.hpp"
@@ -44,9 +46,12 @@
 #include "nn/conv2d.hpp"
 #include "nn/gemm.hpp"
 #include "nn/gemm_kernel.hpp"
+#include "nn/linear.hpp"
 #include "nn/plan.hpp"
 #include "nn/sequential.hpp"
 #include "nn/softmax_xent.hpp"
+#include "serve/compiled_model.hpp"
+#include "serve/server.hpp"
 #include "train/sharded_step.hpp"
 
 namespace {
@@ -92,6 +97,12 @@ struct Config {
   // int8-gradient-GEMM claim (stochastically-rounded dY codes feeding
   // dcols / dW integer GEMMs) must beat the fp32 backward end to end.
   double min_fwdbwd_s8_ratio = 1.3;
+  // Floor on the serving runtime's QPS over the serial single-request
+  // baseline (same frozen model, same samples, batch-1 run() calls on
+  // one thread). Self-relative, but the win comes from worker
+  // concurrency: like min_train_speedup it needs >= 4 participating
+  // threads; 2-3-thread pools fall back to the break-even floor.
+  double min_serve_speedup = 1.5;
   std::string filter;
   bool list_only = false;
   std::string autotune;  // JSON plan-cache path; empty = no autotune
@@ -177,6 +188,55 @@ struct Workload {
   int64_t work_items;
   std::function<std::function<void()>()> make;  // builds state + run fn
 };
+
+// ---- serving: a frozen ResNet-8 behind the dynamic-batching server ----
+
+// Clients-per-iteration and requests-per-client for the serving
+// workloads: one bench iteration is kServeClients * kServeReqs
+// single-sample requests, so items_per_sec in the JSON is QPS.
+constexpr int kServeClients = 4;
+constexpr int kServeReqs = 8;
+
+struct ServeBench {
+  static constexpr int64_t kPool = 8;  // distinct samples cycled through
+  apt::serve::CompiledModel model;
+  std::unique_ptr<apt::serve::Server> server;
+  Tensor x;  // [kPool, 3, 16, 16]
+};
+
+// Builds, calibrates and freezes the bench ResNet-8 (same topology as
+// train_step_resnet8), then stands up a 4-worker server over it.
+std::shared_ptr<ServeBench> make_serve_bench() {
+  Rng rng(1);
+  auto net = apt::models::make_resnet(
+      {.n = 1, .base_width = 8, .num_classes = 10}, rng);
+  apt::core::GridOptions go;
+  go.bits = 6;
+  for (apt::nn::Layer* leaf : apt::nn::leaves_of(*net)) {
+    apt::nn::Parameter* w = nullptr;
+    if (auto* c = dynamic_cast<apt::nn::Conv2d*>(leaf)) w = &c->weight();
+    if (auto* l = dynamic_cast<apt::nn::Linear*>(leaf)) w = &l->weight();
+    if (w == nullptr) continue;
+    w->rep = std::make_shared<apt::core::GridRepresentation>(*w, go);
+  }
+  for (int i = 0; i < 2; ++i) {  // warm the activation-range trackers
+    Tensor calib(Shape{8, 3, 16, 16});
+    rng.fill_normal(calib, 0, 1);
+    net->forward(calib, /*training=*/true);
+  }
+  auto sb = std::make_shared<ServeBench>();
+  sb->model = apt::serve::CompiledModel::compile(*net, Shape{3, 16, 16});
+  // Like the thread pool, size the worker fleet to the machine: extra
+  // workers on a small core count only add wakeups and context
+  // switches (each worker is serial under its InlineScope).
+  const int workers = std::max(
+      1, std::min(4, static_cast<int>(std::thread::hardware_concurrency())));
+  sb->server = std::make_unique<apt::serve::Server>(
+      sb->model, apt::serve::ServerOptions{.workers = workers});
+  sb->x = Tensor(Shape{ServeBench::kPool, 3, 16, 16});
+  rng.fill_normal(sb->x, 0, 1);
+  return sb;
+}
 
 std::vector<Workload> build_workloads(const Config& cfg) {
   using apt::nn::GemmBackend;
@@ -497,6 +557,45 @@ std::vector<Workload> build_workloads(const Config& cfg) {
                 sharded_step_workload(/*num_workers=*/0)});
   ws.push_back({"train_step_serial", train_batch,
                 sharded_step_workload(/*num_workers=*/1)});
+
+  // Serving QPS: kServeClients concurrent clients fire kServeReqs
+  // single-sample requests each at the dynamic-batching server (workers
+  // coalesce whatever is queued, up to the model's max_batch), vs the
+  // SAME requests as batch-1 run() calls on one thread. The derived
+  // serve_resnet8_qps_speedup_vs_serial is the batching + worker-
+  // concurrency claim; responses are bit-identical by construction
+  // (tests/serve_test.cpp), so the ratio is pure throughput.
+  ws.push_back({"serve_resnet8_qps", kServeClients * kServeReqs, []() {
+                  auto sb = make_serve_bench();
+                  return std::function<void()>([sb] {
+                    std::vector<std::thread> clients;
+                    const int64_t in_elems = sb->model.in_elems();
+                    for (int c = 0; c < kServeClients; ++c) {
+                      clients.emplace_back([&sb, in_elems, c] {
+                        std::vector<float> out(10);
+                        for (int r = 0; r < kServeReqs; ++r) {
+                          const int64_t s = (c + r) % ServeBench::kPool;
+                          sb->server->infer(sb->x.data() + s * in_elems,
+                                            out.data());
+                        }
+                      });
+                    }
+                    for (auto& t : clients) t.join();
+                  });
+                }});
+  ws.push_back({"serve_resnet8_serial", kServeClients * kServeReqs, []() {
+                  auto sb = make_serve_bench();
+                  auto ctx = std::make_shared<apt::serve::InferenceContext>();
+                  auto out = std::make_shared<std::vector<float>>(10);
+                  return std::function<void()>([sb, ctx, out] {
+                    const int64_t in_elems = sb->model.in_elems();
+                    for (int i = 0; i < kServeClients * kServeReqs; ++i) {
+                      const int64_t s = i % ServeBench::kPool;
+                      sb->model.run(sb->x.data() + s * in_elems, 1,
+                                    out->data(), *ctx);
+                    }
+                  });
+                }});
   return ws;
 }
 
@@ -669,6 +768,25 @@ int run_gate(const Config& cfg, const std::vector<BenchResult>& results,
       }
       continue;
     }
+    if (key == "serve_resnet8_qps_speedup_vs_serial") {
+      // The serving speedup is worker concurrency: gate like the train
+      // step (full floor on >= 4 threads, break-even on 2-3, recorded
+      // only on 1).
+      double floor = 0.0;
+      if (pool_threads >= 4) {
+        floor = cfg.min_serve_speedup;
+      } else if (pool_threads >= 2) {
+        floor = cfg.min_train_speedup_2t;
+      }
+      if (floor > 0.0 && value < floor) {
+        ++failures;
+        std::printf("%-32s %37.2fx  << below min serve speedup (%.2fx)\n",
+                    key.c_str(), value, floor);
+      }
+      continue;
+    }
+    // Latency percentiles are wall-clock, runner-dependent: record only.
+    if (key.find("_us") != std::string::npos) continue;
     // Int8-vs-packed conv ratios carry their own floors (they are
     // thinner than the pure-GEMM speedups: quantise/gather overhead).
     double floor = 0.0;
@@ -945,6 +1063,8 @@ Config parse_args(int argc, char** argv) {
       cfg.min_chain_ratio = std::strtod(next().c_str(), nullptr);
     } else if (arg == "--min-fwdbwd-s8-ratio") {
       cfg.min_fwdbwd_s8_ratio = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--min-serve-speedup") {
+      cfg.min_serve_speedup = std::strtod(next().c_str(), nullptr);
     } else if (arg == "--filter") {
       cfg.filter = next();
     } else if (arg == "--list") {
@@ -957,7 +1077,8 @@ Config parse_args(int argc, char** argv) {
                    "[--tolerance X] [--min-speedup X] [--min-train-speedup X] "
                    "[--min-train-speedup-2t X] [--min-conv-s8-ratio X] "
                    "[--min-chain-ratio X] [--min-fwdbwd-s8-ratio X] "
-                   "[--filter SUBSTR] [--list] [--autotune PLANS.json]\n");
+                   "[--min-serve-speedup X] [--filter SUBSTR] [--list] "
+                   "[--autotune PLANS.json]\n");
       std::exit(arg == "--help" ? 0 : 2);
     }
   }
@@ -989,6 +1110,7 @@ int main(int argc, char** argv) {
       {"conv3x3_c64_fwd_packed", "conv3x3_c64_fwd_s8"},
       {"conv3x3_c64_fwdbwd_packed", "conv3x3_c64_fwdbwd_s8"},
       {"conv_chain_packed", "conv_s8_chain"},
+      {"serve_resnet8_serial", "serve_resnet8_qps"},
   };
   const auto passes_filter = [&](const std::string& name) {
     return cfg.filter.empty() || name.find(cfg.filter) != std::string::npos;
@@ -1066,8 +1188,49 @@ int main(int argc, char** argv) {
   const double step_ser = find_ns(results, "train_step_serial");
   if (step_par > 0 && step_ser > 0)
     derived["train_step_parallel_speedup_vs_serial"] = step_ser / step_par;
+  // Serving: QPS speedup over the serial batch-1 baseline (gated like
+  // the train-step speedup — it needs cores), plus request-latency
+  // percentiles under the same concurrent-client load. The percentiles
+  // are wall-clock and runner-dependent, so they are recorded in the
+  // JSON but never gated.
+  const double serve_batched = find_ns(results, "serve_resnet8_qps");
+  const double serve_serial = find_ns(results, "serve_resnet8_serial");
+  if (serve_batched > 0 && serve_serial > 0)
+    derived["serve_resnet8_qps_speedup_vs_serial"] =
+        serve_serial / serve_batched;
+  if (serve_batched > 0) {
+    auto sb = make_serve_bench();
+    const int64_t in_elems = sb->model.in_elems();
+    const int per_client = cfg.quick ? 100 : 500;
+    std::vector<std::vector<double>> lat(kServeClients);
+    {  // warm every worker's context + arena before timing requests
+      std::vector<float> out(10);
+      for (int i = 0; i < 2 * kServeClients; ++i)
+        sb->server->infer(sb->x.data(), out.data());
+    }
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kServeClients; ++c) {
+      clients.emplace_back([&, c] {
+        std::vector<float> out(10);
+        lat[c].reserve(per_client);
+        for (int r = 0; r < per_client; ++r) {
+          const int64_t s = (c + r) % ServeBench::kPool;
+          const double t0 = now_ns();
+          sb->server->infer(sb->x.data() + s * in_elems, out.data());
+          lat[c].push_back(now_ns() - t0);
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    std::vector<double> all;
+    for (const auto& l : lat) all.insert(all.end(), l.begin(), l.end());
+    std::sort(all.begin(), all.end());
+    derived["serve_resnet8_p50_us"] = all[all.size() / 2] / 1e3;
+    derived["serve_resnet8_p99_us"] = all[all.size() * 99 / 100] / 1e3;
+  }
   for (const auto& [key, value] : derived)
-    std::printf("%-40s %6.2fx\n", key.c_str(), value);
+    std::printf("%-40s %6.2f%s\n", key.c_str(), value,
+                key.find("_us") != std::string::npos ? " us" : "x");
 
   write_json(cfg, results, derived);
   return cfg.check.empty() ? 0 : run_gate(cfg, results, derived);

@@ -1,0 +1,66 @@
+// Little-endian binary stream helpers shared by the io serializers
+// (checkpoints, compiled models).
+//
+// Every writer emits fixed-width scalars via raw byte copies and every
+// reader consumes the same widths, so a file written on one host reads
+// identically on any other little-endian host and a save → load → save
+// round trip is byte-identical — the property the compiled-model tests
+// assert. Doubles are stored as their raw 8-byte IEEE-754 pattern (never
+// formatted), so quantisation scales survive the trip bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace apt::io {
+
+template <typename T>
+void write_pod(std::ofstream& f, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  f.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+T read_pod(std::ifstream& f) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v{};
+  f.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+inline void write_string(std::ofstream& f, const std::string& s) {
+  write_pod<uint64_t>(f, s.size());
+  f.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline std::string read_string(std::ifstream& f) {
+  const auto n = read_pod<uint64_t>(f);
+  std::string s(n, '\0');
+  f.read(s.data(), static_cast<std::streamsize>(n));
+  return s;
+}
+
+template <typename T>
+void write_vec(std::ofstream& f, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_pod<uint64_t>(f, v.size());
+  f.write(reinterpret_cast<const char*>(v.data()),
+          static_cast<std::streamsize>(sizeof(T) * v.size()));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::ifstream& f) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto n = read_pod<uint64_t>(f);
+  std::vector<T> v(static_cast<size_t>(n));
+  f.read(reinterpret_cast<char*>(v.data()),
+         static_cast<std::streamsize>(sizeof(T) * v.size()));
+  return v;
+}
+
+}  // namespace apt::io

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <map>
 
+#include "io/binary_io.hpp"
 #include "nn/batchnorm.hpp"
 
 namespace apt::io {
@@ -12,19 +13,11 @@ namespace {
 constexpr uint32_t kMagic = 0x41505443;  // "APTC"
 constexpr uint32_t kVersion = 1;
 
-void write_string(std::ofstream& f, const std::string& s) {
-  const uint64_t n = s.size();
-  f.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  f.write(s.data(), static_cast<std::streamsize>(n));
-}
-
 void write_tensor(std::ofstream& f, const std::string& name,
                   const apt::Tensor& t) {
   write_string(f, name);
-  const uint64_t rank = static_cast<uint64_t>(t.shape().rank());
-  f.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
-  for (int64_t d : t.shape().dims())
-    f.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  write_pod<uint64_t>(f, static_cast<uint64_t>(t.shape().rank()));
+  for (int64_t d : t.shape().dims()) write_pod<int64_t>(f, d);
   f.write(reinterpret_cast<const char*>(t.data()),
           static_cast<std::streamsize>(sizeof(float) * t.numel()));
 }
@@ -37,9 +30,8 @@ struct Record {
 std::map<std::string, Record> read_all(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   APT_CHECK(f.good()) << "cannot open checkpoint " << path;
-  uint32_t magic = 0, version = 0;
-  f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  f.read(reinterpret_cast<char*>(&version), sizeof(version));
+  const auto magic = read_pod<uint32_t>(f);
+  const auto version = read_pod<uint32_t>(f);
   APT_CHECK(magic == kMagic) << path << ": not an APT checkpoint";
   APT_CHECK(version == kVersion) << path << ": unsupported version " << version;
 
@@ -50,10 +42,9 @@ std::map<std::string, Record> read_all(const std::string& path) {
     if (!f.good()) break;
     std::string name(n, '\0');
     f.read(name.data(), static_cast<std::streamsize>(n));
-    uint64_t rank = 0;
-    f.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+    const auto rank = read_pod<uint64_t>(f);
     std::vector<int64_t> dims(rank);
-    for (auto& d : dims) f.read(reinterpret_cast<char*>(&d), sizeof(d));
+    for (auto& d : dims) d = read_pod<int64_t>(f);
     Record rec{apt::Shape(dims), {}};
     rec.data.resize(static_cast<size_t>(rec.shape.numel()));
     f.read(reinterpret_cast<char*>(rec.data.data()),
@@ -69,8 +60,8 @@ std::map<std::string, Record> read_all(const std::string& path) {
 void save_checkpoint(nn::Layer& model, const std::string& path) {
   std::ofstream f(path, std::ios::binary);
   APT_CHECK(f.good()) << "cannot open " << path;
-  f.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
-  f.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  write_pod(f, kMagic);
+  write_pod(f, kVersion);
   for (nn::Layer* leaf : nn::leaves_of(model)) {
     for (nn::Parameter* p : leaf->parameters())
       write_tensor(f, p->name, p->value);

@@ -27,6 +27,10 @@ class ReLU : public Layer {
                 float cap = std::numeric_limits<float>::infinity())
       : name_(std::move(name)), cap_(cap) {}
 
+  /// Ceiling (+inf = plain ReLU); the freeze pass folds it into the
+  /// fused GEMM epilogue's clamp.
+  float cap() const { return cap_; }
+
   Tensor forward(const Tensor& x, bool training) override {
     Tensor y(x.shape());
     const float* in = x.data();

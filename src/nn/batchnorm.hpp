@@ -39,6 +39,10 @@ class BatchNorm : public Layer {
   Parameter& beta() { return beta_; }
   const Tensor& running_mean() const { return running_mean_; }
   const Tensor& running_var() const { return running_var_; }
+  int64_t channels() const { return channels_; }
+  /// Variance floor used in 1/sqrt(var + eps) — a freeze (serve) pass
+  /// folding the eval-mode affine needs the exact same epsilon.
+  double eps() const { return eps_; }
   /// Test hook: overwrite running statistics.
   void set_running_stats(const Tensor& mean, const Tensor& var);
   /// Batch statistics of the last training forward (whole-batch values in

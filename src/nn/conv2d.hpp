@@ -88,6 +88,7 @@ class Conv2d : public Layer {
   int64_t out_elems_per_sample() const override { return out_elems_; }
 
   Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
   const Conv2dOptions& options() const { return opts_; }
 
   /// EMA range of the layer's input, feeding the activation quantiser.

@@ -69,6 +69,9 @@ class Linear : public Layer {
 
   Parameter& weight() { return weight_; }
   Parameter& bias() { return bias_; }
+  int64_t in_features() const { return in_; }
+  int64_t out_features() const { return out_; }
+  bool has_bias() const { return has_bias_; }
 
   /// EMA range of the layer's input, feeding the activation quantiser.
   const quant::RangeTracker& activation_range() const { return act_range_; }

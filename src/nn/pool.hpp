@@ -55,6 +55,8 @@ class MaxPool2d : public Layer {
   MaxPool2d(std::string name, int64_t window)
       : name_(std::move(name)), window_(window) {}
 
+  int64_t window() const { return window_; }
+
   Tensor forward(const Tensor& x, bool training) override {
     APT_CHECK(x.shape().rank() == 4) << name_ << ": expects NCHW";
     const int64_t N = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);

@@ -74,9 +74,18 @@ inline int64_t shard_sample_offset() {
 /// RAII shard-id binding for the calling thread. Nestable: a pool thread
 /// that helps drain another shard's task while waiting restores its own
 /// id on unwind.
+///
+/// Serving contract (DESIGN.md §15): threads running *evaluation-mode*
+/// forwards outside any ShardSession may each bind a distinct slot in
+/// [0, kMaxShards) to make a shared model's PerShard eval scratch
+/// (pool argmax, conv input codes, telemetry) race-free without touching
+/// the session globals — ShardScope is purely thread-local and never
+/// writes g_shard_count / g_worker_cap / g_sample_grain.
 class ShardScope {
  public:
   explicit ShardScope(int shard) : prev_(shard_detail::tls_shard) {
+    APT_CHECK(shard >= 0 && shard < kMaxShards)
+        << "shard id " << shard << " outside [0, " << kMaxShards << ")";
     shard_detail::tls_shard = shard;
   }
   ~ShardScope() { shard_detail::tls_shard = prev_; }

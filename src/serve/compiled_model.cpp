@@ -1,0 +1,825 @@
+#include "serve/compiled_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+#include "base/arena.hpp"
+#include "base/thread_pool.hpp"
+#include "io/binary_io.hpp"
+#include "io/checkpoint.hpp"
+#include "models/blocks.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+#include "nn/sequential.hpp"
+
+namespace apt::serve {
+namespace {
+
+constexpr uint32_t kMagic = 0x4150544D;  // "APTM"
+constexpr uint32_t kVersion = 1;
+constexpr const char* kSchema = "apt-compiled-model/1";
+
+// -- lowering ---------------------------------------------------------------
+
+struct Builder {
+  const CompileOptions& opts;
+  std::vector<CompiledOp> ops;
+  /// Per-register per-sample dims (registers are flat buffers; dims
+  /// only drive geometry derivation during lowering).
+  std::vector<std::vector<int64_t>> reg_dims;
+  std::vector<bool> reg_codes;
+
+  int32_t new_reg(std::vector<int64_t> dims) {
+    reg_dims.push_back(std::move(dims));
+    reg_codes.push_back(false);
+    return static_cast<int32_t>(reg_dims.size() - 1);
+  }
+};
+
+int64_t dims_numel(const std::vector<int64_t>& dims) {
+  int64_t n = 1;
+  for (int64_t d : dims) n *= d;
+  return n;
+}
+
+/// Frozen activation grid: exactly what the training forward's
+/// quantise-on-entry path would choose on its next step.
+quant::QuantParams frozen_grid(const quant::RangeTracker& tracker,
+                               const std::string& who) {
+  APT_CHECK(tracker.initialized())
+      << who << ": activation range never observed — run calibration "
+      << "forwards (or freeze_from_checkpoint) before compiling";
+  return quant::choose_params(tracker.lo(), tracker.hi(), 8);
+}
+
+const quant::QuantizedTensor* frozen_weights(const nn::Parameter& w,
+                                             const std::string& who) {
+  const quant::QuantizedTensor* wq =
+      w.rep ? w.rep->quantized_view() : nullptr;
+  APT_CHECK(wq != nullptr && wq->bits() <= 8)
+      << who << ": weights must carry a <= 8-bit quantised "
+      << "representation to compile";
+  return wq;
+}
+
+/// Folds an optional eval-mode BatchNorm (y = s_bn*(x - mean) + beta,
+/// s_bn = gamma/sqrt(var + eps)) and the layer's own bias into the
+/// epilogue's per-channel scale/bias. `sa_sb` is the uniform product
+/// the scale vector replaces.
+void fold_bn(nn::BatchNorm* bn, const float* layer_bias, int64_t oc,
+             double sa_sb, CompiledOp& op) {
+  if (bn == nullptr) {
+    if (layer_bias != nullptr)
+      op.ch_bias.assign(layer_bias, layer_bias + oc);
+    return;
+  }
+  APT_CHECK(bn->channels() == oc)
+      << bn->name() << ": channels " << bn->channels()
+      << " != producer's " << oc;
+  const float* gamma = bn->gamma().value.data();
+  const float* beta = bn->beta().value.data();
+  const float* mean = bn->running_mean().data();
+  const float* var = bn->running_var().data();
+  op.ch_scale.resize(static_cast<size_t>(oc));
+  op.ch_bias.resize(static_cast<size_t>(oc));
+  for (int64_t c = 0; c < oc; ++c) {
+    const double s_bn =
+        static_cast<double>(gamma[c]) /
+        std::sqrt(static_cast<double>(var[c]) + bn->eps());
+    const double b = layer_bias != nullptr ? layer_bias[c] : 0.0;
+    op.ch_scale[static_cast<size_t>(c)] = s_bn * sa_sb;
+    op.ch_bias[static_cast<size_t>(c)] =
+        static_cast<float>(beta[c] + s_bn * (b - mean[c]));
+  }
+}
+
+int32_t emit_conv(Builder& b, nn::Conv2d& conv, nn::BatchNorm* bn,
+                  const nn::ReLU* relu, int32_t in_reg) {
+  const auto& dims = b.reg_dims[static_cast<size_t>(in_reg)];
+  APT_CHECK(dims.size() == 3 && dims[0] == conv.options().in_channels)
+      << conv.name() << ": unexpected input dims";
+  const nn::Conv2dOptions& o = conv.options();
+  const int64_t H = dims[1], W = dims[2];
+  const int64_t OH = (H + 2 * o.padding - o.kernel) / o.stride + 1;
+  const int64_t OW = (W + 2 * o.padding - o.kernel) / o.stride + 1;
+  const int64_t icg = o.in_channels / o.groups;
+  const int64_t ocg = o.out_channels / o.groups;
+  const int64_t krows = icg * o.kernel * o.kernel;
+  const quant::QuantizedTensor* wq = frozen_weights(conv.weight(), conv.name());
+
+  CompiledOp op;
+  op.kind = OpKind::kConvS8;
+  op.in0 = in_reg;
+  op.c = o.in_channels;
+  op.h = H;
+  op.w = W;
+  op.oc = o.out_channels;
+  op.oh = OH;
+  op.ow = OW;
+  op.kernel = o.kernel;
+  op.stride = o.stride;
+  op.padding = o.padding;
+  op.groups = o.groups;
+  op.in_grid = frozen_grid(conv.activation_range(), conv.name());
+  op.w_grid = wq->params();
+  op.w_max = static_cast<int32_t>(quant::max_code(wq->bits()));
+  op.wcodes.assign(wq->codes_u8(), wq->codes_u8() + wq->numel());
+  // Conv layout: A carries the weights, so Sa is the weight scale.
+  fold_bn(bn, o.bias ? conv.bias().value.data() : nullptr, o.out_channels,
+          op.w_grid.scale * op.in_grid.scale, op);
+  if (relu != nullptr) {
+    op.relu = true;
+    op.relu_cap = relu->cap();
+  }
+  nn::PlanKey key = nn::PlanKey::conv_s8(
+      ocg, OH * OW, krows, static_cast<int32_t>(o.kernel),
+      static_cast<int32_t>(o.stride), static_cast<int32_t>(o.padding),
+      op.w_max, /*max_b=*/255);
+  key.threads = 1;  // per-request execution is serial (InlineScope)
+  op.plans.push_back(nn::plan_for(key));
+  op.out = b.new_reg({o.out_channels, OH, OW});
+  b.ops.push_back(std::move(op));
+  return b.ops.back().out;
+}
+
+int32_t emit_linear(Builder& b, nn::Linear& lin, nn::BatchNorm* bn,
+                    const nn::ReLU* relu, int32_t in_reg) {
+  const auto& dims = b.reg_dims[static_cast<size_t>(in_reg)];
+  APT_CHECK(dims_numel(dims) == lin.in_features())
+      << lin.name() << ": unexpected input dims";
+  const quant::QuantizedTensor* wq = frozen_weights(lin.weight(), lin.name());
+
+  CompiledOp op;
+  op.kind = OpKind::kLinearS8;
+  op.in0 = in_reg;
+  op.c = lin.in_features();
+  op.oc = lin.out_features();
+  op.in_grid = frozen_grid(lin.activation_range(), lin.name());
+  op.w_grid = wq->params();
+  op.w_max = static_cast<int32_t>(quant::max_code(wq->bits()));
+  op.wcodes.assign(wq->codes_u8(), wq->codes_u8() + wq->numel());
+  // Linear layout: A carries the activations, so Sa is the input scale.
+  fold_bn(bn, lin.has_bias() ? lin.bias().value.data() : nullptr,
+          lin.out_features(), op.in_grid.scale * op.w_grid.scale, op);
+  if (relu != nullptr) {
+    op.relu = true;
+    op.relu_cap = relu->cap();
+  }
+  for (int64_t m = 1; m <= b.opts.max_batch; ++m) {
+    nn::PlanKey key = nn::PlanKey::s8(m, lin.out_features(),
+                                      lin.in_features(), /*trans_a=*/false,
+                                      /*trans_b=*/true, /*max_a=*/255,
+                                      op.w_max);
+    key.threads = 1;
+    op.plans.push_back(nn::plan_for(key));
+  }
+  op.out = b.new_reg({lin.out_features()});
+  b.ops.push_back(std::move(op));
+  return b.ops.back().out;
+}
+
+int32_t emit_add(Builder& b, int32_t a_reg, int32_t b_reg,
+                 const nn::ReLU* relu) {
+  const auto dims = b.reg_dims[static_cast<size_t>(a_reg)];
+  APT_CHECK(dims_numel(dims) ==
+            dims_numel(b.reg_dims[static_cast<size_t>(b_reg)]))
+      << "residual add over mismatched registers";
+  CompiledOp op;
+  op.kind = OpKind::kAddF32;
+  op.in0 = a_reg;
+  op.in1 = b_reg;
+  if (relu != nullptr) {
+    op.relu = true;
+    op.relu_cap = relu->cap();
+  }
+  op.out = b.new_reg(dims);
+  b.ops.push_back(std::move(op));
+  return b.ops.back().out;
+}
+
+int32_t lower(Builder& b, nn::Layer& layer, int32_t in_reg);
+
+int32_t lower_sequential(Builder& b, nn::Sequential& seq, int32_t in_reg) {
+  const auto& layers = seq.layers();
+  int32_t reg = in_reg;
+  for (size_t i = 0; i < layers.size();) {
+    nn::Layer* l = layers[i].get();
+    nn::BatchNorm* bn = nullptr;
+    nn::ReLU* relu = nullptr;
+    const bool fusable = dynamic_cast<nn::Conv2d*>(l) != nullptr ||
+                         dynamic_cast<nn::Linear*>(l) != nullptr;
+    size_t next = i + 1;
+    if (fusable) {
+      if (next < layers.size())
+        bn = dynamic_cast<nn::BatchNorm*>(layers[next].get());
+      if (bn != nullptr) ++next;
+      if (next < layers.size())
+        relu = dynamic_cast<nn::ReLU*>(layers[next].get());
+      if (relu != nullptr) ++next;
+    }
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(l)) {
+      reg = emit_conv(b, *conv, bn, relu, reg);
+      i = next;
+    } else if (auto* lin = dynamic_cast<nn::Linear*>(l)) {
+      reg = emit_linear(b, *lin, bn, relu, reg);
+      i = next;
+    } else {
+      reg = lower(b, *l, reg);
+      ++i;
+    }
+  }
+  return reg;
+}
+
+int32_t lower_basic_block(Builder& b, models::BasicBlock& block,
+                          int32_t in_reg) {
+  // children() order is part of BasicBlock's interface: conv1, bn1,
+  // relu1, conv2, bn2, relu2 [, short_conv, short_bn].
+  const std::vector<nn::Layer*> kids = block.children();
+  APT_CHECK(kids.size() == 6 || kids.size() == 8)
+      << block.name() << ": unexpected child count " << kids.size();
+  auto* conv1 = dynamic_cast<nn::Conv2d*>(kids[0]);
+  auto* bn1 = dynamic_cast<nn::BatchNorm*>(kids[1]);
+  auto* relu1 = dynamic_cast<nn::ReLU*>(kids[2]);
+  auto* conv2 = dynamic_cast<nn::Conv2d*>(kids[3]);
+  auto* bn2 = dynamic_cast<nn::BatchNorm*>(kids[4]);
+  auto* relu2 = dynamic_cast<nn::ReLU*>(kids[5]);
+  APT_CHECK(conv1 && bn1 && relu1 && conv2 && bn2 && relu2)
+      << block.name() << ": unexpected child topology";
+  const int32_t r1 = emit_conv(b, *conv1, bn1, relu1, in_reg);
+  const int32_t r2 = emit_conv(b, *conv2, bn2, nullptr, r1);
+  int32_t shortcut = in_reg;
+  if (kids.size() == 8) {
+    auto* sc = dynamic_cast<nn::Conv2d*>(kids[6]);
+    auto* sbn = dynamic_cast<nn::BatchNorm*>(kids[7]);
+    APT_CHECK(sc && sbn) << block.name() << ": unexpected shortcut";
+    shortcut = emit_conv(b, *sc, sbn, nullptr, in_reg);
+  }
+  return emit_add(b, r2, shortcut, relu2);
+}
+
+int32_t lower(Builder& b, nn::Layer& layer, int32_t in_reg) {
+  if (auto* seq = dynamic_cast<nn::Sequential*>(&layer))
+    return lower_sequential(b, *seq, in_reg);
+  if (auto* block = dynamic_cast<models::BasicBlock*>(&layer))
+    return lower_basic_block(b, *block, in_reg);
+  if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer))
+    return emit_conv(b, *conv, nullptr, nullptr, in_reg);
+  if (auto* lin = dynamic_cast<nn::Linear*>(&layer))
+    return emit_linear(b, *lin, nullptr, nullptr, in_reg);
+  if (auto* relu = dynamic_cast<nn::ReLU*>(&layer)) {
+    CompiledOp op;
+    op.kind = OpKind::kReluF32;
+    op.in0 = in_reg;
+    op.relu = true;
+    op.relu_cap = relu->cap();
+    op.out = b.new_reg(b.reg_dims[static_cast<size_t>(in_reg)]);
+    b.ops.push_back(std::move(op));
+    return b.ops.back().out;
+  }
+  if (auto* pool = dynamic_cast<nn::MaxPool2d*>(&layer)) {
+    const auto& dims = b.reg_dims[static_cast<size_t>(in_reg)];
+    APT_CHECK(dims.size() == 3) << layer.name() << ": expects CHW input";
+    const int64_t win = pool->window();
+    CompiledOp op;
+    op.kind = OpKind::kMaxPoolF32;
+    op.in0 = in_reg;
+    op.c = dims[0];
+    op.h = dims[1];
+    op.w = dims[2];
+    op.kernel = win;
+    op.oc = dims[0];
+    op.oh = dims[1] / win;
+    op.ow = dims[2] / win;
+    APT_CHECK(op.oh > 0 && op.ow > 0)
+        << layer.name() << ": window larger than input";
+    op.out = b.new_reg({op.oc, op.oh, op.ow});
+    b.ops.push_back(std::move(op));
+    return b.ops.back().out;
+  }
+  if (dynamic_cast<nn::GlobalAvgPool*>(&layer) != nullptr) {
+    const auto& dims = b.reg_dims[static_cast<size_t>(in_reg)];
+    APT_CHECK(dims.size() == 3) << layer.name() << ": expects CHW input";
+    CompiledOp op;
+    op.kind = OpKind::kGapF32;
+    op.in0 = in_reg;
+    op.c = dims[0];
+    op.h = dims[1];
+    op.w = dims[2];
+    op.oc = dims[0];
+    op.out = b.new_reg({dims[0]});
+    b.ops.push_back(std::move(op));
+    return b.ops.back().out;
+  }
+  if (dynamic_cast<nn::Flatten*>(&layer) != nullptr) {
+    // Registers are flat buffers; flattening only rewrites the dims.
+    auto& dims = b.reg_dims[static_cast<size_t>(in_reg)];
+    dims = {dims_numel(dims)};
+    return in_reg;
+  }
+  if (dynamic_cast<nn::Dropout*>(&layer) != nullptr) return in_reg;
+  APT_CHECK(false) << layer.name()
+                   << ": layer kind not supported by CompiledModel::compile";
+  return -1;
+}
+
+/// Static code-passing pass: when a fused op's output feeds exactly one
+/// other fused op, the handoff stays in codes — the producer requants
+/// onto the consumer's frozen input grid (the same grid training's
+/// code-flow would hand over) and the consumer skips its quantise pass.
+void resolve_code_handoffs(std::vector<CompiledOp>& ops,
+                           std::vector<bool>& reg_codes) {
+  for (size_t i = 0; i < ops.size(); ++i) {
+    CompiledOp& prod = ops[i];
+    if (prod.kind != OpKind::kConvS8 && prod.kind != OpKind::kLinearS8)
+      continue;
+    size_t reader_count = 0;
+    size_t reader = 0;
+    for (size_t j = 0; j < ops.size(); ++j) {
+      if (ops[j].in0 == prod.out || ops[j].in1 == prod.out) {
+        ++reader_count;
+        reader = j;
+      }
+    }
+    if (reader_count != 1) continue;
+    CompiledOp& cons = ops[reader];
+    const bool fused_reader =
+        cons.kind == OpKind::kConvS8 || cons.kind == OpKind::kLinearS8;
+    if (!fused_reader || cons.in0 != prod.out) continue;
+    prod.emit_codes = true;
+    prod.out_grid = cons.in_grid;
+    cons.in_codes = true;
+    reg_codes[static_cast<size_t>(prod.out)] = true;
+  }
+}
+
+// -- execution --------------------------------------------------------------
+
+void exec_conv(const CompiledOp& op, int64_t batch, InferenceContext& ctx,
+               ScratchArena::Scope& scope) {
+  const int64_t G = op.groups;
+  const int64_t icg = op.c / G, ocg = op.oc / G;
+  const int64_t krows = icg * op.kernel * op.kernel;
+  const int64_t in_elems = op.c * op.h * op.w;
+
+  const uint8_t* codes;
+  if (op.in_codes) {
+    codes = ctx.u8(op.in0);
+  } else {
+    auto* q = static_cast<uint8_t*>(
+        scope.alloc_bytes(static_cast<size_t>(batch * in_elems)));
+    quant::quantize_codes_u8(ctx.f32(op.in0), batch * in_elems, op.in_grid,
+                             q);
+    codes = q;
+  }
+  const auto pad_code = static_cast<uint8_t>(op.in_grid.zero_point);
+
+  nn::GemmS8Params qp{op.w_grid.scale, op.in_grid.scale,
+                      static_cast<int32_t>(op.w_grid.zero_point),
+                      static_cast<int32_t>(op.in_grid.zero_point)};
+  qp.max_a = op.w_max;
+
+  const nn::KernelPlan& plan = op.plans.front();
+  const bool direct = plan.strategy == nn::PlanStrategy::kS8ConvDirect;
+  const int64_t PH = op.h + 2 * op.padding, PW = op.w + 2 * op.padding;
+  const bool staged = !direct && op.padding > 0;
+  uint8_t* stage =
+      staged ? static_cast<uint8_t*>(scope.alloc_bytes(
+                   static_cast<size_t>(icg * PH * PW)))
+             : nullptr;
+
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t g = 0; g < G; ++g) {
+      nn::GemmS8ConvB cb;
+      cb.kernel = op.kernel;
+      cb.stride = op.stride;
+      cb.oh = op.oh;
+      cb.ow = op.ow;
+      const uint8_t* plane =
+          codes + (n * op.c + g * icg) * op.h * op.w;
+      nn::GemmS8Args ga;
+      ga.a = op.wcodes.data() + g * ocg * krows;
+      ga.params = qp;
+      if (direct) {
+        ga.b = plane;
+      } else if (!staged) {
+        cb.padded = plane;
+        cb.ph = op.h;
+        cb.pw = op.w;
+        ga.conv_b = &cb;
+      } else {
+        nn::stage_padded_u8(plane, icg, op.h, op.w, op.padding, pad_code,
+                            stage, /*pooled=*/false);
+        cb.padded = stage;
+        cb.ph = PH;
+        cb.pw = PW;
+        ga.conv_b = &cb;
+      }
+      nn::GemmS8Epilogue epi;
+      epi.channel_is_row = true;
+      epi.scale = op.ch_scale.empty() ? nullptr
+                                      : op.ch_scale.data() + g * ocg;
+      epi.bias = op.ch_bias.empty() ? nullptr : op.ch_bias.data() + g * ocg;
+      epi.relu = op.relu;
+      epi.relu_cap = op.relu_cap;
+      const int64_t out_off = (n * op.oc + g * ocg) * op.oh * op.ow;
+      if (op.emit_codes) {
+        epi.out_scale = op.out_grid.scale;
+        epi.out_zero = static_cast<int32_t>(op.out_grid.zero_point);
+        epi.out_max = static_cast<int32_t>(quant::max_code(op.out_grid.bits));
+        ga.out_codes = ctx.u8(op.out) + out_off;
+      } else {
+        ga.out = ctx.f32(op.out) + out_off;
+      }
+      ga.epilogue = &epi;
+      nn::gemm_s8_ex(plan, ga);
+    }
+  }
+}
+
+void exec_linear(const CompiledOp& op, int64_t batch, InferenceContext& ctx,
+                 ScratchArena::Scope& scope) {
+  const uint8_t* codes;
+  if (op.in_codes) {
+    codes = ctx.u8(op.in0);
+  } else {
+    auto* q = static_cast<uint8_t*>(
+        scope.alloc_bytes(static_cast<size_t>(batch * op.c)));
+    quant::quantize_codes_u8(ctx.f32(op.in0), batch * op.c, op.in_grid, q);
+    codes = q;
+  }
+
+  nn::GemmS8Params qp{op.in_grid.scale, op.w_grid.scale,
+                      static_cast<int32_t>(op.in_grid.zero_point),
+                      static_cast<int32_t>(op.w_grid.zero_point)};
+  qp.max_b = op.w_max;
+
+  nn::GemmS8Epilogue epi;
+  epi.channel_is_row = false;
+  epi.scale = op.ch_scale.empty() ? nullptr : op.ch_scale.data();
+  epi.bias = op.ch_bias.empty() ? nullptr : op.ch_bias.data();
+  epi.relu = op.relu;
+  epi.relu_cap = op.relu_cap;
+
+  nn::GemmS8Args ga;
+  ga.a = codes;
+  ga.b = op.wcodes.data();
+  ga.params = qp;
+  ga.epilogue = &epi;
+  if (op.emit_codes) {
+    epi.out_scale = op.out_grid.scale;
+    epi.out_zero = static_cast<int32_t>(op.out_grid.zero_point);
+    epi.out_max = static_cast<int32_t>(quant::max_code(op.out_grid.bits));
+    ga.out_codes = ctx.u8(op.out);
+  } else {
+    ga.out = ctx.f32(op.out);
+  }
+  nn::gemm_s8_ex(op.plans[static_cast<size_t>(batch - 1)], ga);
+}
+
+void exec_relu(const CompiledOp& op, int64_t total, InferenceContext& ctx) {
+  const float* in = ctx.f32(op.in0);
+  float* out = ctx.f32(op.out);
+  const float cap = op.relu_cap;
+  for (int64_t i = 0; i < total; ++i)
+    out[i] = in[i] < 0.0f ? 0.0f : (in[i] > cap ? cap : in[i]);
+}
+
+void exec_maxpool(const CompiledOp& op, int64_t batch, InferenceContext& ctx) {
+  const int64_t win = op.kernel;
+  const float* x = ctx.f32(op.in0);
+  float* y = ctx.f32(op.out);
+  int64_t oi = 0;
+  for (int64_t n = 0; n < batch; ++n)
+    for (int64_t c = 0; c < op.c; ++c)
+      for (int64_t oy = 0; oy < op.oh; ++oy)
+        for (int64_t ox = 0; ox < op.ow; ++ox, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (int64_t ky = 0; ky < win; ++ky)
+            for (int64_t kx = 0; kx < win; ++kx) {
+              const int64_t iy = oy * win + ky, ix = ox * win + kx;
+              const float v =
+                  x[((n * op.c + c) * op.h + iy) * op.w + ix];
+              if (v > best) best = v;
+            }
+          y[oi] = best;
+        }
+}
+
+void exec_gap(const CompiledOp& op, int64_t batch, InferenceContext& ctx) {
+  const int64_t S = op.h * op.w;
+  const float* x = ctx.f32(op.in0);
+  float* y = ctx.f32(op.out);
+  for (int64_t n = 0; n < batch; ++n)
+    for (int64_t c = 0; c < op.c; ++c) {
+      const float* p = x + (n * op.c + c) * S;
+      double acc = 0.0;
+      for (int64_t i = 0; i < S; ++i) acc += p[i];
+      y[n * op.c + c] = static_cast<float>(acc / S);
+    }
+}
+
+void exec_add(const CompiledOp& op, int64_t total, InferenceContext& ctx) {
+  const float* a = ctx.f32(op.in0);
+  const float* b = ctx.f32(op.in1);
+  float* out = ctx.f32(op.out);
+  const float cap = op.relu_cap;
+  if (op.relu) {
+    for (int64_t i = 0; i < total; ++i) {
+      const float v = a[i] + b[i];
+      out[i] = v < 0.0f ? 0.0f : (v > cap ? cap : v);
+    }
+  } else {
+    for (int64_t i = 0; i < total; ++i) out[i] = a[i] + b[i];
+  }
+}
+
+// -- serialization ----------------------------------------------------------
+
+void write_grid(std::ofstream& f, const quant::QuantParams& p) {
+  io::write_pod<double>(f, p.scale);
+  io::write_pod<int64_t>(f, p.zero_point);
+  io::write_pod<int32_t>(f, p.bits);
+}
+
+quant::QuantParams read_grid(std::ifstream& f) {
+  quant::QuantParams p;
+  p.scale = io::read_pod<double>(f);
+  p.zero_point = io::read_pod<int64_t>(f);
+  p.bits = io::read_pod<int32_t>(f);
+  return p;
+}
+
+void write_plan(std::ofstream& f, const nn::KernelPlan& p) {
+  io::write_pod<uint8_t>(f, static_cast<uint8_t>(p.key.op));
+  io::write_pod<int64_t>(f, p.key.m);
+  io::write_pod<int64_t>(f, p.key.n);
+  io::write_pod<int64_t>(f, p.key.k);
+  io::write_pod<uint8_t>(f, p.key.trans_a ? 1 : 0);
+  io::write_pod<uint8_t>(f, p.key.trans_b ? 1 : 0);
+  io::write_pod<int32_t>(f, p.key.max_a);
+  io::write_pod<int32_t>(f, p.key.max_b);
+  io::write_pod<int32_t>(f, p.key.kernel);
+  io::write_pod<int32_t>(f, p.key.stride);
+  io::write_pod<int32_t>(f, p.key.padding);
+  io::write_pod<int32_t>(f, p.key.threads);
+  io::write_pod<uint8_t>(f, static_cast<uint8_t>(p.strategy));
+  io::write_pod<int64_t>(f, p.mr);
+  io::write_pod<int64_t>(f, p.nr);
+  io::write_pod<int64_t>(f, p.kc);
+  io::write_pod<int64_t>(f, p.mc);
+  io::write_pod<int64_t>(f, p.nc);
+  io::write_pod<uint8_t>(f, p.parallel ? 1 : 0);
+  io::write_pod<uint8_t>(f, p.split_n ? 1 : 0);
+  io::write_pod<uint8_t>(f, p.autotuned ? 1 : 0);
+}
+
+nn::KernelPlan read_plan(std::ifstream& f) {
+  nn::KernelPlan p;
+  p.key.op = static_cast<nn::PlanOp>(io::read_pod<uint8_t>(f));
+  p.key.m = io::read_pod<int64_t>(f);
+  p.key.n = io::read_pod<int64_t>(f);
+  p.key.k = io::read_pod<int64_t>(f);
+  p.key.trans_a = io::read_pod<uint8_t>(f) != 0;
+  p.key.trans_b = io::read_pod<uint8_t>(f) != 0;
+  p.key.max_a = io::read_pod<int32_t>(f);
+  p.key.max_b = io::read_pod<int32_t>(f);
+  p.key.kernel = io::read_pod<int32_t>(f);
+  p.key.stride = io::read_pod<int32_t>(f);
+  p.key.padding = io::read_pod<int32_t>(f);
+  p.key.threads = io::read_pod<int32_t>(f);
+  p.strategy = static_cast<nn::PlanStrategy>(io::read_pod<uint8_t>(f));
+  p.mr = io::read_pod<int64_t>(f);
+  p.nr = io::read_pod<int64_t>(f);
+  p.kc = io::read_pod<int64_t>(f);
+  p.mc = io::read_pod<int64_t>(f);
+  p.nc = io::read_pod<int64_t>(f);
+  p.parallel = io::read_pod<uint8_t>(f) != 0;
+  p.split_n = io::read_pod<uint8_t>(f) != 0;
+  p.autotuned = io::read_pod<uint8_t>(f) != 0;
+  return p;
+}
+
+}  // namespace
+
+// -- InferenceContext -------------------------------------------------------
+
+void InferenceContext::bind(const CompiledModel& model) {
+  if (model_ == &model) return;
+  model_ = &model;
+  const auto& regs = model.regs();
+  f32_.assign(regs.size(), {});
+  u8_.assign(regs.size(), {});
+  for (size_t r = 0; r < regs.size(); ++r) {
+    const size_t total =
+        static_cast<size_t>(regs[r].elems * model.max_batch());
+    if (regs[r].codes)
+      u8_[r].resize(total);
+    else
+      f32_[r].resize(total);
+  }
+}
+
+// -- CompiledModel ----------------------------------------------------------
+
+CompiledModel CompiledModel::compile(nn::Layer& model,
+                                     const Shape& sample_shape,
+                                     const CompileOptions& opts) {
+  APT_CHECK(opts.max_batch >= 1) << "max_batch must be >= 1";
+  Builder b{opts, {}, {}, {}};
+  b.new_reg(sample_shape.dims());
+  const int32_t out_reg = lower(b, model, 0);
+  resolve_code_handoffs(b.ops, b.reg_codes);
+  APT_CHECK(!b.reg_codes[static_cast<size_t>(out_reg)])
+      << "model output register must be fp32";
+
+  CompiledModel cm;
+  cm.sample_shape_ = sample_shape;
+  cm.max_batch_ = opts.max_batch;
+  cm.in_elems_ = sample_shape.numel();
+  cm.out_reg_ = out_reg;
+  cm.out_elems_ = dims_numel(b.reg_dims[static_cast<size_t>(out_reg)]);
+  cm.regs_.resize(b.reg_dims.size());
+  for (size_t r = 0; r < b.reg_dims.size(); ++r)
+    cm.regs_[r] = {dims_numel(b.reg_dims[r]), static_cast<bool>(b.reg_codes[r])};
+  cm.ops_ = std::move(b.ops);
+  return cm;
+}
+
+void CompiledModel::run(const float* in, int64_t batch, float* out,
+                        InferenceContext& ctx) const {
+  APT_CHECK(batch >= 1 && batch <= max_batch_)
+      << "batch " << batch << " outside [1, " << max_batch_ << "]";
+  ctx.bind(*this);
+  // Serial per request: any nested kernel parallel_for runs inline, so
+  // the call neither contends with other serving workers nor allocates
+  // pool tasks (steady-state zero allocation).
+  ThreadPool::InlineScope inline_scope;
+  ScratchArena::Scope scope(ScratchArena::thread_local_arena());
+  std::memcpy(ctx.f32(0), in,
+              static_cast<size_t>(batch * in_elems_) * sizeof(float));
+  for (const CompiledOp& op : ops_) {
+    const int64_t total =
+        batch * regs_[static_cast<size_t>(op.out)].elems;
+    switch (op.kind) {
+      case OpKind::kConvS8:
+        exec_conv(op, batch, ctx, scope);
+        break;
+      case OpKind::kLinearS8:
+        exec_linear(op, batch, ctx, scope);
+        break;
+      case OpKind::kReluF32:
+        exec_relu(op, total, ctx);
+        break;
+      case OpKind::kMaxPoolF32:
+        exec_maxpool(op, batch, ctx);
+        break;
+      case OpKind::kGapF32:
+        exec_gap(op, batch, ctx);
+        break;
+      case OpKind::kAddF32:
+        exec_add(op, total, ctx);
+        break;
+    }
+  }
+  std::memcpy(out, ctx.f32(out_reg_),
+              static_cast<size_t>(batch * out_elems_) * sizeof(float));
+}
+
+void CompiledModel::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  APT_CHECK(f.good()) << "cannot open " << path;
+  io::write_pod(f, kMagic);
+  io::write_pod(f, kVersion);
+  io::write_string(f, kSchema);
+  io::write_pod<int64_t>(f, max_batch_);
+  io::write_vec<int64_t>(f, sample_shape_.dims());
+  io::write_pod<int64_t>(f, out_elems_);
+  io::write_pod<int32_t>(f, out_reg_);
+  io::write_pod<uint64_t>(f, regs_.size());
+  for (const RegInfo& r : regs_) {
+    io::write_pod<int64_t>(f, r.elems);
+    io::write_pod<uint8_t>(f, r.codes ? 1 : 0);
+  }
+  io::write_pod<uint64_t>(f, ops_.size());
+  for (const CompiledOp& op : ops_) {
+    io::write_pod<uint8_t>(f, static_cast<uint8_t>(op.kind));
+    io::write_pod<int32_t>(f, op.in0);
+    io::write_pod<int32_t>(f, op.in1);
+    io::write_pod<int32_t>(f, op.out);
+    for (int64_t v : {op.c, op.h, op.w, op.oc, op.oh, op.ow, op.kernel,
+                      op.stride, op.padding, op.groups})
+      io::write_pod<int64_t>(f, v);
+    io::write_pod<uint8_t>(f, op.in_codes ? 1 : 0);
+    io::write_pod<uint8_t>(f, op.emit_codes ? 1 : 0);
+    io::write_pod<uint8_t>(f, op.relu ? 1 : 0);
+    io::write_pod<float>(f, op.relu_cap);
+    io::write_pod<int32_t>(f, op.w_max);
+    write_grid(f, op.in_grid);
+    write_grid(f, op.w_grid);
+    write_grid(f, op.out_grid);
+    io::write_vec<double>(f, op.ch_scale);
+    io::write_vec<float>(f, op.ch_bias);
+    io::write_vec<uint8_t>(f, op.wcodes);
+    io::write_pod<uint64_t>(f, op.plans.size());
+    for (const nn::KernelPlan& p : op.plans) write_plan(f, p);
+  }
+  APT_CHECK(f.good()) << "write failed for " << path;
+}
+
+CompiledModel CompiledModel::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  APT_CHECK(f.good()) << "cannot open compiled model " << path;
+  APT_CHECK(io::read_pod<uint32_t>(f) == kMagic)
+      << path << ": not an APT compiled model";
+  APT_CHECK(io::read_pod<uint32_t>(f) == kVersion)
+      << path << ": unsupported version";
+  APT_CHECK(io::read_string(f) == kSchema) << path << ": schema mismatch";
+
+  CompiledModel cm;
+  cm.max_batch_ = io::read_pod<int64_t>(f);
+  cm.sample_shape_ = Shape(io::read_vec<int64_t>(f));
+  cm.in_elems_ = cm.sample_shape_.numel();
+  cm.out_elems_ = io::read_pod<int64_t>(f);
+  cm.out_reg_ = io::read_pod<int32_t>(f);
+  const auto reg_count = io::read_pod<uint64_t>(f);
+  cm.regs_.resize(static_cast<size_t>(reg_count));
+  for (RegInfo& r : cm.regs_) {
+    r.elems = io::read_pod<int64_t>(f);
+    r.codes = io::read_pod<uint8_t>(f) != 0;
+  }
+  const auto op_count = io::read_pod<uint64_t>(f);
+  cm.ops_.resize(static_cast<size_t>(op_count));
+  for (CompiledOp& op : cm.ops_) {
+    op.kind = static_cast<OpKind>(io::read_pod<uint8_t>(f));
+    op.in0 = io::read_pod<int32_t>(f);
+    op.in1 = io::read_pod<int32_t>(f);
+    op.out = io::read_pod<int32_t>(f);
+    for (int64_t* v : {&op.c, &op.h, &op.w, &op.oc, &op.oh, &op.ow,
+                       &op.kernel, &op.stride, &op.padding, &op.groups})
+      *v = io::read_pod<int64_t>(f);
+    op.in_codes = io::read_pod<uint8_t>(f) != 0;
+    op.emit_codes = io::read_pod<uint8_t>(f) != 0;
+    op.relu = io::read_pod<uint8_t>(f) != 0;
+    op.relu_cap = io::read_pod<float>(f);
+    op.w_max = io::read_pod<int32_t>(f);
+    op.in_grid = read_grid(f);
+    op.w_grid = read_grid(f);
+    op.out_grid = read_grid(f);
+    op.ch_scale = io::read_vec<double>(f);
+    op.ch_bias = io::read_vec<float>(f);
+    op.wcodes = io::read_vec<uint8_t>(f);
+    const auto plan_count = io::read_pod<uint64_t>(f);
+    op.plans.resize(static_cast<size_t>(plan_count));
+    for (nn::KernelPlan& p : op.plans) p = read_plan(f);
+  }
+  APT_CHECK(f.good()) << path << ": truncated compiled model";
+  return cm;
+}
+
+CompiledModel freeze_from_checkpoint(nn::Layer& model,
+                                     const std::string& checkpoint_path,
+                                     const std::vector<Tensor>& calibration,
+                                     const CompileOptions& opts) {
+  APT_CHECK(!calibration.empty())
+      << "freeze_from_checkpoint needs calibration batches";
+  io::load_checkpoint(model, checkpoint_path);
+
+  // Calibration forwards run in training mode (that is where the range
+  // trackers observe), which would also advance BatchNorm's running
+  // statistics — snapshot and restore them so the freeze folds exactly
+  // the checkpoint's stats.
+  std::vector<nn::BatchNorm*> bns;
+  std::vector<Tensor> means, vars;
+  for (nn::Layer* leaf : nn::leaves_of(model)) {
+    if (auto* bn = dynamic_cast<nn::BatchNorm*>(leaf)) {
+      Tensor mean(Shape{bn->running_mean().numel()});
+      Tensor var(Shape{bn->running_var().numel()});
+      std::copy(bn->running_mean().data(),
+                bn->running_mean().data() + bn->running_mean().numel(),
+                mean.data());
+      std::copy(bn->running_var().data(),
+                bn->running_var().data() + bn->running_var().numel(),
+                var.data());
+      bns.push_back(bn);
+      means.push_back(std::move(mean));
+      vars.push_back(std::move(var));
+    }
+  }
+  for (const Tensor& batch : calibration)
+    model.forward(batch, /*training=*/true);
+  for (size_t i = 0; i < bns.size(); ++i)
+    bns[i]->set_running_stats(means[i], vars[i]);
+
+  const auto& dims = calibration.front().shape().dims();
+  Shape sample_shape(
+      std::vector<int64_t>(dims.begin() + 1, dims.end()));
+  return CompiledModel::compile(model, sample_shape, opts);
+}
+
+}  // namespace apt::serve

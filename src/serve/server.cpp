@@ -1,0 +1,141 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/arena.hpp"
+#include "base/check.hpp"
+
+namespace apt::serve {
+
+Server::Server(const CompiledModel& model, const ServerOptions& opts)
+    : model_(model) {
+  APT_CHECK(opts.workers >= 1) << "server needs at least one worker";
+  max_batch_ = opts.max_batch > 0
+                   ? std::min<int64_t>(opts.max_batch, model.max_batch())
+                   : model.max_batch();
+  arena_capacity_.assign(static_cast<size_t>(opts.workers), 0);
+  workers_.reserve(static_cast<size_t>(opts.workers));
+  // Dedicated request threads, like the DataLoader's prefetch thread:
+  // workers block on the request queue's condition variable, which the
+  // ThreadPool's fixed task queue cannot express — and each worker runs
+  // its batches under an InlineScope anyway, so no kernel work is ever
+  // dispatched from here.
+  for (int w = 0; w < opts.workers; ++w)
+    workers_.emplace_back(  // apt-lint: allow(thread)
+        [this, w] { worker_loop(w); });
+}
+
+Server::~Server() { shutdown(); }
+
+bool Server::infer(const float* in, float* out) {
+  Request req;
+  req.in = in;
+  req.out = out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return false;
+    if (tail_ == nullptr) {
+      head_ = tail_ = &req;
+    } else {
+      tail_->next = &req;
+      tail_ = &req;
+    }
+    ++queued_;
+  }
+  cv_.notify_one();
+  std::unique_lock<std::mutex> lock(req.mu);
+  req.cv.wait(lock, [&req] { return req.done; });
+  return true;
+}
+
+void Server::shutdown() {
+  std::lock_guard<std::mutex> slock(shutdown_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_)  // apt-lint: allow(thread) — join only
+    if (t.joinable()) t.join();
+  workers_.clear();
+}
+
+Server::Stats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.requests = requests_;
+  s.batches = batches_;
+  s.arena_capacity = arena_capacity_;
+  return s;
+}
+
+void Server::worker_loop(int worker) {
+  InferenceContext ctx;
+  ctx.bind(model_);
+  const int64_t in_elems = model_.in_elems();
+  const int64_t out_elems = model_.out_elems();
+  std::vector<float> batch_in(
+      static_cast<size_t>(max_batch_ * in_elems));
+  std::vector<float> batch_out(
+      static_cast<size_t>(max_batch_ * out_elems));
+  std::vector<Request*> taken(static_cast<size_t>(max_batch_));
+
+  while (true) {
+    int64_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++idle_;
+      cv_.wait(lock, [this] { return head_ != nullptr || stopping_; });
+      --idle_;
+      // Shutdown drains: keep serving while requests remain, exit only
+      // on an empty queue.
+      if (head_ == nullptr && stopping_) return;
+      // Fair share of the queue: ceil(queued / available workers),
+      // capped at max_batch. Greedily draining everything would
+      // serialise a shallow queue behind this worker while idle
+      // siblings spin down; splitting keeps them all busy, and under
+      // real load (queued >> workers) the share reaches max_batch and
+      // batches stay full.
+      const int64_t share = (queued_ + idle_) / (idle_ + 1);
+      const int64_t want =
+          std::min(max_batch_, std::max<int64_t>(int64_t{1}, share));
+      while (head_ != nullptr && count < want) {
+        taken[static_cast<size_t>(count++)] = head_;
+        head_ = head_->next;
+      }
+      queued_ -= count;
+      if (head_ == nullptr) tail_ = nullptr;
+    }
+    // More work may remain for a sibling worker.
+    cv_.notify_one();
+
+    for (int64_t i = 0; i < count; ++i)
+      std::memcpy(batch_in.data() + i * in_elems, taken[static_cast<size_t>(i)]->in,
+                  static_cast<size_t>(in_elems) * sizeof(float));
+    model_.run(batch_in.data(), count, batch_out.data(), ctx);
+    // Book-keep before signalling: once a caller's infer() returns, its
+    // request is visible in stats().
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      requests_ += static_cast<uint64_t>(count);
+      ++batches_;
+      arena_capacity_[static_cast<size_t>(worker)] =
+          ScratchArena::thread_local_arena().capacity();
+    }
+    for (int64_t i = 0; i < count; ++i) {
+      Request* req = taken[static_cast<size_t>(i)];
+      std::memcpy(req->out, batch_out.data() + i * out_elems,
+                  static_cast<size_t>(out_elems) * sizeof(float));
+      {
+        std::lock_guard<std::mutex> lock(req->mu);
+        req->done = true;
+      }
+      req->cv.notify_one();
+      // `req` lives on the caller's stack and may be destroyed the
+      // moment done was observed — no touches past this point.
+    }
+  }
+}
+
+}  // namespace apt::serve

@@ -1,0 +1,109 @@
+// Async serving runtime: dynamic batching over a CompiledModel
+// (DESIGN.md §15).
+//
+// Callers submit single-sample requests through `infer`; worker threads
+// greedily coalesce whatever is queued — up to the model's max_batch —
+// into one `CompiledModel::run` call. Coalescing is pure throughput
+// mechanics: the compiled program is exact and per-sample independent,
+// so a response is bit-identical whether its request ran alone or
+// shared a batch, under any worker count (the determinism contract,
+// enforced by tests/serve_test.cpp).
+//
+// Batching is demand-driven, never timed (the apt_lint `clock` rule
+// bans wall-clock reads in src/, and a deadline-based batcher would
+// also make batch shapes — though never responses — timing-dependent):
+// a woken worker takes its fair share of the queue, ceil(queued /
+// available workers) capped at max_batch, leaving the rest for idle
+// siblings. Under load the queue depth itself forms full batches; with
+// few outstanding requests the split keeps every core busy instead of
+// serialising the queue behind one greedy worker; an idle server
+// degenerates to batch-of-one, the latency-optimal case anyway.
+//
+// Zero steady-state allocation: request nodes live on the caller's
+// stack and chain through an intrusive list, each worker owns a
+// pre-bound InferenceContext plus pinned gather/scatter buffers, and
+// the per-thread ScratchArena reaches its high-water capacity on the
+// first request (watermark-asserted by the tests via `stats`).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/compiled_model.hpp"
+
+namespace apt::serve {
+
+struct ServerOptions {
+  /// Worker threads running CompiledModel::run. Each worker is serial
+  /// (InlineScope); throughput scales by adding workers, not by
+  /// splitting one request across the pool.
+  int workers = 1;
+  /// Largest coalesced batch; clamped to the model's max_batch.
+  int64_t max_batch = 0;  // 0 = the model's max_batch
+};
+
+class Server {
+ public:
+  Server(const CompiledModel& model, const ServerOptions& opts = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Synchronous single-sample inference: blocks until `out` holds the
+  /// model.out_elems() response floats. Returns false (without touching
+  /// `out`) when the server is already shut down. Thread-safe.
+  bool infer(const float* in, float* out);
+
+  /// Drains every queued request, then stops the workers. Idempotent;
+  /// also run by the destructor.
+  void shutdown();
+
+  struct Stats {
+    uint64_t requests = 0;  ///< responses completed
+    uint64_t batches = 0;   ///< run() calls (requests/batches = mean batch)
+    /// Per-worker thread-local arena capacity after the last batch —
+    /// constant once warm iff steady-state serving allocates nothing.
+    std::vector<size_t> arena_capacity;
+  };
+  Stats stats() const;
+
+  int64_t max_batch() const { return max_batch_; }
+
+ private:
+  struct Request {
+    const float* in = nullptr;
+    float* out = nullptr;
+    bool done = false;
+    Request* next = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
+  void worker_loop(int worker);
+
+  const CompiledModel& model_;
+  int64_t max_batch_;
+
+  /// Serialises concurrent shutdown() calls (join is not).
+  std::mutex shutdown_mu_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Request* head_ = nullptr;  // FIFO: submission order is service order
+  Request* tail_ = nullptr;
+  int64_t queued_ = 0;  // requests currently in the FIFO
+  int idle_ = 0;        // workers blocked on cv_
+  bool stopping_ = false;
+  uint64_t requests_ = 0;
+  uint64_t batches_ = 0;
+  std::vector<size_t> arena_capacity_;
+
+  // Dedicated request threads (justified in server.cpp's ctor, where
+  // they are spawned): workers block on cv_, which the fixed-task
+  // ThreadPool cannot express, and never dispatch kernel work.
+  std::vector<std::thread> workers_;  // apt-lint: allow(thread)
+};
+
+}  // namespace apt::serve

@@ -1,0 +1,142 @@
+// Race-stress tier for the serving runtime: hammers the Server's
+// request queue with many concurrent submitters while shutdown fires
+// mid-flight, across repeated server lifetimes. Every accepted request
+// must be answered with the exact solo-run bits (coalescing is
+// invisible), every rejected request must have been submitted after
+// shutdown began, and the accept count must equal the served count.
+// Runs in the plain suite too; `ctest -L stress` hands it to the CI
+// ThreadSanitizer job for interleaving coverage.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "core/grid_representation.hpp"
+#include "models/zoo.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "serve/compiled_model.hpp"
+#include "serve/server.hpp"
+
+namespace apt::serve {
+namespace {
+
+constexpr int64_t kC = 3, kH = 8, kW = 8, kClasses = 10;
+constexpr int64_t kInElems = kC * kH * kW;
+
+CompiledModel make_compiled(uint64_t seed) {
+  Rng rng(seed);
+  auto net = models::make_resnet(
+      {.n = 1, .base_width = 4, .num_classes = kClasses}, rng);
+  for (nn::Layer* leaf : nn::leaves_of(*net)) {
+    nn::Parameter* w = nullptr;
+    if (auto* c = dynamic_cast<nn::Conv2d*>(leaf)) w = &c->weight();
+    if (auto* l = dynamic_cast<nn::Linear*>(leaf)) w = &l->weight();
+    if (w == nullptr) continue;
+    core::GridOptions go;
+    go.bits = 6;
+    w->rep = std::make_shared<core::GridRepresentation>(*w, go);
+  }
+  Rng drng(seed + 7);
+  for (int i = 0; i < 2; ++i) {
+    Tensor x(Shape{4, kC, kH, kW});
+    drng.fill_uniform(x, -1.0f, 1.0f);
+    net->forward(x, /*training=*/true);
+  }
+  return CompiledModel::compile(*net, Shape{kC, kH, kW});
+}
+
+TEST(ServeStress, ConcurrentShutdownDrainsEveryAcceptedRequest) {
+  const CompiledModel cm = make_compiled(1);
+
+  constexpr int64_t kPool = 4;
+  Tensor x(Shape{kPool, kC, kH, kW});
+  Rng rng(2);
+  rng.fill_uniform(x, -1.0f, 1.0f);
+  InferenceContext ctx;
+  std::vector<float> ref(kPool * kClasses);
+  for (int64_t i = 0; i < kPool; ++i)
+    cm.run(x.data() + i * kInElems, 1, ref.data() + i * kClasses, ctx);
+
+  constexpr int kRounds = 12, kClients = 8, kPerClient = 16;
+  for (int round = 0; round < kRounds; ++round) {
+    Server server(cm, {.workers = 4});
+    std::atomic<int> accepted{0}, rejected{0}, mismatches{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        std::vector<float> out(kClasses);
+        for (int r = 0; r < kPerClient; ++r) {
+          const int64_t s = (c * kPerClient + r) % kPool;
+          if (server.infer(x.data() + s * kInElems, out.data())) {
+            accepted.fetch_add(1);
+            if (std::memcmp(out.data(), ref.data() + s * kClasses,
+                            kClasses * sizeof(float)) != 0)
+              mismatches.fetch_add(1);
+          } else {
+            rejected.fetch_add(1);
+          }
+        }
+      });
+    }
+    // Fire shutdown while requests are in flight: vary the trigger
+    // point across rounds so early-, mid-, and late-stream shutdowns
+    // all get interleaving coverage.
+    const int trigger = (round * kClients * kPerClient) / kRounds;
+    std::thread stopper([&] {
+      while (accepted.load() + rejected.load() < trigger)
+        std::this_thread::yield();
+      server.shutdown();
+    });
+    stopper.join();
+    for (std::thread& t : clients) t.join();
+
+    EXPECT_EQ(mismatches.load(), 0)
+        << "round " << round << ": coalescing changed response bits";
+    EXPECT_EQ(accepted.load() + rejected.load(), kClients * kPerClient);
+    const Server::Stats stats = server.stats();
+    EXPECT_EQ(stats.requests, static_cast<uint64_t>(accepted.load()))
+        << "round " << round
+        << ": accepted requests and served requests disagree";
+    std::vector<float> out(kClasses);
+    EXPECT_FALSE(server.infer(x.data(), out.data()));
+  }
+}
+
+TEST(ServeStress, ConcurrentShutdownCallersAreSerialized) {
+  const CompiledModel cm = make_compiled(3);
+  Tensor x(Shape{1, kC, kH, kW});
+  Rng rng(4);
+  rng.fill_uniform(x, -1.0f, 1.0f);
+
+  for (int round = 0; round < 8; ++round) {
+    Server server(cm, {.workers = 2, .max_batch = 2});
+    std::atomic<int> accepted{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 6; ++c) {
+      clients.emplace_back([&] {
+        std::vector<float> out(kClasses);
+        for (int r = 0; r < 8; ++r)
+          if (server.infer(x.data(), out.data())) accepted.fetch_add(1);
+      });
+    }
+    // Several racing shutdown() calls: the shutdown mutex must
+    // serialize them (each worker joined exactly once), and every
+    // accepted request still gets drained.
+    std::vector<std::thread> stoppers;
+    for (int s = 0; s < 3; ++s)
+      stoppers.emplace_back([&] { server.shutdown(); });
+    for (std::thread& t : stoppers) t.join();
+    for (std::thread& t : clients) t.join();
+    EXPECT_EQ(server.stats().requests,
+              static_cast<uint64_t>(accepted.load()));
+    // ~Server runs one more (idempotent) shutdown here.
+  }
+}
+
+}  // namespace
+}  // namespace apt::serve

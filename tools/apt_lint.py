@@ -46,6 +46,13 @@ time things and spawn helpers as they see fit):
           wrappers survive only for out-of-tree source compatibility, in
           src/nn/plan.*, src/nn/gemm_kernel.*, and src/nn/gemm.*.
 
+  docsync Repo-level doc/flag consistency: every `--min-*` gate flag
+          defined in bench/bench_runner.cpp must appear in README.md's
+          gated-bench-key table (a markdown table row). The README table
+          is the operator-facing contract for the CI perf gate; a new
+          floor flag that never reaches it is an undocumented gate.
+          Runs only in --root mode (it is not a per-file C++ rule).
+
 Escape hatch: a line (or the line directly above it) containing
 `apt-lint: allow(<rule>[,<rule>...])` exempts that line, for cases where
 the invariant is upheld by other documented means. Use sparingly and
@@ -65,7 +72,7 @@ import re
 import sys
 from typing import List, NamedTuple, Tuple
 
-RULES = ("thread", "rng", "engine", "clock", "accum", "deprec")
+RULES = ("thread", "rng", "engine", "clock", "accum", "deprec", "docsync")
 
 ALLOW_RE = re.compile(r"apt-lint:\s*allow\(([a-z,\s]+)\)")
 
@@ -334,6 +341,51 @@ def check_file(path: str, display_path: str | None = None) -> List[Violation]:
     return violations
 
 
+MIN_FLAG_RE = re.compile(r"--min-[a-z0-9][a-z0-9-]*")
+
+
+def check_docsync(root: str) -> List[Violation]:
+    """Every --min-* gate flag in bench/bench_runner.cpp must appear in a
+    markdown table row of README.md (the gated-bench-key table)."""
+    bench_path = os.path.join(root, "bench", "bench_runner.cpp")
+    readme_path = os.path.join(root, "README.md")
+    if not os.path.isfile(bench_path):
+        return []  # nothing to sync (e.g. a selftest tree without bench/)
+    with open(bench_path, "r", encoding="utf-8", errors="replace") as f:
+        bench_text = f.read()
+
+    # First defining line per flag, for actionable messages.
+    flags = {}
+    for idx, line in enumerate(bench_text.splitlines(), start=1):
+        for m in MIN_FLAG_RE.finditer(line):
+            flags.setdefault(m.group(0), idx)
+    if not flags:
+        return []
+
+    table_rows = ""
+    if os.path.isfile(readme_path):
+        with open(readme_path, "r", encoding="utf-8", errors="replace") as f:
+            table_rows = "\n".join(
+                ln for ln in f.read().splitlines() if ln.lstrip().startswith("|"))
+
+    violations = []
+    for flag in sorted(flags):
+        # Boundary-aware: `--min-train-speedup-2t` in the table must not
+        # satisfy a lookup for `--min-train-speedup`.
+        if not re.search(re.escape(flag) + r"(?![a-z0-9-])", table_rows):
+            violations.append(
+                Violation(
+                    os.path.join("bench", "bench_runner.cpp"),
+                    flags[flag],
+                    "docsync",
+                    f"gate flag '{flag}' is not documented in README.md's "
+                    "gated-bench-key table; every perf-gate floor must "
+                    "appear there with its default and gated key",
+                )
+            )
+    return violations
+
+
 def collect_sources(root: str) -> List[str]:
     files = []
     src = os.path.join(root, "src")
@@ -360,6 +412,8 @@ def main(argv: List[str]) -> int:
     for path in targets:
         rel = os.path.relpath(path, args.root) if os.path.isabs(path) else path
         all_violations.extend(check_file(path, rel))
+    if not args.files:  # repo-level rules only make sense in --root mode
+        all_violations.extend(check_docsync(args.root))
 
     for v in all_violations:
         print(f"{v.path}:{v.line}: [{v.rule}] {v.message}")

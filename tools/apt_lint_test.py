@@ -231,6 +231,65 @@ class DeprecRule(unittest.TestCase):
             [])
 
 
+class DocsyncRule(unittest.TestCase):
+    BENCH = (
+        '    } else if (arg == "--min-speedup") {\n'
+        '      cfg.min_speedup = std::strtod(next().c_str(), nullptr);\n'
+        '    } else if (arg == "--min-serve-speedup") {\n'
+        '      cfg.min_serve_speedup = std::strtod(next().c_str(), nullptr);\n'
+    )
+
+    def docsync_of(self, bench: str | None, readme: str | None):
+        with tempfile.TemporaryDirectory() as tmp:
+            if bench is not None:
+                os.makedirs(os.path.join(tmp, "bench"))
+                with open(os.path.join(tmp, "bench", "bench_runner.cpp"), "w") as f:
+                    f.write(bench)
+            if readme is not None:
+                with open(os.path.join(tmp, "README.md"), "w") as f:
+                    f.write(readme)
+            return apt_lint.check_docsync(tmp)
+
+    def test_documented_flags_are_clean(self):
+        readme = (
+            "| key | flag |\n|---|---|\n"
+            "| `gemm256_speedup_vs_ikj` | `--min-speedup` |\n"
+            "| `serve_resnet8_qps_speedup_vs_serial` | `--min-serve-speedup` |\n"
+        )
+        self.assertEqual(self.docsync_of(self.BENCH, readme), [])
+
+    def test_missing_flag_fires_with_flag_name_and_line(self):
+        readme = "| key | flag |\n|---|---|\n| `x` | `--min-speedup` |\n"
+        violations = self.docsync_of(self.BENCH, readme)
+        self.assertEqual([v.rule for v in violations], ["docsync"])
+        self.assertIn("--min-serve-speedup", violations[0].message)
+        self.assertEqual(violations[0].line, 3)  # first defining line
+
+    def test_prose_mention_outside_a_table_row_does_not_count(self):
+        readme = "CI lowers --min-serve-speedup and --min-speedup on PRs.\n"
+        violations = self.docsync_of(self.BENCH, readme)
+        self.assertEqual(sorted(v.rule for v in violations),
+                         ["docsync", "docsync"])
+
+    def test_longer_flag_does_not_satisfy_its_prefix(self):
+        bench = '    } else if (arg == "--min-train-speedup") {\n'
+        readme = "| `k` | `--min-train-speedup-2t` |\n"
+        violations = self.docsync_of(bench, readme)
+        self.assertEqual([v.rule for v in violations], ["docsync"])
+        self.assertIn("'--min-train-speedup'", violations[0].message)
+
+    def test_tree_without_bench_runner_is_exempt(self):
+        self.assertEqual(self.docsync_of(None, "| `--min-speedup` |\n"), [])
+
+    def test_missing_readme_fires_for_every_flag(self):
+        violations = self.docsync_of(self.BENCH, None)
+        self.assertEqual(len(violations), 2)
+
+    def test_real_tree_is_in_sync(self):
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        self.assertEqual(apt_lint.check_docsync(root), [])
+
+
 class Plumbing(unittest.TestCase):
     def test_collect_sources_finds_cpp_and_hpp(self):
         with tempfile.TemporaryDirectory() as tmp:

@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""docs_check — markdown link/anchor integrity for the apt docs.
+
+Checks every inline markdown link in README.md, DESIGN.md, ROADMAP.md,
+and docs/**/*.md:
+
+  * relative file links must resolve to an existing file or directory
+    inside the repo;
+  * fragment links (`file.md#anchor`, or a bare `#anchor` into the same
+    file) must name a heading whose GitHub-style slug matches;
+  * external links (http/https/mailto) are recorded but not fetched —
+    this checker must work offline and never flake CI on a third-party
+    outage.
+
+Section references in prose ("DESIGN.md §15") are deliberately out of
+scope: only real markdown links are machine-checkable without false
+positives.
+
+Usage:
+  docs_check.py [--root DIR] [--selftest]
+Exits non-zero if any link is broken (or, with --selftest, if the
+checker's own unit tests fail).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import Dict, List, NamedTuple
+
+# Inline links: [text](target). Images share the syntax ("![alt](src)")
+# and are checked the same way. Targets with spaces are not used in this
+# repo; angle-bracket targets are unwrapped.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?\s*\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+EXTERNAL_RE = re.compile(r"^(https?:|mailto:)")
+
+
+class Broken(NamedTuple):
+    path: str  # file containing the link
+    line: int  # 1-based
+    target: str
+    reason: str
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading: strip markdown formatting,
+    lowercase, drop everything but word chars/spaces/hyphens, then
+    spaces -> hyphens."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # code spans keep contents
+    # Asterisk emphasis only: underscores are part of identifiers in
+    # this repo's headings, never emphasis markers.
+    text = text.replace("*", "")
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(md_text: str) -> List[str]:
+    """All anchor slugs a markdown file exposes, with GitHub's -1, -2
+    suffixing for duplicate headings."""
+    counts: Dict[str, int] = {}
+    slugs: List[str] = []
+    in_fence = False
+    for line in md_text.splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        base = github_slug(m.group(2))
+        n = counts.get(base, 0)
+        counts[base] = n + 1
+        slugs.append(base if n == 0 else f"{base}-{n}")
+    return slugs
+
+
+def iter_links(md_text: str):
+    """(lineno, target) for every inline link outside code fences,
+    with inline code spans blanked so example links don't count."""
+    in_fence = False
+    for idx, line in enumerate(md_text.splitlines(), start=1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        scrubbed = re.sub(r"`[^`]*`", "", line)
+        for m in LINK_RE.finditer(scrubbed):
+            yield idx, m.group(1)
+
+
+def check_file(path: str, root: str) -> List[Broken]:
+    rel = os.path.relpath(path, root)
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    broken: List[Broken] = []
+    own_slugs = None  # lazy: most files have no self-anchors
+
+    for lineno, target in iter_links(text):
+        if EXTERNAL_RE.match(target):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            dest = os.path.normpath(
+                os.path.join(os.path.dirname(path), file_part))
+            if not os.path.exists(dest):
+                broken.append(Broken(rel, lineno, target, "file not found"))
+                continue
+            if not anchor:
+                continue
+            if not dest.endswith(".md"):
+                continue  # anchors into non-markdown are not checkable
+            with open(dest, "r", encoding="utf-8") as f:
+                slugs = heading_slugs(f.read())
+        else:  # bare #anchor into this file
+            if own_slugs is None:
+                own_slugs = heading_slugs(text)
+            slugs = own_slugs
+        if anchor not in slugs:
+            broken.append(
+                Broken(rel, lineno, target,
+                       f"no heading with anchor '#{anchor}'"))
+    return broken
+
+
+def collect_docs(root: str) -> List[str]:
+    files = []
+    for name in ("README.md", "DESIGN.md", "ROADMAP.md"):
+        p = os.path.join(root, name)
+        if os.path.isfile(p):
+            files.append(p)
+    docs_dir = os.path.join(root, "docs")
+    for dirpath, _dirnames, filenames in os.walk(docs_dir):
+        for fn in sorted(filenames):
+            if fn.endswith(".md"):
+                files.append(os.path.join(dirpath, fn))
+    return files
+
+
+def selftest() -> int:
+    import unittest
+
+    class Slugs(unittest.TestCase):
+        def test_basic_and_punctuation(self):
+            self.assertEqual(github_slug("Build and test (tier-1 verify)"),
+                             "build-and-test-tier-1-verify")
+            self.assertEqual(
+                github_slug("The CI perf gate: gated bench keys"),
+                "the-ci-perf-gate-gated-bench-keys")
+
+        def test_code_spans_keep_contents(self):
+            self.assertEqual(github_slug("Reading `BENCH_kernels.json`"),
+                             "reading-bench_kernelsjson")
+
+        def test_duplicate_headings_get_suffixes(self):
+            text = "# A\n\n## Setup\n\n## Setup\n"
+            self.assertEqual(heading_slugs(text), ["a", "setup", "setup-1"])
+
+        def test_fenced_headings_are_ignored(self):
+            text = "```sh\n# not a heading\n```\n## Real\n"
+            self.assertEqual(heading_slugs(text), ["real"])
+
+    class Links(unittest.TestCase):
+        def test_finds_links_and_skips_code(self):
+            text = ("See [a](x.md) and ![img](y.png).\n"
+                    "```\n[no](fence.md)\n```\n"
+                    "`[no](span.md)` but [yes](z.md#q)\n")
+            self.assertEqual([t for _, t in iter_links(text)],
+                             ["x.md", "y.png", "z.md#q"])
+
+        def test_check_file_reports_missing_and_bad_anchor(self):
+            import tempfile
+            with tempfile.TemporaryDirectory() as tmp:
+                with open(os.path.join(tmp, "a.md"), "w") as f:
+                    f.write("[ok](b.md#here)\n[bad](b.md#gone)\n"
+                            "[lost](missing.md)\n[self](#nope)\n")
+                with open(os.path.join(tmp, "b.md"), "w") as f:
+                    f.write("## Here\n")
+                found = check_file(os.path.join(tmp, "a.md"), tmp)
+                self.assertEqual(
+                    [(b.line, b.target) for b in found],
+                    [(2, "b.md#gone"), (3, "missing.md"), (4, "#nope")])
+
+        def test_external_links_are_skipped(self):
+            import tempfile
+            with tempfile.TemporaryDirectory() as tmp:
+                with open(os.path.join(tmp, "a.md"), "w") as f:
+                    f.write("[x](https://example.com/404)\n")
+                self.assertEqual(check_file(os.path.join(tmp, "a.md"), tmp), [])
+
+    suite = unittest.TestLoader().loadTestsFromTestCase(Slugs)
+    suite.addTests(unittest.TestLoader().loadTestsFromTestCase(Links))
+    result = unittest.TextTestRunner(verbosity=1).run(suite)
+    return 0 if result.wasSuccessful() else 1
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the checker's own unit tests and exit")
+    args = parser.parse_args(argv)
+    if args.selftest:
+        return selftest()
+
+    docs = collect_docs(args.root)
+    if not docs:
+        print("docs_check: no markdown files found", file=sys.stderr)
+        return 2
+    broken: List[Broken] = []
+    for path in docs:
+        broken.extend(check_file(path, args.root))
+    for b in broken:
+        print(f"{b.path}:{b.line}: broken link '{b.target}' ({b.reason})")
+    if broken:
+        print(f"docs_check: {len(broken)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"docs_check: {len(docs)} files, all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
