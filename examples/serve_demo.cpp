@@ -107,6 +107,18 @@ int main() {
     });
   }
   for (auto& t : clients) t.join();
+
+  // --- overload protection (DESIGN.md §16) ----------------------------
+  // Draining flushes the queue and closes admissions: a late request is
+  // refused with a typed status instead of hanging, and the refusal
+  // shows up in the stats counters below.
+  server.drain();
+  std::vector<float> late(kClasses);
+  const Status refused =
+      server.infer(samples.data(), late.data(), serve::InferOptions{});
+  std::printf("post-drain request -> %s (healthy=%d, state=%s)\n",
+              refused.to_string().c_str(), server.healthy() ? 1 : 0,
+              serve::server_state_name(server.state()));
   server.shutdown();
 
   const serve::Server::Stats stats = server.stats();
@@ -121,9 +133,17 @@ int main() {
                           static_cast<double>(stats.batches)
                     : 0.0,
       bad);
+  std::printf(
+      "overload counters: rejected=%llu shed=%llu deadline_expired=%llu "
+      "degraded_batches=%llu\n",
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.shed),
+      static_cast<unsigned long long>(stats.deadline_expired),
+      static_cast<unsigned long long>(stats.degraded_batches));
   std::remove(ckpt.c_str());
   std::remove(artifact.c_str());
-  if (bad != 0 || stats.requests != kClients * kPerClient) {
+  if (bad != 0 || stats.requests != kClients * kPerClient ||
+      refused.code() != StatusCode::kUnavailable || stats.rejected != 1) {
     std::printf("FAILED: serving diverged from the solo runs\n");
     return 1;
   }

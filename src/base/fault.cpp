@@ -1,0 +1,201 @@
+#include "base/fault.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace apt::fault {
+namespace {
+
+/// Registry of every site. Sites are heap-allocated and never freed
+/// while the process runs (references handed to call sites must stay
+/// valid); the map owns them for cleanup at exit.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<detail::Site>> map;
+  /// Number of currently armed sites — the global fast-path gate.
+  std::atomic<int> armed{0};
+
+  detail::Site& get(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = map.find(name);
+    if (it == map.end())
+      it = map.emplace(name, std::make_unique<detail::Site>(name)).first;
+    return *it->second;
+  }
+};
+
+bool arm_spec(Registry& r, const std::string& spec);
+
+Registry& registry() {
+  static Registry r;
+  // Arm the APT_FAULT env spec at first registry use, AFTER the static
+  // above is fully constructed. This must not run inside Registry's
+  // constructor: arming resolves sites through the registry, and
+  // re-entering a function-local static's initialisation guard
+  // deadlocks. The lambda reaches `r` directly (never via registry())
+  // for the same reason.
+  static std::once_flag env_once;
+  std::call_once(env_once, [] {
+    const char* spec = std::getenv("APT_FAULT");
+    if (spec != nullptr && *spec != '\0') arm_spec(r, spec);
+  });
+  return r;
+}
+
+/// Parses one `site=nth[+][:arg]` entry; false on malformed input.
+bool parse_entry(const std::string& entry, std::string* site,
+                 uint64_t* trigger, bool* repeat, int64_t* arg) {
+  const size_t eq = entry.find('=');
+  if (eq == 0 || eq == std::string::npos) return false;
+  *site = entry.substr(0, eq);
+  std::string rhs = entry.substr(eq + 1);
+  *arg = 0;
+  if (const size_t colon = rhs.find(':'); colon != std::string::npos) {
+    const std::string arg_text = rhs.substr(colon + 1);
+    rhs = rhs.substr(0, colon);
+    if (arg_text.empty()) return false;
+    char* end = nullptr;
+    *arg = std::strtoll(arg_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') return false;
+  }
+  *repeat = !rhs.empty() && rhs.back() == '+';
+  if (*repeat) rhs.pop_back();
+  if (rhs.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(rhs.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || n == 0) return false;
+  *trigger = n;
+  return true;
+}
+
+void arm_site(detail::Site& s, uint64_t trigger, bool repeat, int64_t arg,
+              std::atomic<int>& armed) {
+  if (s.trigger.load(std::memory_order_relaxed) == 0)
+    armed.fetch_add(1, std::memory_order_relaxed);
+  s.hits.store(0, std::memory_order_relaxed);
+  s.fired.store(0, std::memory_order_relaxed);
+  s.repeat.store(repeat, std::memory_order_relaxed);
+  s.arg.store(arg, std::memory_order_relaxed);
+  s.trigger.store(trigger, std::memory_order_release);
+}
+
+/// Validates the whole spec, then arms every entry into `r`. The
+/// registry is a parameter (not fetched via registry()) so the env
+/// arming hook inside registry() itself can use it.
+bool arm_spec(Registry& r, const std::string& spec) {
+  // Validate the whole spec before arming any of it, so a typo arms
+  // nothing rather than half a scenario.
+  struct Entry {
+    std::string site;
+    uint64_t trigger;
+    bool repeat;
+    int64_t arg;
+  };
+  std::vector<Entry> entries;
+  size_t at = 0;
+  while (at <= spec.size()) {
+    size_t comma = spec.find(',', at);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string part = spec.substr(at, comma - at);
+    at = comma + 1;
+    if (part.empty()) continue;
+    Entry e;
+    if (!parse_entry(part, &e.site, &e.trigger, &e.repeat, &e.arg))
+      return false;
+    entries.push_back(std::move(e));
+  }
+  for (const Entry& e : entries)
+    arm_site(r.get(e.site), e.trigger, e.repeat, e.arg, r.armed);
+  return true;
+}
+
+}  // namespace
+
+namespace detail {
+
+Site& site(const char* name) { return registry().get(name); }
+
+bool hit(Site& s) {
+  const uint64_t n = s.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  const uint64_t trigger = s.trigger.load(std::memory_order_acquire);
+  if (trigger == 0) return false;
+  const bool fire =
+      n == trigger || (s.repeat.load(std::memory_order_relaxed) && n > trigger);
+  if (fire) s.fired.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+void stall(Site& s) {
+  if (!hit(s)) return;
+  // Sleep in small slices so a SIGKILL (the chaos tier's kill-mid-save
+  // test) or the end of a test's stall window is never far away. The
+  // site arg is the total stall in milliseconds (default 100).
+  int64_t ms = s.arg.load(std::memory_order_relaxed);
+  if (ms <= 0) ms = 100;
+  while (ms > 0) {
+    const int64_t slice = ms < 10 ? ms : 10;
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+    ms -= slice;
+  }
+}
+
+}  // namespace detail
+
+bool enabled() {
+  return registry().armed.load(std::memory_order_relaxed) > 0;
+}
+
+bool arm(const std::string& spec) { return arm_spec(registry(), spec); }
+
+bool arm_from_env() {
+  const char* spec = std::getenv("APT_FAULT");
+  if (spec == nullptr || *spec == '\0') return true;
+  return arm(spec);
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, s] : r.map) {
+    if (s->trigger.load(std::memory_order_relaxed) != 0)
+      r.armed.fetch_sub(1, std::memory_order_relaxed);
+    s->trigger.store(0, std::memory_order_release);
+    s->repeat.store(false, std::memory_order_relaxed);
+    s->arg.store(0, std::memory_order_relaxed);
+    s->hits.store(0, std::memory_order_relaxed);
+    s->fired.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::string> sites() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.map.size());
+  for (const auto& [name, s] : r.map) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+uint64_t hits(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.map.find(site);
+  return it == r.map.end()
+             ? 0
+             : it->second->hits.load(std::memory_order_relaxed);
+}
+
+uint64_t fired(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.map.find(site);
+  return it == r.map.end()
+             ? 0
+             : it->second->fired.load(std::memory_order_relaxed);
+}
+
+}  // namespace apt::fault

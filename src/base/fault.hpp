@@ -1,0 +1,133 @@
+// Deterministic fault injection for failure-path testing (DESIGN.md
+// §16).
+//
+// Library code marks the places where the environment can fail — a
+// short write, an I/O error, an allocation failure, a slow worker —
+// with named injection sites:
+//
+//   if (APT_FAULT_POINT("io.write.short")) { /* simulate the failure */ }
+//   APT_FAULT_STALL("serve.worker.stall");  // injectable delay
+//
+// Sites are inert by default: every execution registers the site (so
+// the chaos tier can enumerate the whole surface) and bumps an atomic
+// hit counter, nothing else. Arming is *counter-based and
+// deterministic* — no randomness, no clocks — via the APT_FAULT
+// environment variable or fault::arm():
+//
+//   APT_FAULT="io.write.short=2"           fire on exactly the 2nd hit
+//   APT_FAULT="io.read.open=1+"            fire on every hit from the 1st
+//   APT_FAULT="serve.worker.stall=1+:20"   every hit, site arg 20 (ms)
+//   APT_FAULT="a=1,b=3+"                   multiple sites
+//
+// The same workload with the same spec therefore fails at the same
+// point every run, which is what lets the chaos tier (`ctest -L
+// fault`) assert exact outcomes: every save/load either succeeds or
+// returns a typed apt::Status, never a torn file or a crash.
+//
+// When APT_FAULT_INJECTION is not defined (cmake -DAPT_FAULT_INJECTION=OFF)
+// both macros compile to nothing: APT_FAULT_POINT becomes the constant
+// `false` and APT_FAULT_STALL an empty statement, so production builds
+// carry zero overhead and no registry. The default build keeps the
+// hooks compiled in — a hit on the armed-check fast path is one
+// relaxed atomic increment plus one load, and no site sits inside a
+// compute kernel.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apt::fault {
+
+#if defined(APT_FAULT_INJECTION)
+inline constexpr bool kCompiledIn = true;
+#else
+inline constexpr bool kCompiledIn = false;
+#endif
+
+namespace detail {
+
+/// One named injection site. Registered on first execution; armed
+/// state is written by arm()/disarm_all() and read lock-free on the
+/// hit path.
+struct Site {
+  explicit Site(std::string site_name) : name(std::move(site_name)) {}
+  const std::string name;
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> fired{0};
+  /// 0 = disarmed; N = fire on the Nth hit since arming.
+  std::atomic<uint64_t> trigger{0};
+  /// With trigger = N: fire on every hit >= N, not just the Nth.
+  std::atomic<bool> repeat{false};
+  /// Optional per-site integer from the spec (`site=N:arg`); sites
+  /// give it meaning (stall sites read it as milliseconds).
+  std::atomic<int64_t> arg{0};
+};
+
+/// Looks up (registering if new) the site. The APT_FAULT env spec is
+/// parsed once, before the first site resolves.
+Site& site(const char* name);
+
+/// Counts a hit; true when the site's deterministic trigger fires.
+bool hit(Site& s);
+
+/// Blocks for the site's configured stall when the trigger fires.
+void stall(Site& s);
+
+}  // namespace detail
+
+/// True when any site is currently armed.
+bool enabled();
+
+/// Arms sites from a spec string (same grammar as APT_FAULT). Arming a
+/// site resets its hit/fired counters so triggers count from "now".
+/// Unknown sites are created, so a site can be armed before its first
+/// execution. Returns false (arming nothing) on a malformed spec.
+bool arm(const std::string& spec);
+
+/// Re-reads the APT_FAULT environment variable and arms from it (the
+/// registry also does this once at startup).
+bool arm_from_env();
+
+/// Disarms every site and resets all counters.
+void disarm_all();
+
+/// Sorted names of every site registered so far (executed at least
+/// once, or named by an arm() spec).
+std::vector<std::string> sites();
+
+/// Lifetime counters for one site (0 if the site is unknown).
+uint64_t hits(const std::string& site);
+uint64_t fired(const std::string& site);
+
+/// RAII arming for tests: arms a spec, disarms everything on exit.
+class ScopedFault {
+ public:
+  explicit ScopedFault(const std::string& spec) { arm(spec); }
+  ~ScopedFault() { disarm_all(); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+};
+
+}  // namespace apt::fault
+
+#if defined(APT_FAULT_INJECTION)
+// The lambda caches the registry lookup in a function-local static, so
+// a hot site pays the mutex only once and atomics afterwards.
+#define APT_FAULT_POINT(site_name)                                \
+  ([]() -> bool {                                                 \
+    static apt::fault::detail::Site& site =                       \
+        apt::fault::detail::site(site_name);                      \
+    return apt::fault::detail::hit(site);                         \
+  }())
+#define APT_FAULT_STALL(site_name)                                \
+  ([]() -> void {                                                 \
+    static apt::fault::detail::Site& site =                       \
+        apt::fault::detail::site(site_name);                      \
+    apt::fault::detail::stall(site);                              \
+  }())
+#else
+#define APT_FAULT_POINT(site_name) (false)
+#define APT_FAULT_STALL(site_name) ((void)0)
+#endif

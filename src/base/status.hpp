@@ -1,0 +1,101 @@
+// Structured error taxonomy for fallible library surfaces (DESIGN.md
+// §16).
+//
+// APT_CHECK (check.hpp) expresses programmer-error preconditions: a
+// violated check is a bug and throws. Failures the *environment* causes
+// — a truncated artifact on flaky storage, a bit-flipped section, an
+// overloaded server shedding a request — are not bugs, and callers need
+// to branch on them. Those surfaces return an `apt::Status` instead of
+// throwing from mid-parse, so a serving process can triage a corrupt
+// artifact or a shed request without exception plumbing.
+//
+// The taxonomy is deliberately small and operator-facing: each code
+// names the *recovery action* (see docs/OPERATIONS.md "Failure modes &
+// recovery"), not the internal failure site — the site goes in the
+// message.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace apt {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  /// The OS-level read/write failed (open, short read/write, fsync,
+  /// rename, allocation): the bytes never made it. Retry or check the
+  /// device; the final artifact path is never left torn.
+  kIoError = 1,
+  /// The file ends before its own headers say it should: a torn
+  /// download or a partial copy. Re-fetch the artifact.
+  kTruncated = 2,
+  /// The bytes are complete but wrong: bad magic, checksum mismatch,
+  /// or internally inconsistent structure. Re-export the artifact.
+  kCorrupt = 3,
+  /// A well-formed artifact from an incompatible schema revision.
+  /// Re-export with the current toolchain.
+  kVersionMismatch = 4,
+  /// A valid input applied to the wrong target (e.g. a checkpoint
+  /// whose records do not match the model's parameters).
+  kInvalidArgument = 5,
+  /// The server shed the request before queueing it (bounded queue
+  /// full). Back off and retry.
+  kOverloaded = 6,
+  /// The request was queued but its deadline expired before a worker
+  /// reached it; it was never run.
+  kDeadlineExceeded = 7,
+  /// The server is draining or stopped and accepts no new requests.
+  kUnavailable = 8,
+};
+
+inline const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "kOk";
+    case StatusCode::kIoError:
+      return "kIoError";
+    case StatusCode::kTruncated:
+      return "kTruncated";
+    case StatusCode::kCorrupt:
+      return "kCorrupt";
+    case StatusCode::kVersionMismatch:
+      return "kVersionMismatch";
+    case StatusCode::kInvalidArgument:
+      return "kInvalidArgument";
+    case StatusCode::kOverloaded:
+      return "kOverloaded";
+    case StatusCode::kDeadlineExceeded:
+      return "kDeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "kUnavailable";
+  }
+  return "k?";
+}
+
+/// Value-type result: a code plus a human-readable message naming the
+/// failure site. Default-constructed Status is OK; OK carries no
+/// message.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    if (ok()) return "kOk";
+    return std::string(status_code_name(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace apt

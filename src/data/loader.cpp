@@ -1,8 +1,11 @@
 #include "data/loader.hpp"
 
 #include <cstring>
+#include <exception>
 #include <future>
 #include <utility>
+
+#include "base/fault.hpp"
 
 namespace apt::data {
 
@@ -28,6 +31,10 @@ int64_t DataLoader::batches_per_epoch() const {
 
 Batch DataLoader::gather(const std::vector<int64_t>& order, int64_t begin,
                          int64_t end) {
+  // Chaos-tier stand-in for a dataset whose storage fails mid-epoch
+  // (base/fault.hpp); proves producer-side throws reach the consumer.
+  if (APT_FAULT_POINT("data.gather"))
+    throw CheckError("data.gather: injected batch-assembly failure");
   const int64_t b = end - begin;
   std::vector<int64_t> dims = inputs_.shape().dims();
   dims[0] = b;
@@ -73,6 +80,10 @@ void DataLoader::for_each_batch(
   // millisecond-scale batch assembly and buys clean exception
   // propagation through the future, so a persistent worker isn't worth
   // its lifecycle complexity here.
+  struct Prefetched {
+    Batch batch;
+    std::exception_ptr error;
+  };
   auto launch = [&](int64_t begin) {
     const int64_t end = std::min<int64_t>(size(), begin + batch_size_);
     // Determinism is upheld without the pool: gathers never overlap (the
@@ -81,16 +92,31 @@ void DataLoader::for_each_batch(
     // and routing this through ThreadPool would deadlock-prone couple
     // batch assembly to kernel dispatch.
     return std::async(std::launch::async,  // apt-lint: allow(thread)
-                      [this, &order, begin, end] {
-                        return gather(order, begin, end);
+                      [this, &order, begin, end]() -> Prefetched {
+                        // The task must not exit by exception: a throw
+                        // would surface only at get() — or vanish into
+                        // the future's blocking destructor when fn threw
+                        // and the consumer is unwinding. Capture it and
+                        // rethrow on the consumer thread instead.
+                        try {
+                          return {gather(order, begin, end), nullptr};
+                        } catch (...) {
+                          return {{}, std::current_exception()};
+                        }
                       });
   };
-  std::future<Batch> next = launch(0);
+  // `next` is declared after `order` on purpose: if fn throws, unwinding
+  // destroys `next` first, and the async destructor waits out the
+  // in-flight gather before the order/this references it holds die.
+  std::future<Prefetched> next = launch(0);
   int64_t index = 0;
   for (int64_t begin = 0; begin < size(); begin += batch_size_, ++index) {
-    const Batch batch = next.get();
+    Prefetched got = next.get();
+    // Producer-side failure is rethrown here, at the batch boundary, on
+    // the consumer thread — never from a destructor, never terminate().
+    if (got.error) std::rethrow_exception(got.error);
     if (begin + batch_size_ < size()) next = launch(begin + batch_size_);
-    fn(index, batch);
+    fn(index, got.batch);
   }
 }
 

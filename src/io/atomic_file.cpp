@@ -1,0 +1,161 @@
+#include "io/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <new>
+
+#include "base/fault.hpp"
+
+namespace apt::io {
+namespace {
+
+Status io_error(const std::string& what, const std::string& path, int err) {
+  return {StatusCode::kIoError,
+          what + " " + path + ": " + std::strerror(err)};
+}
+
+/// Writes all of [data, data+size) through the fd, retrying short
+/// writes and EINTR. The io.write.short site simulates the disk filling
+/// mid-file: half the remaining bytes land, then the write fails — the
+/// caller must unlink the torn temp file.
+Status write_all(int fd, const std::string& path, const uint8_t* data,
+                 size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    size_t chunk = size - done;
+    if (APT_FAULT_POINT("io.write.short")) {
+      if (chunk > 1) {
+        (void)::write(fd, data + done, chunk / 2);
+      }
+      return {StatusCode::kIoError,
+              "write " + path + ": injected short write (disk full)"};
+    }
+    const ssize_t n = ::write(fd, data + done, chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return io_error("write", path, errno);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+/// fsync on the directory containing `path`, so the rename itself is
+/// durable. Best-effort: some filesystems reject directory fsync; that
+/// does not make the just-renamed file torn, so failures are ignored.
+void sync_parent_dir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  (void)::close(fd);
+}
+
+}  // namespace
+
+std::string atomic_tmp_path(const std::string& path) {
+  return path + ".tmp." + std::to_string(::getpid());
+}
+
+Status write_file_atomic(const std::string& path, const void* data,
+                         size_t size) {
+  const std::string tmp = atomic_tmp_path(path);
+  if (APT_FAULT_POINT("io.write.open"))
+    return {StatusCode::kIoError, "open " + tmp + ": injected open failure"};
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) return io_error("open", tmp, errno);
+
+  auto fail = [&](Status status) {
+    (void)::close(fd);
+    (void)::unlink(tmp.c_str());
+    return status;
+  };
+
+  Status st = write_all(fd, tmp, static_cast<const uint8_t*>(data), size);
+  if (!st.ok()) return fail(std::move(st));
+
+  // Deterministic window for the kill-mid-save chaos test: the bytes
+  // are in the temp file, the final path still holds the old artifact.
+  APT_FAULT_STALL("io.write.stall");
+
+  if (APT_FAULT_POINT("io.write.fsync"))
+    return fail({StatusCode::kIoError,
+                 "fsync " + tmp + ": injected fsync failure"});
+  if (::fsync(fd) < 0) return fail(io_error("fsync", tmp, errno));
+  if (::close(fd) < 0) {
+    (void)::unlink(tmp.c_str());
+    return io_error("close", tmp, errno);
+  }
+
+  if (APT_FAULT_POINT("io.write.rename")) {
+    (void)::unlink(tmp.c_str());
+    return {StatusCode::kIoError,
+            "rename " + tmp + ": injected rename failure"};
+  }
+  if (::rename(tmp.c_str(), path.c_str()) < 0) {
+    const int err = errno;
+    (void)::unlink(tmp.c_str());
+    return io_error("rename", tmp, err);
+  }
+  sync_parent_dir(path);
+  return Status::Ok();
+}
+
+Status read_file(const std::string& path, std::vector<uint8_t>* out) {
+  out->clear();
+  if (APT_FAULT_POINT("io.read.open"))
+    return {StatusCode::kIoError, "open " + path + ": injected open failure"};
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return io_error("open", path, errno);
+
+  auto fail = [&](Status status) {
+    (void)::close(fd);
+    out->clear();
+    return status;
+  };
+
+  struct stat sb{};
+  if (::fstat(fd, &sb) < 0) return fail(io_error("stat", path, errno));
+  const auto size = static_cast<size_t>(sb.st_size);
+  if (APT_FAULT_POINT("io.read.alloc"))
+    return fail({StatusCode::kIoError,
+                 "read " + path + ": injected allocation failure"});
+  try {
+    out->resize(size);
+  } catch (const std::bad_alloc&) {
+    return fail({StatusCode::kIoError,
+                 "read " + path + ": cannot buffer " +
+                     std::to_string(size) + " bytes"});
+  }
+
+  size_t done = 0;
+  while (done < size) {
+    if (APT_FAULT_POINT("io.read.short"))
+      return fail({StatusCode::kIoError,
+                   "read " + path + ": injected short read"});
+    const ssize_t n = ::read(fd, out->data() + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail(io_error("read", path, errno));
+    }
+    if (n == 0) {
+      // The file shrank under us (concurrent truncate): surface it as
+      // an I/O error, not a silent short buffer.
+      return fail({StatusCode::kIoError,
+                   "read " + path + ": file shrank while reading"});
+    }
+    done += static_cast<size_t>(n);
+  }
+  (void)::close(fd);
+  return Status::Ok();
+}
+
+}  // namespace apt::io

@@ -1,0 +1,39 @@
+// Crash-safe whole-file I/O (DESIGN.md §16).
+//
+// `write_file_atomic` publishes a byte buffer with the classic
+// write-to-temp → fsync → atomic-rename protocol: readers (and a crash
+// at any instant) observe either the previous file or the complete new
+// one at the final path, never a torn prefix. The temp file lives next
+// to the target as `<path>.tmp.<pid>` — same directory, so the rename
+// stays atomic (no cross-filesystem fallback) — and is unlinked on any
+// failure.
+//
+// Both directions carry named fault-injection sites (io.write.*,
+// io.read.*; see base/fault.hpp) so the chaos tier can fail every step
+// deterministically and assert the protocol's guarantees.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.hpp"
+
+namespace apt::io {
+
+/// The temp path `write_file_atomic` stages through for `path` in this
+/// process. Exposed so the kill-mid-save chaos test can assert the
+/// child's staging file, not just the final path.
+std::string atomic_tmp_path(const std::string& path);
+
+/// Writes `size` bytes to `path` atomically (temp + fsync + rename).
+/// On any failure the temp file is removed and `path` is untouched;
+/// never leaves a torn file at `path`.
+Status write_file_atomic(const std::string& path, const void* data,
+                         size_t size);
+
+/// Reads the whole file into `*out` (replacing its contents). Returns
+/// kIoError when the file cannot be opened, read, or buffered.
+Status read_file(const std::string& path, std::vector<uint8_t>* out);
+
+}  // namespace apt::io

@@ -1,66 +1,125 @@
-// Little-endian binary stream helpers shared by the io serializers
+// In-memory little-endian serialization for the io artifact formats
 // (checkpoints, compiled models).
 //
-// Every writer emits fixed-width scalars via raw byte copies and every
-// reader consumes the same widths, so a file written on one host reads
-// identically on any other little-endian host and a save → load → save
-// round trip is byte-identical — the property the compiled-model tests
-// assert. Doubles are stored as their raw 8-byte IEEE-754 pattern (never
-// formatted), so quantisation scales survive the trip bit-exactly.
+// Writers append fixed-width scalars to a byte buffer via raw copies
+// and readers consume the same widths, so an artifact written on one
+// host reads identically on any other little-endian host and a save →
+// load → save round trip is byte-identical — the property the
+// compiled-model tests assert. Doubles are stored as their raw 8-byte
+// IEEE-754 pattern (never formatted), so quantisation scales survive
+// the trip bit-exactly.
+//
+// BufReader is the defensive half (DESIGN.md §16): every read is
+// bounds-checked against the buffer and failure is *sticky* — after the
+// first overrun all further reads return zero values and ok() stays
+// false, so a parser can run to its natural end and report one typed
+// error instead of branching after every field. Length prefixes are
+// validated against the bytes actually remaining BEFORE any allocation,
+// so an adversarial length field cannot trigger a huge resize.
 #pragma once
 
 #include <cstdint>
-#include <fstream>
+#include <cstring>
 #include <string>
 #include <type_traits>
 #include <vector>
 
-#include "base/check.hpp"
-
 namespace apt::io {
 
-template <typename T>
-void write_pod(std::ofstream& f, const T& v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  f.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
+/// Appends little-endian fields to a caller-owned byte vector.
+class BufWriter {
+ public:
+  explicit BufWriter(std::vector<uint8_t>* out) : out_(out) {}
 
-template <typename T>
-T read_pod(std::ifstream& f) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  T v{};
-  f.read(reinterpret_cast<char*>(&v), sizeof(v));
-  return v;
-}
+  template <typename T>
+  void pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bytes(&v, sizeof(v));
+  }
 
-inline void write_string(std::ofstream& f, const std::string& s) {
-  write_pod<uint64_t>(f, s.size());
-  f.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
+  void bytes(const void* data, size_t size) {
+    if (size == 0) return;  // empty vectors may carry a null data()
+    const auto* p = static_cast<const uint8_t*>(data);
+    out_->insert(out_->end(), p, p + size);
+  }
 
-inline std::string read_string(std::ifstream& f) {
-  const auto n = read_pod<uint64_t>(f);
-  std::string s(n, '\0');
-  f.read(s.data(), static_cast<std::streamsize>(n));
-  return s;
-}
+  void str(const std::string& s) {
+    pod<uint64_t>(s.size());
+    bytes(s.data(), s.size());
+  }
 
-template <typename T>
-void write_vec(std::ofstream& f, const std::vector<T>& v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  write_pod<uint64_t>(f, v.size());
-  f.write(reinterpret_cast<const char*>(v.data()),
-          static_cast<std::streamsize>(sizeof(T) * v.size()));
-}
+  template <typename T>
+  void vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    pod<uint64_t>(v.size());
+    bytes(v.data(), sizeof(T) * v.size());
+  }
 
-template <typename T>
-std::vector<T> read_vec(std::ifstream& f) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  const auto n = read_pod<uint64_t>(f);
-  std::vector<T> v(static_cast<size_t>(n));
-  f.read(reinterpret_cast<char*>(v.data()),
-         static_cast<std::streamsize>(sizeof(T) * v.size()));
-  return v;
-}
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+/// Bounds-checked reader over a byte span. Does not own the bytes.
+class BufReader {
+ public:
+  BufReader(const uint8_t* data, size_t size) : at_(data), end_(data + size) {}
+
+  /// False after any read ran past the end (sticky).
+  bool ok() const { return ok_; }
+  size_t remaining() const { return static_cast<size_t>(end_ - at_); }
+  /// A parse is complete only when it is ok() AND consumed every byte:
+  /// trailing garbage in a checksummed section is corruption too.
+  bool exhausted() const { return ok_ && at_ == end_; }
+
+  template <typename T>
+  T pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v{};
+    take(&v, sizeof(v));
+    return v;
+  }
+
+  std::string str() {
+    const auto n = pod<uint64_t>();
+    if (!has(n)) return {};
+    std::string s(static_cast<size_t>(n), '\0');
+    take(s.data(), s.size());
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> vec() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto n = pod<uint64_t>();
+    if (n > remaining() / sizeof(T)) {
+      ok_ = false;  // lies about more elements than bytes left: reject
+      return {};    // before allocating anything
+    }
+    std::vector<T> v(static_cast<size_t>(n));
+    take(v.data(), sizeof(T) * v.size());
+    return v;
+  }
+
+ private:
+  bool has(uint64_t n) {
+    if (ok_ && n <= remaining()) return true;
+    ok_ = false;
+    return false;
+  }
+
+  void take(void* dst, size_t n) {
+    if (n == 0) return;  // empty vectors may carry a null data()
+    if (!has(n)) {
+      std::memset(dst, 0, n);
+      return;
+    }
+    std::memcpy(dst, at_, n);
+    at_ += n;
+  }
+
+  const uint8_t* at_;
+  const uint8_t* end_;
+  bool ok_ = true;
+};
 
 }  // namespace apt::io

@@ -1,25 +1,32 @@
 #include "io/checkpoint.hpp"
 
 #include <cstdint>
-#include <fstream>
 #include <map>
+#include <utility>
+#include <vector>
 
-#include "io/binary_io.hpp"
+#include "base/check.hpp"
+#include "io/artifact.hpp"
 #include "nn/batchnorm.hpp"
 
 namespace apt::io {
 namespace {
 
 constexpr uint32_t kMagic = 0x41505443;  // "APTC"
-constexpr uint32_t kVersion = 1;
+constexpr const char* kSchema = "apt-checkpoint/2";
 
-void write_tensor(std::ofstream& f, const std::string& name,
+/// Sanity ceiling for one record (2^40 floats ≈ 4 TB): anything larger
+/// cannot be a real checkpoint and must not drive an allocation.
+constexpr uint64_t kMaxElems = uint64_t{1} << 40;
+
+void write_tensor(ArtifactWriter& artifact, const std::string& name,
                   const apt::Tensor& t) {
-  write_string(f, name);
-  write_pod<uint64_t>(f, static_cast<uint64_t>(t.shape().rank()));
-  for (int64_t d : t.shape().dims()) write_pod<int64_t>(f, d);
-  f.write(reinterpret_cast<const char*>(t.data()),
-          static_cast<std::streamsize>(sizeof(float) * t.numel()));
+  BufWriter w = artifact.section();
+  w.str(name);
+  w.pod<uint64_t>(static_cast<uint64_t>(t.shape().rank()));
+  for (int64_t d : t.shape().dims()) w.pod<int64_t>(d);
+  w.pod<uint64_t>(static_cast<uint64_t>(t.numel()));
+  w.bytes(t.data(), sizeof(float) * static_cast<size_t>(t.numel()));
 }
 
 struct Record {
@@ -27,76 +34,118 @@ struct Record {
   std::vector<float> data;
 };
 
-std::map<std::string, Record> read_all(const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  APT_CHECK(f.good()) << "cannot open checkpoint " << path;
-  const auto magic = read_pod<uint32_t>(f);
-  const auto version = read_pod<uint32_t>(f);
-  APT_CHECK(magic == kMagic) << path << ": not an APT checkpoint";
-  APT_CHECK(version == kVersion) << path << ": unsupported version " << version;
+Status read_all(const std::string& path,
+                std::map<std::string, Record>* records) {
+  ArtifactReader artifact;
+  Status st = artifact.open(path, kMagic, kSchema);
+  if (!st.ok()) return st;
 
-  std::map<std::string, Record> records;
-  while (true) {
-    uint64_t n = 0;
-    f.read(reinterpret_cast<char*>(&n), sizeof(n));
-    if (!f.good()) break;
-    std::string name(n, '\0');
-    f.read(name.data(), static_cast<std::streamsize>(n));
-    const auto rank = read_pod<uint64_t>(f);
-    std::vector<int64_t> dims(rank);
-    for (auto& d : dims) d = read_pod<int64_t>(f);
-    Record rec{apt::Shape(dims), {}};
-    rec.data.resize(static_cast<size_t>(rec.shape.numel()));
-    f.read(reinterpret_cast<char*>(rec.data.data()),
-           static_cast<std::streamsize>(sizeof(float) * rec.data.size()));
-    APT_CHECK(f.good()) << path << ": truncated record " << name;
-    records.emplace(std::move(name), std::move(rec));
+  for (size_t i = 0; i < artifact.sections(); ++i) {
+    BufReader r = artifact.section(i);
+    std::string name = r.str();
+    const auto rank = r.pod<uint64_t>();
+    auto corrupt = [&](const char* why) {
+      return Status{StatusCode::kCorrupt,
+                    path + ": record " + std::to_string(i) + " (" + name +
+                        "): " + why};
+    };
+    if (!r.ok() || name.empty()) return corrupt("bad name or rank");
+    if (rank > 16) return corrupt("implausible rank");
+    std::vector<int64_t> dims(static_cast<size_t>(rank));
+    uint64_t numel = 1;
+    for (auto& d : dims) {
+      d = r.pod<int64_t>();
+      if (!r.ok() || d < 0) return corrupt("bad dim");
+      const auto u = static_cast<uint64_t>(d);
+      if (u != 0 && numel > kMaxElems / u) return corrupt("oversized shape");
+      numel *= u;
+    }
+    Record rec{apt::Shape(dims), r.vec<float>()};
+    if (!r.exhausted()) return corrupt("truncated or oversized data");
+    if (rec.data.size() != numel) return corrupt("data does not match shape");
+    if (!records->emplace(std::move(name), std::move(rec)).second)
+      return corrupt("duplicate record name");
   }
-  return records;
+  return Status::Ok();
 }
 
 }  // namespace
 
-void save_checkpoint(nn::Layer& model, const std::string& path) {
-  std::ofstream f(path, std::ios::binary);
-  APT_CHECK(f.good()) << "cannot open " << path;
-  write_pod(f, kMagic);
-  write_pod(f, kVersion);
+Status try_save_checkpoint(nn::Layer& model, const std::string& path) {
+  ArtifactWriter artifact(kMagic, kSchema);
   for (nn::Layer* leaf : nn::leaves_of(model)) {
     for (nn::Parameter* p : leaf->parameters())
-      write_tensor(f, p->name, p->value);
+      write_tensor(artifact, p->name, p->value);
     if (auto* bn = dynamic_cast<nn::BatchNorm*>(leaf)) {
-      write_tensor(f, bn->name() + ".running_mean", bn->running_mean());
-      write_tensor(f, bn->name() + ".running_var", bn->running_var());
+      write_tensor(artifact, bn->name() + ".running_mean", bn->running_mean());
+      write_tensor(artifact, bn->name() + ".running_var", bn->running_var());
     }
   }
+  return artifact.write(path);
+}
+
+Status try_load_checkpoint(nn::Layer& model, const std::string& path) {
+  std::map<std::string, Record> records;
+  Status st = read_all(path, &records);
+  if (!st.ok()) return st;
+
+  // Two phases — verify everything, then copy — so a failed load leaves
+  // the model untouched rather than half-restored.
+  Status verify = Status::Ok();
+  auto fetch = [&](const std::string& name, const apt::Shape& shape,
+                   apt::Tensor* dst) -> const Record* {
+    const auto it = records.find(name);
+    if (it == records.end()) {
+      if (verify.ok())
+        verify = {StatusCode::kInvalidArgument,
+                  path + ": checkpoint missing " + name};
+      return nullptr;
+    }
+    if (it->second.shape != shape) {
+      if (verify.ok())
+        verify = {StatusCode::kInvalidArgument,
+                  path + ": " + name + ": shape " + it->second.shape.str() +
+                      " != " + shape.str()};
+      return nullptr;
+    }
+    if (dst != nullptr)
+      std::copy(it->second.data.begin(), it->second.data.end(), dst->data());
+    return &it->second;
+  };
+
+  const std::vector<nn::Layer*> leaves = nn::leaves_of(model);
+  for (const bool apply : {false, true}) {
+    for (nn::Layer* leaf : leaves) {
+      for (nn::Parameter* p : leaf->parameters()) {
+        fetch(p->name, p->value.shape(), apply ? &p->value : nullptr);
+        if (apply && p->rep != nullptr)
+          p->rep->refit_range(*p);  // storage must re-track values
+      }
+      if (auto* bn = dynamic_cast<nn::BatchNorm*>(leaf)) {
+        Tensor mean(Shape{bn->running_mean().numel()});
+        Tensor var(Shape{bn->running_var().numel()});
+        const Record* m =
+            fetch(bn->name() + ".running_mean", mean.shape(),
+                  apply ? &mean : nullptr);
+        const Record* v = fetch(bn->name() + ".running_var", var.shape(),
+                                apply ? &var : nullptr);
+        if (apply && m != nullptr && v != nullptr)
+          bn->set_running_stats(mean, var);
+      }
+    }
+    if (!verify.ok()) return verify;
+  }
+  return Status::Ok();
+}
+
+void save_checkpoint(nn::Layer& model, const std::string& path) {
+  const Status st = try_save_checkpoint(model, path);
+  APT_CHECK(st.ok()) << st.to_string();
 }
 
 void load_checkpoint(nn::Layer& model, const std::string& path) {
-  const auto records = read_all(path);
-  auto fetch = [&](const std::string& name, const apt::Shape& shape,
-                   apt::Tensor& dst) {
-    const auto it = records.find(name);
-    APT_CHECK(it != records.end()) << "checkpoint missing " << name;
-    APT_CHECK(it->second.shape == shape)
-        << name << ": shape " << it->second.shape.str() << " != "
-        << shape.str();
-    std::copy(it->second.data.begin(), it->second.data.end(), dst.data());
-  };
-
-  for (nn::Layer* leaf : nn::leaves_of(model)) {
-    for (nn::Parameter* p : leaf->parameters()) {
-      fetch(p->name, p->value.shape(), p->value);
-      if (p->rep) p->rep->refit_range(*p);  // storage must re-track values
-    }
-    if (auto* bn = dynamic_cast<nn::BatchNorm*>(leaf)) {
-      Tensor mean(Shape{bn->running_mean().numel()});
-      Tensor var(Shape{bn->running_var().numel()});
-      fetch(bn->name() + ".running_mean", mean.shape(), mean);
-      fetch(bn->name() + ".running_var", var.shape(), var);
-      bn->set_running_stats(mean, var);
-    }
-  }
+  const Status st = try_load_checkpoint(model, path);
+  APT_CHECK(st.ok()) << st.to_string();
 }
 
 }  // namespace apt::io

@@ -1,0 +1,31 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for artifact
+// section checksums (DESIGN.md §16). Table-driven, one byte per step —
+// artifact sections are a few MB at most, so simplicity beats a sliced
+// variant here.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace apt::io {
+
+inline uint32_t crc32(const void* data, size_t size, uint32_t seed = 0) {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = ~seed;
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i)
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return ~crc;
+}
+
+}  // namespace apt::io

@@ -628,6 +628,10 @@ bool plan_cache_save(const std::string& path) {
     out += '\n';
   }
   out += "  ]\n}\n";
+  // The plan cache is a non-durable perf hint, not an artifact: nn/
+  // cannot depend on src/io/ (layering), a torn file only costs a
+  // re-autotune, and plan_cache_load parses defensively.
+  // apt-lint: allow(rawio)
   std::ofstream f(path, std::ios::binary | std::ios::trunc);
   if (!f) return false;
   f.write(out.data(), static_cast<std::streamsize>(out.size()));

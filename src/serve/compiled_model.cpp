@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
-#include <fstream>
 
 #include "base/arena.hpp"
 #include "base/thread_pool.hpp"
+#include "io/artifact.hpp"
 #include "io/binary_io.hpp"
 #include "io/checkpoint.hpp"
 #include "models/blocks.hpp"
@@ -21,8 +21,7 @@ namespace apt::serve {
 namespace {
 
 constexpr uint32_t kMagic = 0x4150544D;  // "APTM"
-constexpr uint32_t kVersion = 1;
-constexpr const char* kSchema = "apt-compiled-model/1";
+constexpr const char* kSchema = "apt-compiled-model/2";
 
 // -- lowering ---------------------------------------------------------------
 
@@ -541,68 +540,260 @@ void exec_add(const CompiledOp& op, int64_t total, InferenceContext& ctx) {
 
 // -- serialization ----------------------------------------------------------
 
-void write_grid(std::ofstream& f, const quant::QuantParams& p) {
-  io::write_pod<double>(f, p.scale);
-  io::write_pod<int64_t>(f, p.zero_point);
-  io::write_pod<int32_t>(f, p.bits);
+void write_grid(io::BufWriter& w, const quant::QuantParams& p) {
+  w.pod<double>(p.scale);
+  w.pod<int64_t>(p.zero_point);
+  w.pod<int32_t>(p.bits);
 }
 
-quant::QuantParams read_grid(std::ifstream& f) {
+quant::QuantParams read_grid(io::BufReader& r) {
   quant::QuantParams p;
-  p.scale = io::read_pod<double>(f);
-  p.zero_point = io::read_pod<int64_t>(f);
-  p.bits = io::read_pod<int32_t>(f);
+  p.scale = r.pod<double>();
+  p.zero_point = r.pod<int64_t>();
+  p.bits = r.pod<int32_t>();
   return p;
 }
 
-void write_plan(std::ofstream& f, const nn::KernelPlan& p) {
-  io::write_pod<uint8_t>(f, static_cast<uint8_t>(p.key.op));
-  io::write_pod<int64_t>(f, p.key.m);
-  io::write_pod<int64_t>(f, p.key.n);
-  io::write_pod<int64_t>(f, p.key.k);
-  io::write_pod<uint8_t>(f, p.key.trans_a ? 1 : 0);
-  io::write_pod<uint8_t>(f, p.key.trans_b ? 1 : 0);
-  io::write_pod<int32_t>(f, p.key.max_a);
-  io::write_pod<int32_t>(f, p.key.max_b);
-  io::write_pod<int32_t>(f, p.key.kernel);
-  io::write_pod<int32_t>(f, p.key.stride);
-  io::write_pod<int32_t>(f, p.key.padding);
-  io::write_pod<int32_t>(f, p.key.threads);
-  io::write_pod<uint8_t>(f, static_cast<uint8_t>(p.strategy));
-  io::write_pod<int64_t>(f, p.mr);
-  io::write_pod<int64_t>(f, p.nr);
-  io::write_pod<int64_t>(f, p.kc);
-  io::write_pod<int64_t>(f, p.mc);
-  io::write_pod<int64_t>(f, p.nc);
-  io::write_pod<uint8_t>(f, p.parallel ? 1 : 0);
-  io::write_pod<uint8_t>(f, p.split_n ? 1 : 0);
-  io::write_pod<uint8_t>(f, p.autotuned ? 1 : 0);
+void write_plan(io::BufWriter& w, const nn::KernelPlan& p) {
+  w.pod<uint8_t>(static_cast<uint8_t>(p.key.op));
+  w.pod<int64_t>(p.key.m);
+  w.pod<int64_t>(p.key.n);
+  w.pod<int64_t>(p.key.k);
+  w.pod<uint8_t>(p.key.trans_a ? 1 : 0);
+  w.pod<uint8_t>(p.key.trans_b ? 1 : 0);
+  w.pod<int32_t>(p.key.max_a);
+  w.pod<int32_t>(p.key.max_b);
+  w.pod<int32_t>(p.key.kernel);
+  w.pod<int32_t>(p.key.stride);
+  w.pod<int32_t>(p.key.padding);
+  w.pod<int32_t>(p.key.threads);
+  w.pod<uint8_t>(static_cast<uint8_t>(p.strategy));
+  w.pod<int64_t>(p.mr);
+  w.pod<int64_t>(p.nr);
+  w.pod<int64_t>(p.kc);
+  w.pod<int64_t>(p.mc);
+  w.pod<int64_t>(p.nc);
+  w.pod<uint8_t>(p.parallel ? 1 : 0);
+  w.pod<uint8_t>(p.split_n ? 1 : 0);
+  w.pod<uint8_t>(p.autotuned ? 1 : 0);
 }
 
-nn::KernelPlan read_plan(std::ifstream& f) {
+nn::KernelPlan read_plan(io::BufReader& r) {
   nn::KernelPlan p;
-  p.key.op = static_cast<nn::PlanOp>(io::read_pod<uint8_t>(f));
-  p.key.m = io::read_pod<int64_t>(f);
-  p.key.n = io::read_pod<int64_t>(f);
-  p.key.k = io::read_pod<int64_t>(f);
-  p.key.trans_a = io::read_pod<uint8_t>(f) != 0;
-  p.key.trans_b = io::read_pod<uint8_t>(f) != 0;
-  p.key.max_a = io::read_pod<int32_t>(f);
-  p.key.max_b = io::read_pod<int32_t>(f);
-  p.key.kernel = io::read_pod<int32_t>(f);
-  p.key.stride = io::read_pod<int32_t>(f);
-  p.key.padding = io::read_pod<int32_t>(f);
-  p.key.threads = io::read_pod<int32_t>(f);
-  p.strategy = static_cast<nn::PlanStrategy>(io::read_pod<uint8_t>(f));
-  p.mr = io::read_pod<int64_t>(f);
-  p.nr = io::read_pod<int64_t>(f);
-  p.kc = io::read_pod<int64_t>(f);
-  p.mc = io::read_pod<int64_t>(f);
-  p.nc = io::read_pod<int64_t>(f);
-  p.parallel = io::read_pod<uint8_t>(f) != 0;
-  p.split_n = io::read_pod<uint8_t>(f) != 0;
-  p.autotuned = io::read_pod<uint8_t>(f) != 0;
+  p.key.op = static_cast<nn::PlanOp>(r.pod<uint8_t>());
+  p.key.m = r.pod<int64_t>();
+  p.key.n = r.pod<int64_t>();
+  p.key.k = r.pod<int64_t>();
+  p.key.trans_a = r.pod<uint8_t>() != 0;
+  p.key.trans_b = r.pod<uint8_t>() != 0;
+  p.key.max_a = r.pod<int32_t>();
+  p.key.max_b = r.pod<int32_t>();
+  p.key.kernel = r.pod<int32_t>();
+  p.key.stride = r.pod<int32_t>();
+  p.key.padding = r.pod<int32_t>();
+  p.key.threads = r.pod<int32_t>();
+  p.strategy = static_cast<nn::PlanStrategy>(r.pod<uint8_t>());
+  p.mr = r.pod<int64_t>();
+  p.nr = r.pod<int64_t>();
+  p.kc = r.pod<int64_t>();
+  p.mc = r.pod<int64_t>();
+  p.nc = r.pod<int64_t>();
+  p.parallel = r.pod<uint8_t>() != 0;
+  p.split_n = r.pod<uint8_t>() != 0;
+  p.autotuned = r.pod<uint8_t>() != 0;
   return p;
+}
+
+// -- load-time semantic validation ------------------------------------------
+//
+// The container checksums guarantee the bytes are the bytes that were
+// saved, but a load must also defend against a *crafted* artifact with
+// valid CRCs: every register index, geometry field, and operand size is
+// proven consistent here, so `run` (and InferenceContext::bind) cannot
+// read or write out of bounds no matter what the file said.
+
+/// Ceiling on per-register / per-operand element counts (2^28 ≈ 268M):
+/// far beyond any real model, small enough that bind() cannot be driven
+/// into pathological allocations.
+constexpr int64_t kMaxElemsPerReg = int64_t{1} << 28;
+
+bool valid_plan(const nn::KernelPlan& p, nn::PlanOp op, int64_t m, int64_t n,
+                int64_t k) {
+  if (p.key.op != op || p.key.m != m || p.key.n != n || p.key.k != k)
+    return false;
+  if (p.strategy != nn::PlanStrategy::kS8Pairs &&
+      p.strategy != nn::PlanStrategy::kS8Quad &&
+      p.strategy != nn::PlanStrategy::kS8ConvDirect)
+    return false;
+  for (int64_t block : {p.mr, p.nr, p.kc, p.mc, p.nc})
+    if (block < 0 || block > (int64_t{1} << 24)) return false;
+  return true;
+}
+
+bool valid_grid(const quant::QuantParams& g) {
+  return g.bits >= 1 && g.bits <= 8 && g.zero_point >= 0 &&
+         g.zero_point <= quant::max_code(g.bits) && std::isfinite(g.scale) &&
+         g.scale > 0.0;
+}
+
+/// a*b, or false when the product is negative or above kMaxElemsPerReg.
+bool mul_ok(int64_t a, int64_t b, int64_t* out) {
+  if (a < 0 || b < 0) return false;
+  if (b != 0 && a > kMaxElemsPerReg / b) return false;
+  *out = a * b;
+  return true;
+}
+
+Status validate_program(const std::string& path, const CompiledModel& cm,
+                        int32_t out_reg) {
+  auto corrupt = [&](const std::string& why) {
+    return Status{StatusCode::kCorrupt, path + ": " + why};
+  };
+  const std::vector<RegInfo>& regs = cm.regs();
+  if (cm.max_batch() < 1 || cm.max_batch() > 4096)
+    return corrupt("implausible max_batch");
+  if (regs.empty()) return corrupt("no registers");
+  int64_t total_elems = 0;
+  for (const RegInfo& r : regs) {
+    if (r.elems < 1 || r.elems > kMaxElemsPerReg)
+      return corrupt("register size out of range");
+    total_elems += r.elems;
+    if (total_elems > kMaxElemsPerReg) return corrupt("registers too large");
+  }
+  const auto nregs = static_cast<int32_t>(regs.size());
+  auto reg = [&](int32_t r) -> const RegInfo& {
+    return regs[static_cast<size_t>(r)];
+  };
+  auto reg_ok = [&](int32_t r) { return r >= 0 && r < nregs; };
+  if (regs[0].codes || regs[0].elems != cm.in_elems())
+    return corrupt("input register does not match the sample shape");
+  if (!reg_ok(out_reg) || reg(out_reg).codes ||
+      reg(out_reg).elems != cm.out_elems())
+    return corrupt("bad output register");
+
+  for (size_t i = 0; i < cm.ops().size(); ++i) {
+    const CompiledOp& op = cm.ops()[i];
+    auto bad = [&](const char* why) {
+      return corrupt("op " + std::to_string(i) + ": " + why);
+    };
+    if (!reg_ok(op.in0) || !reg_ok(op.out)) return bad("register out of range");
+    const RegInfo& rin = reg(op.in0);
+    const RegInfo& rout = reg(op.out);
+    if (op.kind == OpKind::kAddF32) {
+      if (!reg_ok(op.in1)) return bad("register out of range");
+    } else if (op.in1 != -1) {
+      return bad("unexpected second input");
+    }
+    const bool fused =
+        op.kind == OpKind::kConvS8 || op.kind == OpKind::kLinearS8;
+    if (!fused && (rin.codes || rout.codes))
+      return bad("code register on a non-fused op");
+    if (fused) {
+      if (op.in_codes != rin.codes || op.emit_codes != rout.codes)
+        return bad("code flags disagree with registers");
+      if (!valid_grid(op.in_grid) || !valid_grid(op.w_grid))
+        return bad("bad quantisation grid");
+      if (op.emit_codes && !valid_grid(op.out_grid))
+        return bad("bad requant grid");
+      if (op.w_max < 1 || op.w_max > 255) return bad("bad weight ceiling");
+      if (!op.ch_scale.empty() &&
+          op.ch_scale.size() != static_cast<size_t>(op.oc))
+        return bad("epilogue scale length");
+      if (!op.ch_bias.empty() &&
+          op.ch_bias.size() != static_cast<size_t>(op.oc))
+        return bad("epilogue bias length");
+    }
+
+    int64_t in_span = 0, out_span = 0, weights = 0;
+    switch (op.kind) {
+      case OpKind::kConvS8: {
+        if (op.c < 1 || op.h < 1 || op.w < 1 || op.oc < 1 ||
+            op.kernel < 1 || op.kernel > (1 << 14) || op.stride < 1 ||
+            op.stride > (1 << 14) || op.padding < 0 ||
+            op.padding > (1 << 14) || op.groups < 1)
+          return bad("conv geometry out of range");
+        if (op.c % op.groups != 0 || op.oc % op.groups != 0)
+          return bad("groups do not divide channels");
+        const int64_t ph = op.h + 2 * op.padding, pw = op.w + 2 * op.padding;
+        if (op.kernel > ph || op.kernel > pw)
+          return bad("kernel larger than padded input");
+        if (op.oh != (ph - op.kernel) / op.stride + 1 ||
+            op.ow != (pw - op.kernel) / op.stride + 1)
+          return bad("output geometry inconsistent");
+        const int64_t icg = op.c / op.groups;
+        int64_t krows = 0, hw = 0;
+        if (!mul_ok(op.c, op.h, &in_span) || !mul_ok(in_span, op.w, &in_span) ||
+            !mul_ok(op.oc, op.oh, &out_span) ||
+            !mul_ok(out_span, op.ow, &out_span) ||
+            !mul_ok(icg, op.kernel * op.kernel, &krows) ||
+            !mul_ok(op.oc, krows, &weights) || !mul_ok(op.oh, op.ow, &hw))
+          return bad("conv geometry overflow");
+        if (op.plans.size() != 1 ||
+            !valid_plan(op.plans[0], nn::PlanOp::kConvS8, op.oc / op.groups,
+                        hw, krows))
+          return bad("conv plan inconsistent");
+        if (op.plans[0].strategy == nn::PlanStrategy::kS8ConvDirect &&
+            (op.kernel != 1 || op.stride != 1 || op.padding != 0))
+          return bad("direct plan on a non-1x1 conv");
+        break;
+      }
+      case OpKind::kLinearS8: {
+        if (op.c < 1 || op.oc < 1) return bad("linear geometry out of range");
+        in_span = op.c;
+        out_span = op.oc;
+        if (!mul_ok(op.oc, op.c, &weights)) return bad("linear overflow");
+        if (op.plans.size() != static_cast<size_t>(cm.max_batch()))
+          return bad("linear plan count");
+        for (int64_t m = 1; m <= cm.max_batch(); ++m) {
+          const nn::KernelPlan& p = op.plans[static_cast<size_t>(m - 1)];
+          if (!valid_plan(p, nn::PlanOp::kGemmS8, m, op.oc, op.c) ||
+              p.strategy == nn::PlanStrategy::kS8ConvDirect || !p.key.trans_b)
+            return bad("linear plan inconsistent");
+        }
+        break;
+      }
+      case OpKind::kReluF32:
+        in_span = rin.elems;
+        out_span = rin.elems;
+        break;
+      case OpKind::kMaxPoolF32: {
+        if (op.c < 1 || op.h < 1 || op.w < 1 || op.kernel < 1 ||
+            op.kernel > op.h || op.kernel > op.w)
+          return bad("pool geometry out of range");
+        if (op.oc != op.c || op.oh != op.h / op.kernel ||
+            op.ow != op.w / op.kernel || op.oh < 1 || op.ow < 1)
+          return bad("pool output inconsistent");
+        if (!mul_ok(op.c, op.h, &in_span) || !mul_ok(in_span, op.w, &in_span) ||
+            !mul_ok(op.oc, op.oh, &out_span) ||
+            !mul_ok(out_span, op.ow, &out_span))
+          return bad("pool geometry overflow");
+        break;
+      }
+      case OpKind::kGapF32: {
+        if (op.c < 1 || op.h < 1 || op.w < 1 || op.oc != op.c)
+          return bad("gap geometry out of range");
+        if (!mul_ok(op.c, op.h, &in_span) || !mul_ok(in_span, op.w, &in_span))
+          return bad("gap geometry overflow");
+        out_span = op.c;
+        break;
+      }
+      case OpKind::kAddF32: {
+        const RegInfo& rin1 = reg(op.in1);
+        if (rin1.codes || rin1.elems != rin.elems)
+          return bad("add operands disagree");
+        in_span = rin.elems;
+        out_span = rin.elems;
+        break;
+      }
+      default:
+        return bad("unknown op kind");
+    }
+    if (rin.elems != in_span || rout.elems != out_span)
+      return bad("register sizes disagree with geometry");
+    if (op.wcodes.size() != static_cast<size_t>(weights))
+      return bad("weight codes do not match geometry");
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -691,94 +882,136 @@ void CompiledModel::run(const float* in, int64_t batch, float* out,
               static_cast<size_t>(batch * out_elems_) * sizeof(float));
 }
 
-void CompiledModel::save(const std::string& path) const {
-  std::ofstream f(path, std::ios::binary);
-  APT_CHECK(f.good()) << "cannot open " << path;
-  io::write_pod(f, kMagic);
-  io::write_pod(f, kVersion);
-  io::write_string(f, kSchema);
-  io::write_pod<int64_t>(f, max_batch_);
-  io::write_vec<int64_t>(f, sample_shape_.dims());
-  io::write_pod<int64_t>(f, out_elems_);
-  io::write_pod<int32_t>(f, out_reg_);
-  io::write_pod<uint64_t>(f, regs_.size());
-  for (const RegInfo& r : regs_) {
-    io::write_pod<int64_t>(f, r.elems);
-    io::write_pod<uint8_t>(f, r.codes ? 1 : 0);
+Status CompiledModel::try_save(const std::string& path) const {
+  io::ArtifactWriter artifact(kMagic, kSchema);
+  {
+    io::BufWriter w = artifact.section();
+    w.pod<int64_t>(max_batch_);
+    w.vec<int64_t>(sample_shape_.dims());
+    w.pod<int64_t>(out_elems_);
+    w.pod<int32_t>(out_reg_);
+    w.pod<uint64_t>(regs_.size());
+    for (const RegInfo& r : regs_) {
+      w.pod<int64_t>(r.elems);
+      w.pod<uint8_t>(r.codes ? 1 : 0);
+    }
   }
-  io::write_pod<uint64_t>(f, ops_.size());
   for (const CompiledOp& op : ops_) {
-    io::write_pod<uint8_t>(f, static_cast<uint8_t>(op.kind));
-    io::write_pod<int32_t>(f, op.in0);
-    io::write_pod<int32_t>(f, op.in1);
-    io::write_pod<int32_t>(f, op.out);
+    io::BufWriter w = artifact.section();
+    w.pod<uint8_t>(static_cast<uint8_t>(op.kind));
+    w.pod<int32_t>(op.in0);
+    w.pod<int32_t>(op.in1);
+    w.pod<int32_t>(op.out);
     for (int64_t v : {op.c, op.h, op.w, op.oc, op.oh, op.ow, op.kernel,
                       op.stride, op.padding, op.groups})
-      io::write_pod<int64_t>(f, v);
-    io::write_pod<uint8_t>(f, op.in_codes ? 1 : 0);
-    io::write_pod<uint8_t>(f, op.emit_codes ? 1 : 0);
-    io::write_pod<uint8_t>(f, op.relu ? 1 : 0);
-    io::write_pod<float>(f, op.relu_cap);
-    io::write_pod<int32_t>(f, op.w_max);
-    write_grid(f, op.in_grid);
-    write_grid(f, op.w_grid);
-    write_grid(f, op.out_grid);
-    io::write_vec<double>(f, op.ch_scale);
-    io::write_vec<float>(f, op.ch_bias);
-    io::write_vec<uint8_t>(f, op.wcodes);
-    io::write_pod<uint64_t>(f, op.plans.size());
-    for (const nn::KernelPlan& p : op.plans) write_plan(f, p);
+      w.pod<int64_t>(v);
+    w.pod<uint8_t>(op.in_codes ? 1 : 0);
+    w.pod<uint8_t>(op.emit_codes ? 1 : 0);
+    w.pod<uint8_t>(op.relu ? 1 : 0);
+    w.pod<float>(op.relu_cap);
+    w.pod<int32_t>(op.w_max);
+    write_grid(w, op.in_grid);
+    write_grid(w, op.w_grid);
+    write_grid(w, op.out_grid);
+    w.vec<double>(op.ch_scale);
+    w.vec<float>(op.ch_bias);
+    w.vec<uint8_t>(op.wcodes);
+    w.pod<uint64_t>(op.plans.size());
+    for (const nn::KernelPlan& p : op.plans) write_plan(w, p);
   }
-  APT_CHECK(f.good()) << "write failed for " << path;
+  return artifact.write(path);
+}
+
+Status CompiledModel::try_load(const std::string& path, CompiledModel* out) {
+  io::ArtifactReader artifact;
+  Status st = artifact.open(path, kMagic, kSchema);
+  if (!st.ok()) return st;
+  auto corrupt = [&](const std::string& why) {
+    return Status{StatusCode::kCorrupt, path + ": " + why};
+  };
+  if (artifact.sections() < 1) return corrupt("missing header section");
+
+  CompiledModel cm;
+  {
+    io::BufReader r = artifact.section(0);
+    cm.max_batch_ = r.pod<int64_t>();
+    const std::vector<int64_t> dims = r.vec<int64_t>();
+    cm.out_elems_ = r.pod<int64_t>();
+    cm.out_reg_ = r.pod<int32_t>();
+    const auto reg_count = r.pod<uint64_t>();
+    if (!r.ok() || reg_count > r.remaining() / 9)
+      return corrupt("truncated header section");
+    cm.regs_.resize(static_cast<size_t>(reg_count));
+    for (RegInfo& reg : cm.regs_) {
+      reg.elems = r.pod<int64_t>();
+      reg.codes = r.pod<uint8_t>() != 0;
+    }
+    if (!r.exhausted()) return corrupt("header section size mismatch");
+    // Validate before Shape() — its constructor asserts on negatives.
+    int64_t numel = 1;
+    for (int64_t d : dims) {
+      if (d < 1 || numel > kMaxElemsPerReg / d)
+        return corrupt("bad sample shape");
+      numel *= d;
+    }
+    if (dims.empty()) return corrupt("bad sample shape");
+    cm.sample_shape_ = Shape(dims);
+    cm.in_elems_ = numel;
+  }
+
+  cm.ops_.resize(artifact.sections() - 1);
+  for (size_t i = 0; i < cm.ops_.size(); ++i) {
+    io::BufReader r = artifact.section(i + 1);
+    auto bad = [&](const char* why) {
+      return corrupt("op " + std::to_string(i) + ": " + why);
+    };
+    CompiledOp& op = cm.ops_[i];
+    const auto kind = r.pod<uint8_t>();
+    if (!r.ok() || kind > static_cast<uint8_t>(OpKind::kAddF32))
+      return bad("unknown kind");
+    op.kind = static_cast<OpKind>(kind);
+    op.in0 = r.pod<int32_t>();
+    op.in1 = r.pod<int32_t>();
+    op.out = r.pod<int32_t>();
+    for (int64_t* v : {&op.c, &op.h, &op.w, &op.oc, &op.oh, &op.ow,
+                       &op.kernel, &op.stride, &op.padding, &op.groups})
+      *v = r.pod<int64_t>();
+    op.in_codes = r.pod<uint8_t>() != 0;
+    op.emit_codes = r.pod<uint8_t>() != 0;
+    op.relu = r.pod<uint8_t>() != 0;
+    op.relu_cap = r.pod<float>();
+    op.w_max = r.pod<int32_t>();
+    op.in_grid = read_grid(r);
+    op.w_grid = read_grid(r);
+    op.out_grid = read_grid(r);
+    op.ch_scale = r.vec<double>();
+    op.ch_bias = r.vec<float>();
+    op.wcodes = r.vec<uint8_t>();
+    const auto plan_count = r.pod<uint64_t>();
+    // 95 bytes per serialised plan: reject impossible counts before the
+    // resize so an adversarial count cannot drive an allocation.
+    if (!r.ok() || plan_count > r.remaining() / 95)
+      return bad("truncated section");
+    op.plans.resize(static_cast<size_t>(plan_count));
+    for (nn::KernelPlan& p : op.plans) p = read_plan(r);
+    if (!r.exhausted()) return bad("section size mismatch");
+  }
+
+  st = validate_program(path, cm, cm.out_reg_);
+  if (!st.ok()) return st;
+  *out = std::move(cm);
+  return Status::Ok();
+}
+
+void CompiledModel::save(const std::string& path) const {
+  const Status st = try_save(path);
+  APT_CHECK(st.ok()) << st.to_string();
 }
 
 CompiledModel CompiledModel::load(const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  APT_CHECK(f.good()) << "cannot open compiled model " << path;
-  APT_CHECK(io::read_pod<uint32_t>(f) == kMagic)
-      << path << ": not an APT compiled model";
-  APT_CHECK(io::read_pod<uint32_t>(f) == kVersion)
-      << path << ": unsupported version";
-  APT_CHECK(io::read_string(f) == kSchema) << path << ": schema mismatch";
-
   CompiledModel cm;
-  cm.max_batch_ = io::read_pod<int64_t>(f);
-  cm.sample_shape_ = Shape(io::read_vec<int64_t>(f));
-  cm.in_elems_ = cm.sample_shape_.numel();
-  cm.out_elems_ = io::read_pod<int64_t>(f);
-  cm.out_reg_ = io::read_pod<int32_t>(f);
-  const auto reg_count = io::read_pod<uint64_t>(f);
-  cm.regs_.resize(static_cast<size_t>(reg_count));
-  for (RegInfo& r : cm.regs_) {
-    r.elems = io::read_pod<int64_t>(f);
-    r.codes = io::read_pod<uint8_t>(f) != 0;
-  }
-  const auto op_count = io::read_pod<uint64_t>(f);
-  cm.ops_.resize(static_cast<size_t>(op_count));
-  for (CompiledOp& op : cm.ops_) {
-    op.kind = static_cast<OpKind>(io::read_pod<uint8_t>(f));
-    op.in0 = io::read_pod<int32_t>(f);
-    op.in1 = io::read_pod<int32_t>(f);
-    op.out = io::read_pod<int32_t>(f);
-    for (int64_t* v : {&op.c, &op.h, &op.w, &op.oc, &op.oh, &op.ow,
-                       &op.kernel, &op.stride, &op.padding, &op.groups})
-      *v = io::read_pod<int64_t>(f);
-    op.in_codes = io::read_pod<uint8_t>(f) != 0;
-    op.emit_codes = io::read_pod<uint8_t>(f) != 0;
-    op.relu = io::read_pod<uint8_t>(f) != 0;
-    op.relu_cap = io::read_pod<float>(f);
-    op.w_max = io::read_pod<int32_t>(f);
-    op.in_grid = read_grid(f);
-    op.w_grid = read_grid(f);
-    op.out_grid = read_grid(f);
-    op.ch_scale = io::read_vec<double>(f);
-    op.ch_bias = io::read_vec<float>(f);
-    op.wcodes = io::read_vec<uint8_t>(f);
-    const auto plan_count = io::read_pod<uint64_t>(f);
-    op.plans.resize(static_cast<size_t>(plan_count));
-    for (nn::KernelPlan& p : op.plans) p = read_plan(f);
-  }
-  APT_CHECK(f.good()) << path << ": truncated compiled model";
+  const Status st = try_load(path, &cm);
+  APT_CHECK(st.ok()) << st.to_string();
   return cm;
 }
 

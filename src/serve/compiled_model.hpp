@@ -31,7 +31,13 @@
 // elementwise/per-sample loop (DESIGN.md §15 gives the argument).
 //
 // The artifact serialises with `save`/`load` (schema
-// apt-compiled-model/1, little-endian, byte-stable round trip).
+// apt-compiled-model/2: the checksummed io/artifact.hpp container,
+// little-endian, byte-stable round trip, crash-safe atomic save). Loads
+// validate the container, every section checksum, and the program's
+// semantic invariants (register indices, geometry, operand sizes)
+// before returning, so `run` never executes an inconsistent program;
+// the try_* forms report failures as a typed apt::Status (DESIGN.md
+// §16) and the classic forms throw CheckError.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +46,7 @@
 #include <vector>
 
 #include "base/shape.hpp"
+#include "base/status.hpp"
 #include "base/tensor.hpp"
 #include "nn/layer.hpp"
 #include "nn/plan.hpp"
@@ -152,8 +159,18 @@ class CompiledModel {
   const std::vector<CompiledOp>& ops() const { return ops_; }
   const std::vector<RegInfo>& regs() const { return regs_; }
 
-  /// Serialises as apt-compiled-model/1. A save → load → save round
-  /// trip is byte-identical (asserted by tests/serve_test.cpp).
+  /// Serialises as apt-compiled-model/2 via an atomic, checksummed
+  /// write (the final path never holds a torn artifact). A save → load
+  /// → save round trip is byte-identical (asserted by
+  /// tests/serve_test.cpp).
+  Status try_save(const std::string& path) const;
+
+  /// Loads and fully validates an artifact into `*out` (untouched on
+  /// failure): kIoError / kTruncated / kCorrupt / kVersionMismatch per
+  /// the DESIGN.md §16 taxonomy.
+  static Status try_load(const std::string& path, CompiledModel* out);
+
+  /// Wrappers over try_save / try_load that throw CheckError.
   void save(const std::string& path) const;
   static CompiledModel load(const std::string& path);
 

@@ -1,0 +1,434 @@
+// Chaos tier (`ctest -L fault`, DESIGN.md §16): drives every registered
+// fault-injection site and asserts the failure-path invariants — a
+// fault during save/load yields a typed Status and never a torn file at
+// the final path, a producer-side loader fault rethrows at the batch
+// boundary on the consumer thread, a stalled serving worker delays but
+// never corrupts responses, and a SIGKILL mid-save leaves the previous
+// artifact intact. Every trigger is counter-based, so each test fails
+// at the same point on every run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/check.hpp"
+#include "base/fault.hpp"
+#include "base/rng.hpp"
+#include "core/grid_representation.hpp"
+#include "data/loader.hpp"
+#include "io/atomic_file.hpp"
+#include "io/checkpoint.hpp"
+#include "models/zoo.hpp"
+#include "nn/linear.hpp"
+#include "serve/compiled_model.hpp"
+#include "serve/server.hpp"
+
+#if !defined(_WIN32)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace apt {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<uint8_t> slurp(const std::string& path) {
+  std::vector<uint8_t> bytes;
+  EXPECT_TRUE(io::read_file(path, &bytes).ok()) << path;
+  return bytes;
+}
+
+// Skip any test that needs armed sites when the hooks are compiled out
+// (cmake -DAPT_FAULT_INJECTION=OFF).
+#define REQUIRE_FAULT_INJECTION()                                   \
+  do {                                                              \
+    if (!fault::kCompiledIn)                                        \
+      GTEST_SKIP() << "built with APT_FAULT_INJECTION=OFF";         \
+  } while (0)
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::disarm_all(); }
+};
+using FaultSpecTest = FaultTest;
+using IoFaultTest = FaultTest;
+using LoaderFaultTest = FaultTest;
+using ServeFaultTest = FaultTest;
+
+TEST_F(FaultSpecTest, FiresOnExactlyTheNthHit) {
+  REQUIRE_FAULT_INJECTION();
+  ASSERT_TRUE(fault::arm("test.nth=3"));
+  EXPECT_TRUE(fault::enabled());
+  std::vector<bool> fired;
+  for (int i = 0; i < 5; ++i) fired.push_back(APT_FAULT_POINT("test.nth"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false}));
+  EXPECT_EQ(fault::hits("test.nth"), 5u);
+  EXPECT_EQ(fault::fired("test.nth"), 1u);
+}
+
+TEST_F(FaultSpecTest, RepeatFiresOnEveryHitFromTheNth) {
+  REQUIRE_FAULT_INJECTION();
+  ASSERT_TRUE(fault::arm("test.repeat=2+"));
+  std::vector<bool> fired;
+  for (int i = 0; i < 4; ++i)
+    fired.push_back(APT_FAULT_POINT("test.repeat"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, true, true}));
+  EXPECT_EQ(fault::fired("test.repeat"), 3u);
+}
+
+TEST_F(FaultSpecTest, MalformedSpecArmsNothing) {
+  REQUIRE_FAULT_INJECTION();
+  for (const char* bad :
+       {"nonsense", "=1", "a=", "a=0", "a=x", "a=1:", "a=1:x",
+        "a=1,b=", "a=+", "a=1++"}) {
+    EXPECT_FALSE(fault::arm(bad)) << "spec: '" << bad << "'";
+    EXPECT_FALSE(fault::enabled()) << "spec: '" << bad << "'";
+  }
+  // The empty spec (e.g. APT_FAULT unset) is a vacuous success that
+  // arms nothing.
+  EXPECT_TRUE(fault::arm(""));
+  EXPECT_FALSE(fault::enabled());
+  // A malformed tail must not half-arm the valid head.
+  EXPECT_FALSE(fault::arm("test.valid=1,broken"));
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(APT_FAULT_POINT("test.valid"));
+}
+
+TEST_F(FaultSpecTest, ArmingResetsCountersAndDisarmAllClears) {
+  REQUIRE_FAULT_INJECTION();
+  ASSERT_TRUE(fault::arm("test.reset=1"));
+  EXPECT_TRUE(APT_FAULT_POINT("test.reset"));
+  ASSERT_TRUE(fault::arm("test.reset=1"));  // counters restart at 0
+  EXPECT_TRUE(APT_FAULT_POINT("test.reset"));
+  fault::disarm_all();
+  EXPECT_FALSE(fault::enabled());
+  EXPECT_FALSE(APT_FAULT_POINT("test.reset"));
+}
+
+TEST_F(FaultSpecTest, ScopedFaultDisarmsOnExit) {
+  REQUIRE_FAULT_INJECTION();
+  {
+    fault::ScopedFault sf("test.scoped=1+");
+    EXPECT_TRUE(APT_FAULT_POINT("test.scoped"));
+  }
+  EXPECT_FALSE(fault::enabled());
+  EXPECT_FALSE(APT_FAULT_POINT("test.scoped"));
+}
+
+TEST_F(FaultSpecTest, ArmsFromTheEnvironment) {
+  REQUIRE_FAULT_INJECTION();
+#if !defined(_WIN32)
+  ASSERT_EQ(setenv("APT_FAULT", "test.env=1+", 1), 0);
+  EXPECT_TRUE(fault::arm_from_env());
+  unsetenv("APT_FAULT");
+  EXPECT_TRUE(APT_FAULT_POINT("test.env"));
+#else
+  GTEST_SKIP() << "setenv unavailable";
+#endif
+}
+
+TEST_F(FaultSpecTest, SitesEnumeratesTheRegisteredSurface) {
+  REQUIRE_FAULT_INJECTION();
+  (void)APT_FAULT_POINT("test.enumerated");
+  const std::vector<std::string> names = fault::sites();
+  EXPECT_NE(std::find(names.begin(), names.end(), "test.enumerated"),
+            names.end());
+}
+
+// --- artifact I/O under injected faults -------------------------------
+
+std::unique_ptr<nn::Sequential> make_small_model(uint64_t seed) {
+  Rng rng(seed);
+  return models::make_mlp(4, {8}, 3, rng);
+}
+
+TEST_F(IoFaultTest, EveryWriteFaultLeavesTheOldCheckpointIntact) {
+  REQUIRE_FAULT_INJECTION();
+  auto net = make_small_model(1);
+  const std::string path = temp_path("apt_fault_ckpt.bin");
+  ASSERT_TRUE(io::try_save_checkpoint(*net, path).ok());
+  const std::vector<uint8_t> reference = slurp(path);
+
+  for (const char* site : {"io.write.open", "io.write.short",
+                           "io.write.fsync", "io.write.rename"}) {
+    ASSERT_TRUE(fault::arm(std::string(site) + "=1"));
+    const Status st = io::try_save_checkpoint(*net, path);
+    const uint64_t fired = fault::fired(site);  // before disarm resets it
+    fault::disarm_all();
+    EXPECT_FALSE(st.ok()) << site;
+    EXPECT_EQ(st.code(), StatusCode::kIoError) << st.to_string();
+    EXPECT_GE(fired, 1u) << site << " never fired";
+    // The final path still holds the previous complete artifact and the
+    // staging file was cleaned up.
+    EXPECT_EQ(slurp(path), reference) << site << " tore the final path";
+    EXPECT_FALSE(std::filesystem::exists(io::atomic_tmp_path(path)))
+        << site << " leaked its temp file";
+  }
+  // Disarmed, the same save succeeds again.
+  EXPECT_TRUE(io::try_save_checkpoint(*net, path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST_F(IoFaultTest, WriteStallDelaysButSucceeds) {
+  REQUIRE_FAULT_INJECTION();
+  auto net = make_small_model(1);
+  const std::string path = temp_path("apt_fault_ckpt_stall.bin");
+  fault::ScopedFault sf("io.write.stall=1:20");
+  EXPECT_TRUE(io::try_save_checkpoint(*net, path).ok());
+  EXPECT_EQ(fault::fired("io.write.stall"), 1u);
+  auto restored = make_small_model(2);
+  EXPECT_TRUE(io::try_load_checkpoint(*restored, path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST_F(IoFaultTest, EveryReadFaultIsATypedErrorAndTheModelIsUntouched) {
+  REQUIRE_FAULT_INJECTION();
+  auto net = make_small_model(1);
+  const std::string path = temp_path("apt_fault_ckpt_read.bin");
+  ASSERT_TRUE(io::try_save_checkpoint(*net, path).ok());
+
+  auto target = make_small_model(2);
+  const std::vector<nn::Parameter*> params = target->parameters();
+  ASSERT_FALSE(params.empty());
+  const float sentinel = params[0]->value[0];
+
+  for (const char* site :
+       {"io.read.open", "io.read.alloc", "io.read.short"}) {
+    ASSERT_TRUE(fault::arm(std::string(site) + "=1"));
+    const Status st = io::try_load_checkpoint(*target, path);
+    const uint64_t fired = fault::fired(site);  // before disarm resets it
+    fault::disarm_all();
+    EXPECT_FALSE(st.ok()) << site;
+    EXPECT_EQ(st.code(), StatusCode::kIoError) << st.to_string();
+    EXPECT_GE(fired, 1u) << site << " never fired";
+    EXPECT_EQ(params[0]->value[0], sentinel)
+        << site << " mutated the model on a failed load";
+  }
+  EXPECT_TRUE(io::try_load_checkpoint(*target, path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST_F(IoFaultTest, CompiledModelSaveLoadSurvivesTheSameSweep) {
+  REQUIRE_FAULT_INJECTION();
+  Rng rng(3);
+  auto net = models::make_mlp(4, {8}, 3, rng);
+  for (nn::Layer* leaf : nn::leaves_of(*net)) {
+    if (auto* l = dynamic_cast<nn::Linear*>(leaf)) {
+      core::GridOptions go;
+      go.bits = 6;
+      l->weight().rep =
+          std::make_shared<core::GridRepresentation>(l->weight(), go);
+    }
+  }
+  Tensor calib(Shape{8, 4});
+  rng.fill_normal(calib, 0, 1);
+  net->forward(calib, /*training=*/true);
+  const serve::CompiledModel cm =
+      serve::CompiledModel::compile(*net, Shape{4});
+
+  const std::string path = temp_path("apt_fault_model.aptm");
+  ASSERT_TRUE(cm.try_save(path).ok());
+  const std::vector<uint8_t> reference = slurp(path);
+
+  for (const char* site : {"io.write.open", "io.write.short",
+                           "io.write.fsync", "io.write.rename"}) {
+    ASSERT_TRUE(fault::arm(std::string(site) + "=1"));
+    EXPECT_EQ(cm.try_save(path).code(), StatusCode::kIoError) << site;
+    fault::disarm_all();
+    EXPECT_EQ(slurp(path), reference) << site << " tore the final path";
+  }
+  for (const char* site :
+       {"io.read.open", "io.read.alloc", "io.read.short"}) {
+    ASSERT_TRUE(fault::arm(std::string(site) + "=1"));
+    serve::CompiledModel loaded;
+    EXPECT_EQ(serve::CompiledModel::try_load(path, &loaded).code(),
+              StatusCode::kIoError)
+        << site;
+    fault::disarm_all();
+  }
+  serve::CompiledModel loaded;
+  EXPECT_TRUE(serve::CompiledModel::try_load(path, &loaded).ok());
+  std::filesystem::remove(path);
+}
+
+// ThreadSanitizer does not support fork()-based tests.
+#if defined(__SANITIZE_THREAD__)
+#define APT_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define APT_TSAN 1
+#endif
+#endif
+
+#if !defined(_WIN32) && !defined(APT_TSAN)
+TEST_F(IoFaultTest, SigkillMidSaveLeavesTheOldArtifactIntact) {
+  REQUIRE_FAULT_INJECTION();
+  auto net = make_small_model(1);
+  const std::string path = temp_path("apt_fault_kill.bin");
+  ASSERT_TRUE(io::try_save_checkpoint(*net, path).ok());
+  const std::vector<uint8_t> reference = slurp(path);
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // io.write.stall parks the child between write and fsync — bytes
+    // staged in the temp file, final path untouched — for long enough
+    // that the parent's SIGKILL always lands inside the window.
+    fault::arm("io.write.stall=1:10000");
+    (void)io::try_save_checkpoint(*net, path);
+    _exit(0);  // not reached: the parent kills us mid-stall
+  }
+  // The child's staging path embeds *its* pid.
+  const std::string child_tmp = path + ".tmp." + std::to_string(child);
+  for (int i = 0; i < 2000 && !std::filesystem::exists(child_tmp); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(std::filesystem::exists(child_tmp))
+      << "child never reached the stall window";
+  ASSERT_EQ(kill(child, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+
+  // The torn bytes are confined to the staging file; the final path
+  // still loads as the complete previous checkpoint.
+  EXPECT_EQ(slurp(path), reference);
+  auto restored = make_small_model(2);
+  EXPECT_TRUE(io::try_load_checkpoint(*restored, path).ok());
+  std::filesystem::remove(child_tmp);
+  std::filesystem::remove(path);
+}
+#endif
+
+// --- data loader under injected faults --------------------------------
+
+data::DataLoader make_loader(int64_t n = 32, int64_t batch = 8) {
+  Rng rng(7);
+  Tensor inputs(Shape{n, 4});
+  rng.fill_normal(inputs, 0, 1);
+  std::vector<int32_t> labels(static_cast<size_t>(n), 0);
+  return {inputs, labels, batch, /*shuffle=*/true, /*seed=*/11};
+}
+
+TEST_F(LoaderFaultTest, ProducerThrowRethrownAtTheBatchBoundary) {
+  REQUIRE_FAULT_INJECTION();
+  data::DataLoader loader = make_loader();
+  // The 2nd gather — batch 1, assembled on the prefetch task while the
+  // consumer runs batch 0 — throws; the consumer must see it at the
+  // batch-1 boundary, after batch 0 was delivered intact.
+  fault::ScopedFault sf("data.gather=2");
+  int64_t delivered = 0;
+  EXPECT_THROW(
+      loader.for_each_batch([&](int64_t, const data::Batch& b) {
+        EXPECT_EQ(b.size(), 8);
+        ++delivered;
+      }),
+      CheckError);
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(LoaderFaultTest, SynchronousPathThrowsTheSameWay) {
+  REQUIRE_FAULT_INJECTION();
+  data::DataLoader loader = make_loader();
+  loader.set_prefetch(false);
+  fault::ScopedFault sf("data.gather=2");
+  int64_t delivered = 0;
+  EXPECT_THROW(
+      loader.for_each_batch([&](int64_t, const data::Batch&) {
+        ++delivered;
+      }),
+      CheckError);
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(LoaderFaultTest, ConsumerThrowWithAPrefetchInFlightIsClean) {
+  // No injection needed: fn throws while the prefetch of the next batch
+  // is still running. The abandoned future's destructor must quietly
+  // wait out the producer — no std::terminate, no dangling references.
+  data::DataLoader loader = make_loader();
+  EXPECT_THROW(
+      loader.for_each_batch([&](int64_t index, const data::Batch&) {
+        if (index == 1) throw std::runtime_error("consumer bailed");
+      }),
+      std::runtime_error);
+  // The loader remains usable for the next epoch.
+  int64_t delivered = 0;
+  loader.for_each_batch(
+      [&](int64_t, const data::Batch&) { ++delivered; });
+  EXPECT_EQ(delivered, loader.batches_per_epoch());
+}
+
+// --- serving under injected faults ------------------------------------
+
+TEST_F(ServeFaultTest, StalledWorkersDelayButNeverCorruptResponses) {
+  REQUIRE_FAULT_INJECTION();
+  Rng rng(5);
+  auto net = models::make_mlp(4, {8}, 3, rng);
+  for (nn::Layer* leaf : nn::leaves_of(*net)) {
+    if (auto* l = dynamic_cast<nn::Linear*>(leaf)) {
+      core::GridOptions go;
+      go.bits = 6;
+      l->weight().rep =
+          std::make_shared<core::GridRepresentation>(l->weight(), go);
+    }
+  }
+  Tensor calib(Shape{8, 4});
+  rng.fill_normal(calib, 0, 1);
+  net->forward(calib, /*training=*/true);
+  const serve::CompiledModel cm =
+      serve::CompiledModel::compile(*net, Shape{4});
+
+  constexpr int64_t kPool = 5;
+  Tensor samples(Shape{kPool, 4});
+  rng.fill_normal(samples, 0, 1);
+  serve::InferenceContext ctx;
+  std::vector<float> reference(kPool * cm.out_elems());
+  for (int64_t i = 0; i < kPool; ++i)
+    cm.run(samples.data() + i * 4, 1,
+           reference.data() + i * cm.out_elems(), ctx);
+
+  // Every batch stalls 5 ms with its requests taken but unserved — the
+  // exact window where a broken server would lose or corrupt work.
+  fault::ScopedFault sf("serve.worker.stall=1+:5");
+  serve::Server server(cm, {.workers = 2});
+  constexpr int kClients = 3, kPerClient = 5;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<float> out(static_cast<size_t>(cm.out_elems()));
+      for (int r = 0; r < kPerClient; ++r) {
+        const int64_t s = (c + r) % kPool;
+        const Status st =
+            server.infer(samples.data() + s * 4, out.data(), {});
+        if (!st.ok() ||
+            std::memcmp(out.data(), reference.data() + s * cm.out_elems(),
+                        sizeof(float) * static_cast<size_t>(
+                                            cm.out_elems())) != 0)
+          mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.drain();  // must return: no stuck requests behind the stalls
+  const serve::Server::Stats stats = server.stats();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(stats.requests, static_cast<uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(stats.queued, 0);
+  EXPECT_EQ(stats.inflight, 0);
+  EXPECT_GE(fault::fired("serve.worker.stall"), 1u);
+}
+
+}  // namespace
+}  // namespace apt

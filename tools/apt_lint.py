@@ -46,6 +46,15 @@ time things and spawn helpers as they see fit):
           wrappers survive only for out-of-tree source compatibility, in
           src/nn/plan.*, src/nn/gemm_kernel.*, and src/nn/gemm.*.
 
+  rawio   No raw file writes (std::ofstream / std::fstream, fopen /
+          freopen / fwrite) in library code outside src/io/. Direct
+          writes land bytes at the final path incrementally, so a crash
+          or full disk leaves a torn, checksum-less file where a reader
+          expects an artifact. All durable output must go through
+          src/io/ (write_file_atomic's temp + fsync + rename and the
+          checksummed artifact container); reads (std::ifstream) are
+          unrestricted because loaders validate defensively.
+
   docsync Repo-level doc/flag consistency: every `--min-*` gate flag
           defined in bench/bench_runner.cpp must appear in README.md's
           gated-bench-key table (a markdown table row). The README table
@@ -72,7 +81,8 @@ import re
 import sys
 from typing import List, NamedTuple, Tuple
 
-RULES = ("thread", "rng", "engine", "clock", "accum", "deprec", "docsync")
+RULES = ("thread", "rng", "engine", "clock", "accum", "deprec", "rawio",
+         "docsync")
 
 ALLOW_RE = re.compile(r"apt-lint:\s*allow\(([a-z,\s]+)\)")
 
@@ -89,6 +99,10 @@ DEPREC_EXEMPT_RE = re.compile(
 # Files exempt from the `engine` rule: the home of the one sanctioned
 # stateful engine (inside apt::Rng) and of the counter-based generator.
 ENGINE_EXEMPT_RE = re.compile(r"src[/\\]base[/\\]rng\.hpp$")
+
+# Files exempt from the `rawio` rule: the crash-safe I/O layer itself,
+# where the primitive writes are wrapped.
+RAWIO_EXEMPT_RE = re.compile(r"src[/\\]io[/\\]")
 
 THREAD_RE = re.compile(
     r"\bstd::(thread|jthread|async)\b|#\s*pragma\s+omp\b|\bpthread_create\b"
@@ -112,6 +126,11 @@ DEPREC_RE = re.compile(
     r"(?<![\w:])(?:nn::)?"
     r"(gemm_s8(?:_fused_conv|_requant_conv|_fused|_requant)?"
     r"|set_gemm_backend|gemm_backend)\s*\("
+)
+RAWIO_RE = re.compile(
+    r"\bstd::(ofstream|fstream)\b"
+    r"|(?<![\w:])f(?:re)?open\s*\("
+    r"|(?<![\w:])fwrite\s*\("
 )
 
 # Local declarations inside a lambda body (heuristic): a type-ish token
@@ -328,6 +347,10 @@ def check_file(path: str, display_path: str | None = None) -> List[Violation]:
     if not DEPREC_EXEMPT_RE.search(display.replace(os.sep, "/")):
         line_rules.append(
             ("deprec", DEPREC_RE, "deprecated GEMM entry point or backend global; resolve a KernelPlan (plan_for) and call gemm_ex / gemm_s8_ex, configure via set_plan_options (plan.hpp)"),
+        )
+    if not RAWIO_EXEMPT_RE.search(display.replace(os.sep, "/")):
+        line_rules.append(
+            ("rawio", RAWIO_RE, "raw file write outside src/io/; durable output must go through write_file_atomic / the artifact container (io/atomic_file.hpp, io/artifact.hpp) so a crash never leaves a torn file at the final path"),
         )
 
     for idx, line in enumerate(stripped_lines):

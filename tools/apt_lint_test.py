@@ -231,6 +231,44 @@ class DeprecRule(unittest.TestCase):
             [])
 
 
+class RawioRule(unittest.TestCase):
+    def test_flags_raw_writes(self):
+        self.assertEqual(
+            rules_of(lint_snippet('std::ofstream f(path, std::ios::binary);')),
+            ["rawio"])
+        self.assertEqual(
+            rules_of(lint_snippet('std::fstream f(path, std::ios::out);')),
+            ["rawio"])
+        self.assertEqual(
+            rules_of(lint_snippet('FILE* f = fopen(path, "wb");')), ["rawio"])
+        self.assertEqual(
+            rules_of(lint_snippet('freopen(path, "w", stdout);')), ["rawio"])
+        self.assertEqual(
+            rules_of(lint_snippet('fwrite(buf, 1, n, f);')), ["rawio"])
+
+    def test_io_layer_is_exempt(self):
+        for path in ("src/io/table.hpp", "src/io/atomic_file.cpp"):
+            self.assertEqual(
+                lint_snippet("std::ofstream f(path);", path), [])
+
+    def test_reads_are_fine(self):
+        self.assertEqual(lint_snippet("std::ifstream f(path);"), [])
+        self.assertEqual(lint_snippet("fread(buf, 1, n, f);"), [])
+
+    def test_suffixed_identifiers_do_not_trip(self):
+        self.assertEqual(lint_snippet("my_fopen(path);"), [])
+        self.assertEqual(lint_snippet("buffered_fwrite(buf);"), [])
+
+    def test_mention_in_comment_is_ignored(self):
+        self.assertEqual(
+            lint_snippet("// std::ofstream would tear on crash here"), [])
+
+    def test_allow_hatch(self):
+        self.assertEqual(
+            lint_snippet("std::ofstream f(p);  // apt-lint: allow(rawio)"),
+            [])
+
+
 class DocsyncRule(unittest.TestCase):
     BENCH = (
         '    } else if (arg == "--min-speedup") {\n'
